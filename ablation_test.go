@@ -1,0 +1,114 @@
+package mimir_test
+
+// Ablation benchmarks for the design choices called out in DESIGN.md:
+// the communication-buffer size behind the interleaved aggregate, the page
+// granularity of the dynamic containers, and the delayed-vs-streaming KV
+// compression drain. Each reports peak node memory and simulated job time
+// as custom metrics alongside the usual ns/op.
+
+import (
+	"fmt"
+	"testing"
+
+	"mimir"
+	"mimir/internal/workloads"
+)
+
+// ablationWC runs one in-memory WordCount and reports peak memory and
+// simulated seconds.
+func ablationWC(b *testing.B, dist workloads.Distribution, bytes int64,
+	cfg func(*mimir.Config)) {
+	b.ReportAllocs()
+	var peak int64
+	var simT float64
+	for i := 0; i < b.N; i++ {
+		const p = 8
+		w := mimir.NewWorld(p)
+		arena := mimir.NewArena(0)
+		err := w.Run(func(c *mimir.Comm) error {
+			jc := mimir.Config{Arena: arena}
+			if cfg != nil {
+				cfg(&jc)
+			}
+			job := mimir.NewJob(c, jc)
+			input := workloads.TextInput(nil, c.Clock(), dist, 42, bytes, c.Rank(), p)
+			out, err := job.Run(input, workloads.WordCountMap, workloads.WordCountReduce)
+			if err != nil {
+				return err
+			}
+			out.Free()
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak = arena.Peak()
+		simT = w.MaxTime()
+	}
+	b.ReportMetric(float64(peak), "peak-bytes")
+	b.ReportMetric(simT, "sim-sec")
+}
+
+// BenchmarkAblationCommBuf sweeps the send/receive buffer size: larger
+// buffers mean fewer, bigger Alltoallv rounds (less latency, more memory) —
+// the trade-off behind Mimir's interleaved aggregate.
+func BenchmarkAblationCommBuf(b *testing.B) {
+	for _, kb := range []int{8, 32, 64, 256} {
+		b.Run(fmt.Sprintf("commbuf=%dKiB", kb), func(b *testing.B) {
+			ablationWC(b, workloads.Uniform, 1<<20, func(c *mimir.Config) {
+				c.CommBuf = kb << 10
+			})
+		})
+	}
+}
+
+// BenchmarkAblationPageSize sweeps the container page size: smaller pages
+// track the live data more tightly (lower peak) at a higher allocation
+// rate.
+func BenchmarkAblationPageSize(b *testing.B) {
+	for _, kb := range []int{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("page=%dKiB", kb), func(b *testing.B) {
+			ablationWC(b, workloads.Uniform, 1<<20, func(c *mimir.Config) {
+				c.PageSize = kb << 10
+			})
+		})
+	}
+}
+
+// BenchmarkAblationCombinerDrain compares the paper's delayed KV compression
+// (aggregate deferred until the whole map output is compressed — its
+// acknowledged shortcoming) against the streaming variant added in this
+// implementation (CombinerBudget), on skew-free data where the bucket grows
+// largest.
+func BenchmarkAblationCombinerDrain(b *testing.B) {
+	cases := []struct {
+		name   string
+		budget int64
+	}{
+		{"delayed", 0},
+		{"stream=256KiB", 256 << 10},
+		{"stream=64KiB", 64 << 10},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			budget := c.budget
+			ablationWC(b, workloads.Wikipedia, 1<<20, func(jc *mimir.Config) {
+				jc.Combiner = workloads.WordCountCombine
+				jc.CombinerBudget = budget
+			})
+		})
+	}
+}
+
+// BenchmarkAblationHintEncoding isolates the KV-hint's effect on an
+// end-to-end job (bytes moved, memory held).
+func BenchmarkAblationHintEncoding(b *testing.B) {
+	b.Run("varlen", func(b *testing.B) {
+		ablationWC(b, workloads.Wikipedia, 1<<20, nil)
+	})
+	b.Run("hinted", func(b *testing.B) {
+		ablationWC(b, workloads.Wikipedia, 1<<20, func(c *mimir.Config) {
+			c.Hint = workloads.WCHint()
+		})
+	})
+}

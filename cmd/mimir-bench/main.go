@@ -1,0 +1,65 @@
+// Command mimir-bench regenerates the tables behind every figure of the
+// paper's evaluation (Section IV).
+//
+// Usage:
+//
+//	mimir-bench            # run every figure (takes a while)
+//	mimir-bench -fig 8     # run only Figure 8
+//	mimir-bench -list      # list available figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mimir/internal/expt"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to run (e.g. 1, 8, fig10); empty = all")
+	list := flag.Bool("list", false, "list available figures")
+	asJSON := flag.Bool("json", false, "emit JSON instead of tables")
+	flag.Parse()
+
+	if *list {
+		for _, e := range expt.All {
+			fmt.Printf("%-8s %s\n", e.ID, e.Note)
+		}
+		return
+	}
+
+	// -fig accepts a figure number ("8") or a single panel ("8c").
+	want := strings.TrimPrefix(strings.ToLower(*fig), "fig")
+	wantFig := strings.TrimRight(want, "abcd")
+	wantPanel := strings.TrimPrefix(want, wantFig)
+	ran := 0
+	for _, e := range expt.All {
+		id := strings.TrimPrefix(e.ID, "fig")
+		if want != "" && id != wantFig {
+			continue
+		}
+		start := time.Now()
+		for _, f := range e.Gen() {
+			if wantPanel != "" && !strings.HasSuffix(f.ID, wantPanel) {
+				continue
+			}
+			if *asJSON {
+				if err := f.WriteJSON(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			} else {
+				f.Render(os.Stdout)
+			}
+			ran++
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown figure %q; use -list\n", *fig)
+		os.Exit(2)
+	}
+}

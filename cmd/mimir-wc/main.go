@@ -1,0 +1,148 @@
+// Command mimir-wc counts words in real files with the Mimir engine,
+// spreading the work over in-process ranks.
+//
+//	mimir-wc [-ranks 8] [-top 20] [-hint] [-pr] [-cps] file...
+//
+// With no files it reads standard input.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"mimir"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 8, "number of in-process ranks")
+	top := flag.Int("top", 20, "how many of the most frequent words to print")
+	hint := flag.Bool("hint", true, "use the KV-hint (strz keys, fixed 8-byte counts)")
+	pr := flag.Bool("pr", true, "use partial reduction instead of convert+reduce")
+	cps := flag.Bool("cps", false, "use KV compression before the shuffle")
+	flag.Parse()
+
+	lines, err := readLines(flag.Args())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	world := mimir.NewWorld(*ranks)
+	arena := mimir.NewArena(0)
+
+	combine := func(_ []byte, existing, incoming []byte) ([]byte, error) {
+		return mimir.Uint64Bytes(mimir.BytesUint64(existing) + mimir.BytesUint64(incoming)), nil
+	}
+
+	var mu sync.Mutex
+	counts := map[string]uint64{}
+	err = world.Run(func(c *mimir.Comm) error {
+		cfg := mimir.Config{Arena: arena}
+		if *hint {
+			cfg.Hint = mimir.Hint{Key: mimir.StrZ(), Val: mimir.Fixed(8)}
+		}
+		if *pr {
+			cfg.PartialReduce = combine
+		}
+		if *cps {
+			cfg.Combiner = combine
+		}
+		var mine []mimir.Record
+		for i := c.Rank(); i < len(lines); i += c.Size() {
+			mine = append(mine, mimir.Record{Val: lines[i]})
+		}
+		mapFn := func(rec mimir.Record, emit mimir.Emitter) error {
+			for _, w := range strings.Fields(string(rec.Val)) {
+				w = strings.Trim(strings.ToLower(w), ".,;:!?\"'()[]{}")
+				if w == "" || strings.ContainsRune(w, 0) {
+					continue
+				}
+				if err := emit.Emit([]byte(w), mimir.Uint64Bytes(1)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		reduceFn := func(key []byte, vals *mimir.ValueIter, emit mimir.Emitter) error {
+			var sum uint64
+			for v, ok := vals.Next(); ok; v, ok = vals.Next() {
+				sum += mimir.BytesUint64(v)
+			}
+			return emit.Emit(key, mimir.Uint64Bytes(sum))
+		}
+		out, err := mimir.NewJob(c, cfg).Run(mimir.SliceInput(mine), mapFn, reduceFn)
+		if err != nil {
+			return err
+		}
+		defer out.Free()
+		mu.Lock()
+		defer mu.Unlock()
+		return out.Scan(func(k, v []byte) error {
+			counts[string(k)] += mimir.BytesUint64(v)
+			return nil
+		})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type wc struct {
+		w string
+		n uint64
+	}
+	list := make([]wc, 0, len(counts))
+	var total uint64
+	for w, n := range counts {
+		list = append(list, wc{w, n})
+		total += n
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].n != list[j].n {
+			return list[i].n > list[j].n
+		}
+		return list[i].w < list[j].w
+	})
+	fmt.Printf("%d words, %d unique\n", total, len(list))
+	for i, e := range list {
+		if i == *top {
+			break
+		}
+		fmt.Printf("%8d  %s\n", e.n, e.w)
+	}
+}
+
+func readLines(files []string) ([][]byte, error) {
+	var lines [][]byte
+	read := func(r io.Reader) error {
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			lines = append(lines, append([]byte(nil), sc.Bytes()...))
+		}
+		return sc.Err()
+	}
+	if len(files) == 0 {
+		if err := read(os.Stdin); err != nil {
+			return nil, err
+		}
+		return lines, nil
+	}
+	for _, name := range files {
+		f, err := os.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		err = read(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return lines, nil
+}

@@ -1,0 +1,3 @@
+module mimir
+
+go 1.22

@@ -1,0 +1,127 @@
+// Package core implements Mimir, the paper's memory-efficient MapReduce
+// engine over MPI (Section III). Its workflow has four phases — map,
+// aggregate, convert, reduce — but unlike MR-MPI the aggregate and convert
+// phases are implicit: the user-defined map inserts KVs directly into a
+// per-destination-partitioned send buffer, and whenever a partition fills,
+// the map is suspended and an Alltoallv round drains every rank's send
+// buffer into dynamically grown KV containers. Optional optimizations are
+// the paper's partial reduction (III-C1), KV compression (III-C2), and
+// KV-hint (III-C3).
+package core
+
+import (
+	"mimir/internal/kvbuf"
+	"mimir/internal/mem"
+)
+
+// Default buffer sizes: the paper's 64 MB page and 64 MB communication
+// buffer, scaled 1024x.
+const (
+	DefaultPageSize = 64 << 10
+	DefaultCommBuf  = 64 << 10
+	// MinPartition is the floor on a send-buffer partition. The paper's
+	// per-rank 64 MB buffer divided by up to 16,384 ranks still leaves 4 KB
+	// partitions; under our 1024x size scaling the same division would fall
+	// below a single KV, so partitions never shrink beneath this floor. All
+	// benchmark KVs fit in 128 bytes (words are capped at ~20 characters).
+	MinPartition = 128
+)
+
+// Emitter receives KVs produced by map and reduce callbacks.
+type Emitter interface {
+	// Emit stores one KV. The engine copies k and v before returning.
+	Emit(k, v []byte) error
+}
+
+// Record is one input record. File and in-situ sources fill only Val (the
+// record bytes); KV sources from a previous MapReduce stage fill both.
+type Record struct {
+	Key, Val []byte
+}
+
+// MapFunc is the user-defined map callback: it transforms one input record
+// into any number of intermediate KVs.
+type MapFunc func(rec Record, emit Emitter) error
+
+// ReduceFunc is the user-defined reduce callback: it folds the value list of
+// one unique key into any number of output KVs.
+type ReduceFunc func(key []byte, vals *kvbuf.ValueIter, emit Emitter) error
+
+// CombineFunc merges two values of the same key into one. It backs both the
+// KV compression callback (applied in the map phase, before aggregate) and
+// the partial-reduction callback (applied in place of convert+reduce). The
+// returned slice may alias existing, which the engine updates in place when
+// the length is unchanged.
+type CombineFunc func(key, existing, incoming []byte) ([]byte, error)
+
+// Input feeds a rank's share of the job input, one record at a time. Each
+// rank gets its own Input closure; it typically wraps a workload generator
+// that also charges simulated parallel-file-system read time.
+type Input func(emit func(rec Record) error) error
+
+// Costs are the effective per-operation compute costs charged to the
+// simulated clock (see internal/platform for the calibrated machine
+// presets). A zero Costs charges nothing, which is fine for tests.
+type Costs struct {
+	MapPerByte    float64 // per input byte passed to the map callback
+	KVPerByte     float64 // per intermediate KV byte inserted, sent, or received
+	PerRecord     float64 // fixed per-KV overhead
+	ReducePerByte float64 // per byte processed by convert and reduce
+}
+
+// Config configures a Mimir job.
+type Config struct {
+	// Arena is the node memory pool all buffers are charged to. Required.
+	Arena *mem.Arena
+	// PageSize is the unit of data-buffer allocation (default 64 KiB,
+	// standing in for the paper's 64 MB).
+	PageSize int
+	// CommBuf is the total send buffer size; the receive buffer has the same
+	// size, which Mimir's design guarantees is sufficient (Section III-B).
+	CommBuf int
+	// Hint is the KV-hint encoding used for intermediate data.
+	Hint kvbuf.Hint
+	// Combiner, if set, enables the KV compression optimization: map output
+	// is folded into a hash bucket and the aggregate phase is delayed until
+	// the map completes, maximizing compression (Section III-C2).
+	Combiner CombineFunc
+	// PartialReduce, if set, replaces the convert and reduce phases: KVs are
+	// folded into a hash bucket as they arrive from the network, so the full
+	// KMV set never needs to be resident (Section III-C1). The job's
+	// ReduceFunc is not used when PartialReduce is set.
+	PartialReduce CombineFunc
+	// CombinerBudget bounds the KV compression bucket's memory in bytes.
+	// The paper's implementation delays the aggregate until the whole map
+	// output is compressed (its acknowledged third shortcoming, "we hope to
+	// improve it in a future version of Mimir"); with a budget, the bucket
+	// is drained into the send buffer and restarted whenever it outgrows
+	// the budget, interleaving compression with aggregation. Zero keeps the
+	// paper's delayed behavior; positive values are floored at two pages.
+	CombinerBudget int64
+	// Checkpoint, if set, persists each rank's post-aggregate state to the
+	// parallel file system and lets an identically configured re-run resume
+	// from it, skipping input, map, and aggregate (fault tolerance in the
+	// style of the authors' FT-MRMPI).
+	Checkpoint *Checkpoint
+	// Partitioner overrides the hash function that assigns keys to ranks
+	// ("Users can provide alternative hash functions that suit their
+	// needs"). It must return a destination in [0, nranks) and be identical
+	// on every rank. Nil uses FNV-1a hashing of the key bytes.
+	Partitioner func(key []byte, nranks int) int
+	// Costs are the simulated compute costs.
+	Costs Costs
+}
+
+func (c Config) withDefaults() Config {
+	if c.PageSize <= 0 {
+		c.PageSize = DefaultPageSize
+	}
+	if c.CommBuf <= 0 {
+		c.CommBuf = DefaultCommBuf
+	}
+	zero := kvbuf.Hint{}
+	if c.Hint == zero {
+		c.Hint = kvbuf.DefaultHint()
+	}
+	return c
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"mimir/internal/pfs"
+	"mimir/internal/simtime"
+)
+
+// The paper's three input sources: "files from disk, KVs from previous
+// MapReduce operations for multistage jobs or iterative MapReduce jobs, and
+// sources other than MapReduce jobs (e.g., in situ analytics workflows)".
+// Output.AsInput covers the second and any closure the third; FileInput
+// implements the first against the simulated parallel file system.
+
+// FileInput reads this rank's share of a text file stored on the parallel
+// file system. The file is split into nranks contiguous byte ranges whose
+// boundaries are advanced to the next newline, so every rank sees whole
+// records and no record is seen twice — the standard MapReduce file
+// splitter. Each emitted record is one line (without the newline); reads
+// are charged to clock.
+func FileInput(fs *pfs.FS, clock *simtime.Clock, name string, rank, nranks int) Input {
+	return func(emit func(rec Record) error) error {
+		size := fs.Size(name)
+		if size == 0 {
+			return nil
+		}
+		chunk := size / int64(nranks)
+		start := chunk * int64(rank)
+		end := start + chunk
+		if rank == nranks-1 {
+			end = size
+		}
+		// Advance the start boundary past the line the previous rank owns.
+		// A zero start needs no adjustment (and can only emit for one rank:
+		// with tiny files every non-final rank's range is empty).
+		if rank > 0 && start > 0 {
+			adj, err := nextNewline(fs, clock, name, start-1, size)
+			if err != nil {
+				return err
+			}
+			start = adj
+		}
+		// Extend the end boundary to finish the last line we started.
+		if rank < nranks-1 && end > 0 {
+			adj, err := nextNewline(fs, clock, name, end-1, size)
+			if err != nil {
+				return err
+			}
+			end = adj
+		}
+		if start >= end {
+			return nil
+		}
+		data, err := fs.ReadAt(clock, name, start, end-start)
+		if err != nil {
+			return fmt.Errorf("core: reading input split: %w", err)
+		}
+		lineStart := 0
+		for i := 0; i <= len(data); i++ {
+			if i == len(data) || data[i] == '\n' {
+				if i > lineStart {
+					if err := emit(Record{Val: data[lineStart:i]}); err != nil {
+						return err
+					}
+				}
+				lineStart = i + 1
+			}
+		}
+		return nil
+	}
+}
+
+// nextNewline returns the offset one past the first newline at or after
+// off, or the file size if none remains. It probes in small windows, the
+// way a splitter seeks without reading the whole file.
+func nextNewline(fs *pfs.FS, clock *simtime.Clock, name string, off, size int64) (int64, error) {
+	const window = 4096
+	for off < size {
+		n := int64(window)
+		if off+n > size {
+			n = size - off
+		}
+		buf, err := fs.ReadAt(clock, name, off, n)
+		if err != nil {
+			return 0, err
+		}
+		for i, b := range buf {
+			if b == '\n' {
+				return off + int64(i) + 1, nil
+			}
+		}
+		off += n
+	}
+	return size, nil
+}
+
+// MultiFileInput concatenates the per-rank splits of several files, reading
+// them in order — the "one directory of input files" case.
+func MultiFileInput(fs *pfs.FS, clock *simtime.Clock, names []string, rank, nranks int) Input {
+	return func(emit func(rec Record) error) error {
+		for _, name := range names {
+			if err := FileInput(fs, clock, name, rank, nranks)(emit); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

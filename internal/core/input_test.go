@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mimir/internal/mem"
+	"mimir/internal/mpi"
+	"mimir/internal/pfs"
+	"mimir/internal/simtime"
+)
+
+func writeLines(fs *pfs.FS, name string, lines []string) {
+	fs.Append(nil, name, []byte(strings.Join(lines, "\n")+"\n"))
+}
+
+func TestFileInputSplitsAtLineBoundaries(t *testing.T) {
+	fs := pfs.New(pfs.Config{Bandwidth: 1e9})
+	lines := make([]string, 100)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("line-%03d with some padding %s", i, strings.Repeat("x", i%23))
+	}
+	writeLines(fs, "input.txt", lines)
+
+	for _, nranks := range []int{1, 2, 3, 7, 100, 250} {
+		var got []string
+		for rank := 0; rank < nranks; rank++ {
+			in := FileInput(fs, simtime.NewClock(), "input.txt", rank, nranks)
+			err := in(func(rec Record) error {
+				got = append(got, string(rec.Val))
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("nranks=%d rank=%d: %v", nranks, rank, err)
+			}
+		}
+		if len(got) != len(lines) {
+			t.Fatalf("nranks=%d: got %d lines, want %d", nranks, len(got), len(lines))
+		}
+		for i := range lines {
+			if got[i] != lines[i] {
+				t.Fatalf("nranks=%d: line %d = %q, want %q", nranks, i, got[i], lines[i])
+			}
+		}
+	}
+}
+
+// Property: every line is delivered exactly once for random line lengths
+// and rank counts.
+func TestFileInputExactlyOnceProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		fs := pfs.New(pfs.Config{Bandwidth: 1e9})
+		n := int(seed%60) + 1
+		lines := make([]string, n)
+		for i := range lines {
+			lines[i] = fmt.Sprintf("%d:%s", i, strings.Repeat("a", (i*int(seed)+3)%40))
+		}
+		writeLines(fs, "f", lines)
+		nranks := int(seed%9) + 1
+		seen := map[string]int{}
+		for rank := 0; rank < nranks; rank++ {
+			err := FileInput(fs, nil, "f", rank, nranks)(func(rec Record) error {
+				seen[string(rec.Val)]++
+				return nil
+			})
+			if err != nil {
+				return false
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFileInputMissingAndEmpty(t *testing.T) {
+	fs := pfs.New(pfs.Config{})
+	// Missing file: treated as empty.
+	err := FileInput(fs, nil, "missing", 0, 2)(func(Record) error {
+		t.Fatal("emitted from missing file")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// File with only newlines: no records.
+	fs.Append(nil, "nl", []byte("\n\n\n"))
+	n := 0
+	if err := FileInput(fs, nil, "nl", 0, 1)(func(Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("emitted %d records from newline-only file", n)
+	}
+}
+
+func TestFileInputNoTrailingNewline(t *testing.T) {
+	fs := pfs.New(pfs.Config{})
+	fs.Append(nil, "f", []byte("first\nsecond\nlast-no-newline"))
+	var got []string
+	for rank := 0; rank < 2; rank++ {
+		err := FileInput(fs, nil, "f", rank, 2)(func(rec Record) error {
+			got = append(got, string(rec.Val))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"first", "second", "last-no-newline"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestMultiFileInput(t *testing.T) {
+	fs := pfs.New(pfs.Config{})
+	writeLines(fs, "a", []string{"a1", "a2"})
+	writeLines(fs, "b", []string{"b1"})
+	var got []string
+	for rank := 0; rank < 3; rank++ {
+		err := MultiFileInput(fs, nil, []string{"a", "b"}, rank, 3)(func(rec Record) error {
+			got = append(got, string(rec.Val))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 3 {
+		t.Errorf("got %v, want 3 lines", got)
+	}
+}
+
+func TestFileInputChargesIO(t *testing.T) {
+	fs := pfs.New(pfs.Config{Bandwidth: 1e3})
+	writeLines(fs, "f", []string{"hello world"})
+	clock := simtime.NewClock()
+	if err := FileInput(fs, clock, "f", 0, 1)(func(Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if clock.Spent(simtime.IO) == 0 {
+		t.Error("file input charged no IO time")
+	}
+}
+
+func TestEndToEndFileWordCountWithPersist(t *testing.T) {
+	// Full pipeline: dataset file on the PFS -> FileInput -> WordCount ->
+	// Persist output back to the PFS.
+	fs := pfs.New(pfs.Config{Bandwidth: 1e9})
+	writeLines(fs, "corpus", testText)
+	const p = 3
+	w := mpi.NewWorld(mpi.Config{Size: p, Net: testNet()})
+	arena := mem.NewArena(0)
+	err := w.Run(func(c *mpi.Comm) error {
+		in := FileInput(fs, c.Clock(), "corpus", c.Rank(), p)
+		out, err := NewJob(c, Config{Arena: arena}).Run(in, wcMap, wcReduce)
+		if err != nil {
+			return err
+		}
+		defer out.Free()
+		return out.Persist(fs, c.Clock(), fmt.Sprintf("out/part-%d", c.Rank()))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-read the persisted output and compare against the reference.
+	got := map[string]bool{}
+	var totalLines int
+	for r := 0; r < p; r++ {
+		data, err := fs.ReadAll(nil, fmt.Sprintf("out/part-%d", r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+			if line == "" {
+				continue
+			}
+			word, _, ok := strings.Cut(line, "\t")
+			if !ok {
+				t.Fatalf("bad output line %q", line)
+			}
+			got[word] = true
+			totalLines++
+		}
+	}
+	want := refWordCount(testText)
+	if totalLines != len(want) || len(got) != len(want) {
+		t.Errorf("persisted %d lines / %d words, want %d", totalLines, len(got), len(want))
+	}
+}

@@ -1,0 +1,476 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mimir/internal/kvbuf"
+	"mimir/internal/mem"
+	"mimir/internal/mpi"
+	"mimir/internal/simtime"
+)
+
+// Job is one Mimir MapReduce execution on one rank. Create it with NewJob
+// and execute with Run. A Job is single-use.
+type Job struct {
+	comm *mpi.Comm
+	cfg  Config
+
+	// send buffer state (one partition per destination rank)
+	sendBuf  *mem.Page
+	partSize int
+	partOff  []int // write offset within each partition
+
+	// destination of received KVs: either a KV container (core workflow) or
+	// the partial-reduction bucket.
+	recvKVC *kvbuf.KVC
+	prBkt   *kvbuf.Bucket
+	// cpsBkt is the KV compression bucket, when enabled.
+	cpsBkt *kvbuf.Bucket
+
+	stats Stats
+}
+
+// PhaseTimes breaks a rank's simulated job time down by workflow phase.
+// Because Mimir interleaves the map and aggregate phases, Map counts the
+// time between exchanges and Aggregate the time inside them.
+type PhaseTimes struct {
+	Map, Aggregate, Convert, Reduce float64
+}
+
+// Total returns the summed phase time.
+func (p PhaseTimes) Total() float64 { return p.Map + p.Aggregate + p.Convert + p.Reduce }
+
+// Stats reports what one rank observed during a job.
+type Stats struct {
+	// Phases is the per-phase simulated time breakdown.
+	Phases PhaseTimes
+	// Rounds is the number of Alltoallv exchange rounds the aggregate phase
+	// needed (the map suspends once per round, Section III-A).
+	Rounds int
+	// ShuffledBytes is the total intermediate bytes this rank sent.
+	ShuffledBytes int64
+	// MapOutKVs / MapOutBytes count the map's emitted KVs after optional KV
+	// compression (what actually entered the send buffer).
+	MapOutKVs   int64
+	MapOutBytes int64
+	// RecvKVs counts KVs received from the exchange.
+	RecvKVs int64
+	// OutputKVs counts final job output KVs on this rank.
+	OutputKVs int64
+	// RestoredFromCheckpoint reports that the map and aggregate phases were
+	// skipped by resuming from a checkpoint.
+	RestoredFromCheckpoint bool
+}
+
+// NewJob creates a job for this rank with the given configuration.
+func NewJob(comm *mpi.Comm, cfg Config) *Job {
+	cfg = cfg.withDefaults()
+	if cfg.Arena == nil {
+		panic("core: Config.Arena is required")
+	}
+	return &Job{comm: comm, cfg: cfg}
+}
+
+// Run executes the full Mimir workflow: map with interleaved aggregate,
+// then convert + reduce (or partial reduction). reduceFn may be nil for
+// map-only jobs, whose output is the post-shuffle KV set. All ranks must
+// call Run collectively.
+func (j *Job) Run(input Input, mapFn MapFunc, reduceFn ReduceFunc) (*Output, error) {
+	if err := j.comm.Barrier(); err != nil {
+		return nil, err
+	}
+	// Fault tolerance: if every rank has a checkpoint, resume from it
+	// instead of re-reading and re-shuffling the input. The decision is
+	// collective so all ranks take the same path.
+	restore := false
+	if j.cfg.Checkpoint != nil {
+		have := int64(0)
+		if j.cfg.Checkpoint.FS.Size(j.cfg.Checkpoint.file(j.comm.Rank())) >= 16 {
+			have = 1
+		}
+		all, err := j.comm.AllreduceInt64([]int64{have}, mpi.OpMin)
+		if err != nil {
+			return nil, err
+		}
+		restore = all[0] == 1
+	}
+	t0 := j.comm.Clock().Now()
+	if restore {
+		if err := j.restoreCheckpoint(); err != nil {
+			j.cleanup()
+			return nil, err
+		}
+	} else {
+		if err := j.mapAggregate(input, mapFn); err != nil {
+			j.cleanup()
+			return nil, err
+		}
+		if j.cfg.Checkpoint != nil {
+			if err := j.saveCheckpoint(); err != nil {
+				j.cleanup()
+				return nil, err
+			}
+		}
+	}
+	// Everything in the interleaved phase that was not inside an exchange
+	// round is map time.
+	j.stats.Phases.Map = j.comm.Clock().Now() - t0 - j.stats.Phases.Aggregate
+	out, err := j.finish(reduceFn)
+	if err != nil {
+		j.cleanup()
+		return nil, err
+	}
+	if err := j.comm.Barrier(); err != nil {
+		out.Free()
+		return nil, err
+	}
+	out.Stats = j.stats
+	return out, nil
+}
+
+// cleanup releases intermediate buffers after a failed run so the node
+// arena is left balanced (important when one arena serves many jobs).
+func (j *Job) cleanup() {
+	if j.recvKVC != nil {
+		j.recvKVC.Free()
+		j.recvKVC = nil
+	}
+	if j.prBkt != nil {
+		j.prBkt.Free()
+		j.prBkt = nil
+	}
+	if j.cpsBkt != nil {
+		j.cpsBkt.Free()
+		j.cpsBkt = nil
+	}
+}
+
+// mapAggregate runs the interleaved map + aggregate phases (Figure 4).
+func (j *Job) mapAggregate(input Input, mapFn MapFunc) error {
+	p := j.comm.Size()
+	j.partSize = j.cfg.CommBuf / p
+	if j.partSize < MinPartition {
+		j.partSize = MinPartition
+	}
+	bufSize := j.partSize * p
+
+	// Statically allocated, equal-sized send and receive buffers
+	// (Section III-B). The receive buffer can never overflow because no
+	// rank injects more than one partition per destination per round.
+	var err error
+	j.sendBuf, err = j.cfg.Arena.NewPage(bufSize)
+	if err != nil {
+		return fmt.Errorf("core: allocating send buffer: %w", err)
+	}
+	recvBuf, err := j.cfg.Arena.NewPage(bufSize)
+	if err != nil {
+		j.sendBuf.Release()
+		return fmt.Errorf("core: allocating receive buffer: %w", err)
+	}
+	defer func() {
+		j.sendBuf.Release()
+		j.sendBuf = nil
+		recvBuf.Release()
+	}()
+	j.partOff = make([]int, p)
+
+	// Destination of received KVs.
+	if j.cfg.PartialReduce != nil {
+		j.prBkt, err = newBucketForJob(j)
+		if err != nil {
+			return err
+		}
+	} else {
+		j.recvKVC = newKVCForJob(j)
+	}
+
+	// Optional KV compression bucket (Section III-C2): map output is folded
+	// here first; the aggregate is delayed until the map completes (or, with
+	// a CombinerBudget, until the bucket outgrows its budget).
+	if j.cfg.Combiner != nil {
+		j.cpsBkt, err = kvbuf.NewBucket(j.cfg.Arena, j.cfg.PageSize)
+		if err != nil {
+			return err
+		}
+	}
+
+	emit := &mapEmitter{job: j}
+	err = input(func(rec Record) error {
+		j.charge(float64(len(rec.Key)+len(rec.Val))*j.cfg.Costs.MapPerByte, simtime.Compute)
+		return mapFn(rec, emit)
+	})
+	if err != nil {
+		return err
+	}
+
+	// Drain the compression bucket into the send buffer.
+	if j.cpsBkt != nil {
+		if err := j.drainCombiner(); err != nil {
+			return err
+		}
+		j.cpsBkt.Free()
+		j.cpsBkt = nil
+	}
+
+	// Final rounds: keep exchanging with done=1 until every rank is done.
+	for {
+		allDone, err := j.exchange(true)
+		if err != nil {
+			return err
+		}
+		if allDone {
+			break
+		}
+	}
+	return nil
+}
+
+// mapEmitter routes map output into the compression bucket or directly into
+// the partitioned send buffer.
+type mapEmitter struct {
+	job *Job
+}
+
+func (e *mapEmitter) Emit(k, v []byte) error {
+	j := e.job
+	j.charge(j.cfg.Costs.PerRecord+float64(len(k)+len(v))*j.cfg.Costs.KVPerByte, simtime.Compute)
+	if j.cpsBkt != nil {
+		// KV compression "introduces extra computational overhead"
+		// (Section III-C2): every emitted KV pays a second hash-and-merge
+		// pass before it can reach the send buffer.
+		j.charge(j.cfg.Costs.PerRecord+float64(len(k)+len(v))*j.cfg.Costs.KVPerByte, simtime.Compute)
+		err := j.cpsBkt.Upsert(k, v, func(existing, incoming []byte) ([]byte, error) {
+			return j.cfg.Combiner(k, existing, incoming)
+		})
+		if err != nil {
+			return err
+		}
+		// Streaming compression: with a budget, spill the bucket into the
+		// aggregate pipeline instead of letting it grow with the map. The
+		// budget is floored at two pages — below that the bucket would
+		// drain on every insert, defeating compression entirely.
+		budget := j.cfg.CombinerBudget
+		if budget > 0 && budget < int64(2*j.cfg.PageSize) {
+			budget = int64(2 * j.cfg.PageSize)
+		}
+		if budget > 0 && j.cpsBkt.MemoryBytes() > budget {
+			if err := j.drainCombiner(); err != nil {
+				return err
+			}
+			j.cpsBkt.Free()
+			j.cpsBkt, err = kvbuf.NewBucket(j.cfg.Arena, j.cfg.PageSize)
+			return err
+		}
+		return nil
+	}
+	return j.insertSend(k, v)
+}
+
+// drainCombiner moves every combined KV from the compression bucket into
+// the partitioned send buffer (triggering exchange rounds as partitions
+// fill).
+func (j *Job) drainCombiner() error {
+	return j.cpsBkt.Scan(func(k, v []byte) error {
+		return j.insertSend(k, v)
+	})
+}
+
+// insertSend places one encoded KV into the partition of its destination
+// rank, suspending the map for an exchange round when the partition is full.
+func (j *Job) insertSend(k, v []byte) error {
+	n := j.cfg.Hint.EncodedSize(k, v)
+	if n > j.partSize {
+		return fmt.Errorf("core: KV of %d bytes exceeds send partition of %d bytes", n, j.partSize)
+	}
+	var dest int
+	if j.cfg.Partitioner != nil {
+		dest = j.cfg.Partitioner(k, j.comm.Size())
+		if dest < 0 || dest >= j.comm.Size() {
+			return fmt.Errorf("core: partitioner returned rank %d of %d", dest, j.comm.Size())
+		}
+	} else {
+		dest = int(kvbuf.HashKey(k) % uint64(j.comm.Size()))
+	}
+	if j.partOff[dest]+n > j.partSize {
+		if _, err := j.exchange(false); err != nil {
+			return err
+		}
+	}
+	base := dest*j.partSize + j.partOff[dest]
+	enc, err := j.cfg.Hint.Encode(j.sendBuf.Buf[base:base], k, v)
+	if err != nil {
+		return err
+	}
+	if len(enc) != n {
+		panic("core: encode size mismatch")
+	}
+	j.partOff[dest] += n
+	j.stats.MapOutKVs++
+	j.stats.MapOutBytes += int64(n)
+	return nil
+}
+
+// exchange is one aggregate round: all ranks swap their send-buffer
+// partitions with Alltoallv and fold the received KVs into their KV
+// container (or partial-reduction bucket), then agree via Allreduce whether
+// every rank has finished its input.
+func (j *Job) exchange(done bool) (allDone bool, err error) {
+	tStart := j.comm.Clock().Now()
+	defer func() {
+		j.stats.Phases.Aggregate += j.comm.Clock().Now() - tStart
+	}()
+	p := j.comm.Size()
+	send := make([][]byte, p)
+	for dest := 0; dest < p; dest++ {
+		base := dest * j.partSize
+		send[dest] = j.sendBuf.Buf[base : base+j.partOff[dest]]
+		j.stats.ShuffledBytes += int64(j.partOff[dest])
+	}
+	recv, err := j.comm.Alltoallv(send)
+	if err != nil {
+		return false, err
+	}
+	for i := range j.partOff {
+		j.partOff[i] = 0
+	}
+	j.stats.Rounds++
+
+	var recvBytes int
+	for _, chunk := range recv {
+		recvBytes += len(chunk)
+		if err := j.consumeChunk(chunk); err != nil {
+			return false, err
+		}
+	}
+	j.charge(float64(recvBytes)*j.cfg.Costs.KVPerByte, simtime.Compute)
+
+	flag := int64(0)
+	if done {
+		flag = 1
+	}
+	sum, err := j.comm.AllreduceInt64([]int64{flag}, mpi.OpSum)
+	if err != nil {
+		return false, err
+	}
+	return sum[0] == int64(p), nil
+}
+
+func (j *Job) consumeChunk(chunk []byte) error {
+	if j.prBkt != nil {
+		for pos := 0; pos < len(chunk); {
+			k, v, n, err := j.cfg.Hint.Decode(chunk[pos:])
+			if err != nil {
+				return fmt.Errorf("core: bad received chunk: %w", err)
+			}
+			err = j.prBkt.Upsert(k, v, func(existing, incoming []byte) ([]byte, error) {
+				return j.cfg.PartialReduce(k, existing, incoming)
+			})
+			if err != nil {
+				return err
+			}
+			pos += n
+			j.stats.RecvKVs++
+		}
+		return nil
+	}
+	n, err := j.recvKVC.AppendChunk(chunk)
+	j.stats.RecvKVs += int64(n)
+	return err
+}
+
+// finish runs the post-shuffle part of the workflow: partial-reduction
+// output, map-only output, or convert + reduce (Figure 5).
+func (j *Job) finish(reduceFn ReduceFunc) (*Output, error) {
+	// Partial reduction replaced convert+reduce; the bucket holds the
+	// final unique KVs.
+	if j.prBkt != nil {
+		tReduce := j.comm.Clock().Now()
+		defer func() {
+			j.stats.Phases.Reduce = j.comm.Clock().Now() - tReduce
+		}()
+		out := kvbuf.NewKVC(j.cfg.Arena, j.cfg.PageSize, j.cfg.Hint)
+		err := j.prBkt.Scan(func(k, v []byte) error {
+			j.charge(j.cfg.Costs.PerRecord+float64(len(k)+len(v))*j.cfg.Costs.ReducePerByte, simtime.Compute)
+			return out.Append(k, v)
+		})
+		j.prBkt.Free()
+		j.prBkt = nil
+		if err != nil {
+			out.Free()
+			return nil, err
+		}
+		j.stats.OutputKVs = out.NumKV()
+		return &Output{KVC: out}, nil
+	}
+
+	// Map-only job: the aggregated KVs are the output.
+	if reduceFn == nil {
+		out := &Output{KVC: j.recvKVC}
+		j.recvKVC = nil
+		j.stats.OutputKVs = out.KVC.NumKV()
+		return out, nil
+	}
+
+	// Convert (two passes, drains the input KVC) ...
+	tConvert := j.comm.Clock().Now()
+	j.charge(float64(j.recvKVC.Bytes())*j.cfg.Costs.ReducePerByte, simtime.Compute)
+	kmv, err := kvbuf.Convert(j.recvKVC, j.cfg.Arena, j.cfg.PageSize, j.cfg.Hint)
+	if err != nil {
+		return nil, err
+	}
+	j.recvKVC = nil
+	defer kmv.Free()
+	j.stats.Phases.Convert = j.comm.Clock().Now() - tConvert
+
+	// ... then reduce.
+	tReduce := j.comm.Clock().Now()
+	defer func() {
+		j.stats.Phases.Reduce = j.comm.Clock().Now() - tReduce
+	}()
+	out := kvbuf.NewKVC(j.cfg.Arena, j.cfg.PageSize, j.cfg.Hint)
+	red := &outputEmitter{job: j, kvc: out}
+	err = kmv.Scan(func(key []byte, vals *kvbuf.ValueIter) error {
+		j.charge(j.cfg.Costs.PerRecord, simtime.Compute)
+		return reduceFn(key, vals, red)
+	})
+	if err != nil {
+		out.Free()
+		return nil, err
+	}
+	j.stats.OutputKVs = out.NumKV()
+	return &Output{KVC: out}, nil
+}
+
+type outputEmitter struct {
+	job *Job
+	kvc *kvbuf.KVC
+}
+
+func (e *outputEmitter) Emit(k, v []byte) error {
+	e.job.charge(e.job.cfg.Costs.PerRecord+float64(len(k)+len(v))*e.job.cfg.Costs.ReducePerByte, simtime.Compute)
+	return e.kvc.Append(k, v)
+}
+
+func (j *Job) charge(seconds float64, kind simtime.Kind) {
+	j.comm.Clock().Advance(seconds, kind)
+}
+
+func newKVCForJob(j *Job) *kvbuf.KVC {
+	return kvbuf.NewKVC(j.cfg.Arena, j.cfg.PageSize, j.cfg.Hint)
+}
+
+func newBucketForJob(j *Job) (*kvbuf.Bucket, error) {
+	return kvbuf.NewBucket(j.cfg.Arena, j.cfg.PageSize)
+}
+
+// Uint64Bytes and BytesUint64 are small helpers for the ubiquitous 8-byte
+// integer values of WordCount-style jobs.
+func Uint64Bytes(n uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, n)
+	return b
+}
+
+// BytesUint64 decodes an 8-byte little-endian value.
+func BytesUint64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"mimir/internal/mem"
+	"mimir/internal/mpi"
+)
+
+func TestCustomPartitioner(t *testing.T) {
+	// Route every key to rank 0 regardless of hash; all output must land
+	// there and the result must be unchanged.
+	const p = 4
+	w := mpi.NewWorld(mpi.Config{Size: p, Net: testNet()})
+	arena := mem.NewArena(0)
+	var mu sync.Mutex
+	got := map[string]uint64{}
+	perRank := make([]int64, p)
+	err := w.Run(func(c *mpi.Comm) error {
+		job := NewJob(c, Config{
+			Arena:       arena,
+			Partitioner: func(key []byte, nranks int) int { return 0 },
+		})
+		var mine []Record
+		for i, l := range testText {
+			if i%p == c.Rank() {
+				mine = append(mine, Record{Val: []byte(l)})
+			}
+		}
+		out, err := job.Run(SliceInput(mine), wcMap, wcReduce)
+		if err != nil {
+			return err
+		}
+		defer out.Free()
+		mu.Lock()
+		defer mu.Unlock()
+		perRank[c.Rank()] = out.NumKV()
+		return out.Scan(func(k, v []byte) error {
+			got[string(k)] += BytesUint64(v)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWC(t, got, refWordCount(testText))
+	for r := 1; r < p; r++ {
+		if perRank[r] != 0 {
+			t.Errorf("rank %d got %d KVs despite all-to-rank-0 partitioner", r, perRank[r])
+		}
+	}
+	if perRank[0] == 0 {
+		t.Error("rank 0 got no output")
+	}
+}
+
+func TestPartitionerOutOfRange(t *testing.T) {
+	w := mpi.NewWorld(mpi.Config{Size: 1, Net: testNet()})
+	arena := mem.NewArena(0)
+	err := w.Run(func(c *mpi.Comm) error {
+		job := NewJob(c, Config{
+			Arena:       arena,
+			Partitioner: func(key []byte, nranks int) int { return nranks },
+		})
+		_, err := job.Run(SliceInput([]Record{{Val: []byte("x")}}), wcMap, wcReduce)
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "partitioner returned") {
+		t.Fatalf("err = %v, want partitioner range rejection", err)
+	}
+}
+
+func TestStreamingCompressionCorrect(t *testing.T) {
+	// A tiny CombinerBudget forces many drain/reset cycles; results and
+	// totals must match the unbudgeted run.
+	lines := make([]string, 64)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("alpha beta gamma delta-%d epsilon-%d", i%7, i%13)
+	}
+	for _, budget := range []int64{0, 512, 4096} {
+		got := runWC(t, 3, lines, func(cfg *Config) {
+			cfg.Combiner = wcCombine
+			cfg.CombinerBudget = budget
+		})
+		checkWC(t, got, refWordCount(lines))
+	}
+}
+
+func TestStreamingCompressionBoundsBucket(t *testing.T) {
+	// With a budget, peak memory must be lower than the delayed-compression
+	// default on all-distinct keys. A map-only job isolates the bucket: in
+	// delayed mode the full bucket is still resident while the drain fills
+	// the receive-side container; in streaming mode the bucket stays small.
+	lines := make([]string, 2048)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("unique-word-%04d another-%04d third-%04d", i, i+10000, i+20000)
+	}
+	peak := func(budget int64) int64 {
+		w := mpi.NewWorld(mpi.Config{Size: 2, Net: testNet()})
+		arena := mem.NewArena(0)
+		err := w.Run(func(c *mpi.Comm) error {
+			cfg := Config{Arena: arena, Combiner: wcCombine, CombinerBudget: budget,
+				CommBuf: 4 << 10, PageSize: 2 << 10}
+			var mine []Record
+			for i, l := range lines {
+				if i%2 == c.Rank() {
+					mine = append(mine, Record{Val: []byte(l)})
+				}
+			}
+			out, err := NewJob(c, cfg).Run(SliceInput(mine), wcMap, nil)
+			if err != nil {
+				return err
+			}
+			out.Free()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return arena.Peak()
+	}
+	delayed := peak(0)
+	streaming := peak(16 << 10)
+	if float64(streaming) >= 0.8*float64(delayed) {
+		t.Errorf("streaming cps peak %d not well below delayed %d", streaming, delayed)
+	}
+}
+
+func TestFailedJobLeavesArenaBalanced(t *testing.T) {
+	// A shared arena must return to its pre-job level after OOM failures,
+	// across all workflow variants.
+	for _, mod := range []func(*Config){
+		nil,
+		func(cfg *Config) { cfg.Combiner = wcCombine },
+		func(cfg *Config) { cfg.PartialReduce = wcCombine },
+	} {
+		arena := mem.NewArena(24 << 10)
+		w := mpi.NewWorld(mpi.Config{Size: 2, Net: testNet()})
+		lines := make([]string, 200)
+		for i := range lines {
+			lines[i] = fmt.Sprintf("word-%d word-%d word-%d filler filler", i, i*2, i*3)
+		}
+		err := w.Run(func(c *mpi.Comm) error {
+			cfg := Config{Arena: arena, CommBuf: 4 << 10, PageSize: 2 << 10}
+			if mod != nil {
+				mod(&cfg)
+			}
+			var mine []Record
+			for i, l := range lines {
+				if i%2 == c.Rank() {
+					mine = append(mine, Record{Val: []byte(l)})
+				}
+			}
+			out, err := NewJob(c, cfg).Run(SliceInput(mine), wcMap, wcReduce)
+			if err == nil {
+				out.Free()
+			}
+			return err
+		})
+		if !errors.Is(err, mem.ErrNoMemory) {
+			t.Fatalf("expected OOM, got %v", err)
+		}
+		if used := arena.Used(); used != 0 {
+			t.Errorf("arena used %d after failed job, want 0", used)
+		}
+	}
+}

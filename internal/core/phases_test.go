@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mimir/internal/mem"
+	"mimir/internal/mpi"
+	"mimir/internal/simtime"
+)
+
+func TestPhaseTimesBreakdown(t *testing.T) {
+	// With nonzero costs, every phase must report time and the breakdown
+	// must roughly cover the rank's total simulated time.
+	w := mpi.NewWorld(mpi.Config{Size: 2, Net: simtime.NetworkModel{Alpha: 1e-6, Beta: 1e8}})
+	arena := mem.NewArena(0)
+	costs := Costs{MapPerByte: 1e-6, KVPerByte: 1e-6, PerRecord: 1e-7, ReducePerByte: 1e-6}
+	lines := make([]Record, 32)
+	for i := range lines {
+		lines[i] = Record{Val: []byte(testText[i%len(testText)])}
+	}
+	phases := make([]PhaseTimes, 2)
+	times := make([]float64, 2)
+	err := w.Run(func(c *mpi.Comm) error {
+		out, err := NewJob(c, Config{Arena: arena, Costs: costs}).Run(SliceInput(lines), wcMap, wcReduce)
+		if err != nil {
+			return err
+		}
+		defer out.Free()
+		phases[c.Rank()] = out.Stats.Phases
+		times[c.Rank()] = c.Clock().Now()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, p := range phases {
+		if p.Map <= 0 || p.Aggregate <= 0 || p.Convert <= 0 || p.Reduce <= 0 {
+			t.Errorf("rank %d: phase missing time: %+v", r, p)
+		}
+		// The breakdown plus barrier overheads should account for the total.
+		if p.Total() > times[r] {
+			t.Errorf("rank %d: phases %.6f exceed total %.6f", r, p.Total(), times[r])
+		}
+		if p.Total() < 0.5*times[r] {
+			t.Errorf("rank %d: phases %.6f cover too little of total %.6f", r, p.Total(), times[r])
+		}
+	}
+}
+
+func TestPhaseTimesPartialReduce(t *testing.T) {
+	// With partial reduction there is no convert phase; reduce still
+	// reports the bucket-drain time.
+	w := mpi.NewWorld(mpi.Config{Size: 2, Net: simtime.NetworkModel{Alpha: 1e-6, Beta: 1e8}})
+	arena := mem.NewArena(0)
+	costs := Costs{MapPerByte: 1e-6, KVPerByte: 1e-6, PerRecord: 1e-7, ReducePerByte: 1e-6}
+	err := w.Run(func(c *mpi.Comm) error {
+		out, err := NewJob(c, Config{Arena: arena, Costs: costs, PartialReduce: wcCombine}).
+			Run(SliceInput([]Record{{Val: []byte(testText[c.Rank()])}}), wcMap, nil)
+		if err != nil {
+			return err
+		}
+		defer out.Free()
+		p := out.Stats.Phases
+		if p.Convert != 0 {
+			t.Errorf("convert time %v with partial reduction, want 0", p.Convert)
+		}
+		if p.Reduce <= 0 {
+			t.Errorf("reduce time %v, want > 0", p.Reduce)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhaseTimesZeroCosts(t *testing.T) {
+	// With zero costs and a near-free network the breakdown is ~zero but
+	// must not be negative or NaN.
+	got := runWC(t, 2, testText, nil)
+	if len(got) == 0 {
+		t.Fatal("no output")
+	}
+	// runWC already checks results; this test guards the arithmetic.
+	w := mpi.NewWorld(mpi.Config{Size: 1, Net: testNet()})
+	arena := mem.NewArena(0)
+	err := w.Run(func(c *mpi.Comm) error {
+		out, err := NewJob(c, Config{Arena: arena}).Run(SliceInput([]Record{{Val: []byte("a b")}}), wcMap, wcReduce)
+		if err != nil {
+			return err
+		}
+		defer out.Free()
+		p := out.Stats.Phases
+		for _, v := range []float64{p.Map, p.Aggregate, p.Convert, p.Reduce} {
+			if v < 0 || math.IsNaN(v) {
+				t.Errorf("bad phase time %v in %+v", v, p)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

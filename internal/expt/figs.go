@@ -1,0 +1,366 @@
+package expt
+
+import (
+	"fmt"
+
+	"mimir/internal/core"
+	"mimir/internal/kvbuf"
+	"mimir/internal/platform"
+	"mimir/internal/workloads"
+)
+
+// Seed used by all experiments (datasets are deterministic).
+const Seed = 42
+
+// paperPow2 converts a paper-scale 2^n count to the scaled count (2^(n-10)).
+func paperPow2(n int) int64 { return 1 << uint(n-10) }
+
+// All maps figure ids to their generators, in paper order.
+var All = []struct {
+	ID   string
+	Gen  func() []*Figure
+	Note string
+}{
+	{"fig1", Fig1, "MR-MPI single-node WordCount cliff"},
+	{"fig7", Fig7, "KV-hint size saving"},
+	{"fig8", Fig8, "Comet single node: Mimir vs MR-MPI"},
+	{"fig9", Fig9, "Mira single node: Mimir vs MR-MPI"},
+	{"fig10", Fig10, "Weak scalability of WC"},
+	{"fig11", Fig11, "KV compression on Comet"},
+	{"fig12", Fig12, "KV compression on Mira"},
+	{"fig13", Fig13, "Optimization ladder on Mira"},
+	{"fig14", Fig14, "Weak scalability of the ladder on Mira"},
+}
+
+// Fig1 reproduces Figure 1: single-node execution time of WordCount with
+// MR-MPI on Comet, 1G to 64G. Beyond the in-memory limit the time collapses
+// by orders of magnitude (the paper's "1000X degradation in performance").
+func Fig1() []*Figure {
+	f := &Figure{ID: "fig1", Title: "Single-node execution time of WordCount with MR-MPI on Comet", XLabel: "dataset size"}
+	plat := platform.Comet()
+	for _, label := range []string{"1G", "2G", "4G", "8G", "16G", "32G", "64G"} {
+		r := Run(Spec{
+			Plat: plat, Nodes: 1, Engine: MRMPI, MRMPIPage: plat.MaxPageSize,
+			Bench: WCUniform, SizeBytes: PaperSize(label), Seed: Seed,
+		})
+		f.Add("MR-MPI (512M)", label, r)
+	}
+	return []*Figure{f}
+}
+
+// Fig7 reproduces Figure 7: total KV bytes of WordCount over the Wikipedia
+// dataset with and without the KV-hint (value length fixed at 8 bytes, key a
+// NUL-terminated string). The paper measures ~26% savings.
+func Fig7() []*Figure {
+	f := &Figure{ID: "fig7", Title: "KV size of WordCount with Wikipedia dataset", XLabel: "dataset size",
+		NoTime: true, MemLabel: "KV size (GB)"}
+	for _, label := range []string{"8G", "16G", "32G"} {
+		def, hinted := kvSizes(PaperSize(label))
+		f.AddRaw(Point{Series: "without KV-hint", X: label, PeakGB: BytesToPaperGB(def)})
+		f.AddRaw(Point{Series: "with KV-hint", X: label, PeakGB: BytesToPaperGB(hinted)})
+	}
+	return []*Figure{f}
+}
+
+// kvSizes computes the encoded KV bytes of the WC (Wikipedia) map output
+// under the default and hinted encodings.
+func kvSizes(totalBytes int64) (def, hinted int64) {
+	defHint := kvbuf.DefaultHint()
+	wcHint := workloads.WCHint()
+	val := make([]byte, 8)
+	in := workloads.TextInput(nil, nil, workloads.Wikipedia, Seed, totalBytes, 0, 1)
+	_ = in(func(rec core.Record) error {
+		data := rec.Val
+		start := -1
+		for i := 0; i <= len(data); i++ {
+			if i < len(data) && data[i] != ' ' {
+				if start < 0 {
+					start = i
+				}
+				continue
+			}
+			if start >= 0 {
+				word := data[start:i]
+				def += int64(defHint.EncodedSize(word, val))
+				hinted += int64(wcHint.EncodedSize(word, val))
+				start = -1
+			}
+		}
+		return nil
+	})
+	return def, hinted
+}
+
+// comparison sweeps shared by Figures 8, 9, 11, 12, 13.
+type sweep struct {
+	bench  Bench
+	labels []string          // row labels (paper scale)
+	size   func(string) Spec // fills the size fields from a label
+}
+
+func wcSweep(bench Bench, labels []string) sweep {
+	return sweep{bench: bench, labels: labels, size: func(label string) Spec {
+		return Spec{Bench: bench, SizeBytes: PaperSize(label)}
+	}}
+}
+
+func ocSweep(lo, hi int) sweep {
+	var labels []string
+	for n := lo; n <= hi; n++ {
+		labels = append(labels, Pow2Label(n))
+	}
+	return sweep{bench: OC, labels: labels, size: func(label string) Spec {
+		var n int
+		fmt.Sscanf(label, "2^%d", &n)
+		return Spec{Bench: OC, Points: paperPow2(n)}
+	}}
+}
+
+func bfsSweep(lo, hi int) sweep {
+	var labels []string
+	for n := lo; n <= hi; n++ {
+		labels = append(labels, Pow2Label(n))
+	}
+	return sweep{bench: BFS, labels: labels, size: func(label string) Spec {
+		var n int
+		fmt.Sscanf(label, "2^%d", &n)
+		return Spec{Bench: BFS, Scale: n - 10}
+	}}
+}
+
+// variant is one line of a comparison figure.
+type variant struct {
+	name string
+	set  func(*Spec)
+}
+
+// runComparison produces one figure panel: each variant swept over the rows.
+func runComparison(id, title, xlabel string, plat *platform.Platform, sw sweep, variants []variant) *Figure {
+	f := &Figure{ID: id, Title: title, XLabel: xlabel}
+	for _, label := range sw.labels {
+		for _, v := range variants {
+			spec := sw.size(label)
+			spec.Plat = plat
+			spec.Nodes = 1
+			spec.Seed = Seed
+			v.set(&spec)
+			f.Add(v.name, label, Run(spec))
+		}
+	}
+	return f
+}
+
+func mimirV() variant {
+	return variant{"Mimir", func(s *Spec) { s.Engine = Mimir }}
+}
+
+func mrmpiV(name string, page int) variant {
+	return variant{name, func(s *Spec) { s.Engine = MRMPI; s.MRMPIPage = page }}
+}
+
+// Fig8 reproduces Figure 8: peak memory usage and execution times of the
+// three benchmarks on one Comet node, Mimir vs MR-MPI with 64 MB and 512 MB
+// pages.
+func Fig8() []*Figure {
+	plat := platform.Comet()
+	variants := []variant{
+		mimirV(),
+		mrmpiV("MR-MPI (64M)", plat.PageSize),
+		mrmpiV("MR-MPI (512M)", plat.MaxPageSize),
+	}
+	return []*Figure{
+		runComparison("fig8a", "WC (Uniform), one Comet node", "dataset size", plat,
+			wcSweep(WCUniform, []string{"256M", "512M", "1G", "2G", "4G", "8G", "16G"}), variants),
+		runComparison("fig8b", "WC (Wikipedia), one Comet node", "dataset size", plat,
+			wcSweep(WCWikipedia, []string{"256M", "512M", "1G", "2G", "4G", "8G", "16G"}), variants),
+		runComparison("fig8c", "OC, one Comet node", "number of points", plat,
+			ocSweep(24, 30), variants),
+		runComparison("fig8d", "BFS, one Comet node", "number of vertices", plat,
+			bfsSweep(19, 26), variants),
+	}
+}
+
+// Fig9 reproduces Figure 9: the same comparison on one Mira node (64 MB and
+// 128 MB MR-MPI pages).
+func Fig9() []*Figure {
+	plat := platform.Mira()
+	variants := []variant{
+		mimirV(),
+		mrmpiV("MR-MPI (64M)", plat.PageSize),
+		mrmpiV("MR-MPI (128M)", plat.MaxPageSize),
+	}
+	wcLabels := []string{"64M", "128M", "256M", "512M", "1G", "2G"}
+	return []*Figure{
+		runComparison("fig9a", "WC (Uniform), one Mira node", "dataset size", plat,
+			wcSweep(WCUniform, wcLabels), variants),
+		runComparison("fig9b", "WC (Wikipedia), one Mira node", "dataset size", plat,
+			wcSweep(WCWikipedia, wcLabels), variants),
+		runComparison("fig9c", "OC, one Mira node", "number of points", plat,
+			ocSweep(22, 27), variants),
+		runComparison("fig9d", "BFS, one Mira node", "number of vertices", plat,
+			bfsSweep(18, 22), variants),
+	}
+}
+
+// weakScaling runs one weak-scaling panel: per-node size fixed, node count
+// swept.
+func weakScaling(id, title string, plat *platform.Platform, bench Bench, perNode Spec,
+	nodes []int, ranksPerNode int, variants []variant) *Figure {
+	f := &Figure{ID: id, Title: title, XLabel: "number of nodes"}
+	for _, n := range nodes {
+		for _, v := range variants {
+			spec := perNode
+			spec.Plat = plat
+			spec.Bench = bench
+			spec.Nodes = n
+			spec.RanksPerNode = ranksPerNode
+			spec.Seed = Seed
+			// Scale the per-node quantity to the job total.
+			spec.SizeBytes *= int64(n)
+			spec.Points *= int64(n)
+			if spec.Scale > 0 {
+				spec.Scale += log2int(n)
+			}
+			v.set(&spec)
+			f.Add(v.name, fmt.Sprint(n), Run(spec))
+		}
+	}
+	return f
+}
+
+func log2int(n int) int {
+	k := 0
+	for 1<<uint(k+1) <= n {
+		k++
+	}
+	return k
+}
+
+// Fig10 reproduces Figure 10: weak scalability of WordCount, 512 MB/node on
+// Comet and 256 MB/node on Mira, 2..64 nodes.
+func Fig10() []*Figure {
+	comet := platform.Comet()
+	mira := platform.Mira()
+	nodes := []int{2, 4, 8, 16, 32, 64}
+	cometV := []variant{mimirV(), mrmpiV("MR-MPI (64M)", comet.PageSize), mrmpiV("MR-MPI (512M)", comet.MaxPageSize)}
+	miraV := []variant{mimirV(), mrmpiV("MR-MPI (64M)", mira.PageSize), mrmpiV("MR-MPI (128M)", mira.MaxPageSize)}
+	// MR-MPI's spill threshold is per rank (page size vs per-rank KV bytes),
+	// so the weak-scaling runs keep the platforms' true ranks-per-node: up
+	// to 1,536 in-process ranks on "64 Comet nodes".
+	return []*Figure{
+		weakScaling("fig10a", "WC (Uniform, 512M/node, Comet)", comet, WCUniform,
+			Spec{SizeBytes: PaperSize("512M")}, nodes, comet.CoresPerNode, cometV),
+		weakScaling("fig10b", "WC (Wikipedia, 512M/node, Comet)", comet, WCWikipedia,
+			Spec{SizeBytes: PaperSize("512M")}, nodes, comet.CoresPerNode, cometV),
+		weakScaling("fig10c", "WC (Uniform, 256M/node, Mira)", mira, WCUniform,
+			Spec{SizeBytes: PaperSize("256M")}, nodes, mira.CoresPerNode, miraV),
+		weakScaling("fig10d", "WC (Wikipedia, 256M/node, Mira)", mira, WCWikipedia,
+			Spec{SizeBytes: PaperSize("256M")}, nodes, mira.CoresPerNode, miraV),
+	}
+}
+
+// Fig11 reproduces Figure 11: the KV compression optimization on one Comet
+// node — Mimir with and without cps vs MR-MPI (512 MB pages) with and
+// without cps, on larger sweeps than Figure 8.
+func Fig11() []*Figure {
+	plat := platform.Comet()
+	variants := []variant{
+		mimirV(),
+		{"Mimir (cps)", func(s *Spec) { s.Engine = Mimir; s.CPS = true }},
+		mrmpiV("MR-MPI", plat.MaxPageSize),
+		{"MR-MPI (cps)", func(s *Spec) { s.Engine = MRMPI; s.MRMPIPage = plat.MaxPageSize; s.CPS = true }},
+	}
+	wcLabels := []string{"512M", "1G", "2G", "4G", "8G", "16G", "32G", "64G"}
+	return []*Figure{
+		runComparison("fig11a", "KV compression: WC (Uniform), one Comet node", "dataset size", plat,
+			wcSweep(WCUniform, wcLabels), variants),
+		runComparison("fig11b", "KV compression: WC (Wikipedia), one Comet node", "dataset size", plat,
+			wcSweep(WCWikipedia, wcLabels), variants),
+		runComparison("fig11c", "KV compression: OC, one Comet node", "number of points", plat,
+			ocSweep(25, 32), variants),
+		runComparison("fig11d", "KV compression: BFS, one Comet node", "number of vertices", plat,
+			bfsSweep(20, 26), variants),
+	}
+}
+
+// Fig12 reproduces Figure 12: KV compression on one Mira node. Per the
+// paper, MR-MPI uses its largest feasible page: 128 MB for WC and 64 MB for
+// OC and BFS.
+func Fig12() []*Figure {
+	plat := platform.Mira()
+	varsFor := func(page int) []variant {
+		return []variant{
+			mimirV(),
+			{"Mimir (cps)", func(s *Spec) { s.Engine = Mimir; s.CPS = true }},
+			mrmpiV("MR-MPI", page),
+			{"MR-MPI (cps)", func(s *Spec) { s.Engine = MRMPI; s.MRMPIPage = page; s.CPS = true }},
+		}
+	}
+	wcLabels := []string{"256M", "512M", "1G", "2G", "4G", "8G"}
+	return []*Figure{
+		runComparison("fig12a", "KV compression: WC (Uniform), one Mira node", "dataset size", plat,
+			wcSweep(WCUniform, wcLabels), varsFor(plat.MaxPageSize)),
+		runComparison("fig12b", "KV compression: WC (Wikipedia), one Mira node", "dataset size", plat,
+			wcSweep(WCWikipedia, wcLabels), varsFor(plat.MaxPageSize)),
+		runComparison("fig12c", "KV compression: OC, one Mira node", "number of points", plat,
+			ocSweep(24, 29), varsFor(plat.PageSize)),
+		runComparison("fig12d", "KV compression: BFS, one Mira node", "number of vertices", plat,
+			bfsSweep(18, 23), varsFor(plat.PageSize)),
+	}
+}
+
+// ladder returns the paper's optimization ladder for Figure 13/14. BFS does
+// not support partial reduction (map-only), matching the paper.
+func ladder(bench Bench) []variant {
+	if bench == BFS {
+		return []variant{
+			mimirV(),
+			{"Mimir (hint)", func(s *Spec) { s.Engine = Mimir; s.Hint = true }},
+			{"Mimir (hint;cps)", func(s *Spec) { s.Engine = Mimir; s.Hint = true; s.CPS = true }},
+		}
+	}
+	return []variant{
+		mimirV(),
+		{"Mimir (hint)", func(s *Spec) { s.Engine = Mimir; s.Hint = true }},
+		{"Mimir (hint;pr)", func(s *Spec) { s.Engine = Mimir; s.Hint = true; s.PR = true }},
+		{"Mimir (hint;pr;cps)", func(s *Spec) { s.Engine = Mimir; s.Hint = true; s.PR = true; s.CPS = true }},
+	}
+}
+
+// Fig13 reproduces Figure 13: the effect of stacking hint, pr, and cps on
+// one Mira node.
+func Fig13() []*Figure {
+	plat := platform.Mira()
+	wcLabels := []string{"256M", "512M", "1G", "2G", "4G", "8G"}
+	return []*Figure{
+		runComparison("fig13a", "Optimizations: WC (Uniform), one Mira node", "dataset size", plat,
+			wcSweep(WCUniform, wcLabels), ladder(WCUniform)),
+		runComparison("fig13b", "Optimizations: WC (Wikipedia), one Mira node", "dataset size", plat,
+			wcSweep(WCWikipedia, wcLabels), ladder(WCWikipedia)),
+		runComparison("fig13c", "Optimizations: OC, one Mira node", "number of points", plat,
+			ocSweep(24, 29), ladder(OC)),
+		runComparison("fig13d", "Optimizations: BFS, one Mira node", "number of vertices", plat,
+			bfsSweep(18, 23), ladder(BFS)),
+	}
+}
+
+// Fig14 reproduces Figure 14: weak scalability of the optimization ladder on
+// Mira. The paper runs to 1,024 nodes; this in-process reproduction sweeps
+// 2..128 nodes (the paper's WC (Wikipedia) panel also stops at 128), with 4
+// ranks per node for tractability — node-level memory ratios, which decide
+// where each ladder rung runs out of memory, are preserved.
+func Fig14() []*Figure {
+	plat := platform.Mira()
+	nodes := []int{2, 4, 8, 16, 32, 64, 128}
+	const rpn = 4
+	return []*Figure{
+		weakScaling("fig14a", "Ladder weak scaling: WC (Uniform, 2G/node, Mira)", plat, WCUniform,
+			Spec{SizeBytes: PaperSize("2G")}, nodes, rpn, ladder(WCUniform)),
+		weakScaling("fig14b", "Ladder weak scaling: WC (Wikipedia, 2G/node, Mira)", plat, WCWikipedia,
+			Spec{SizeBytes: PaperSize("2G")}, nodes, rpn, ladder(WCWikipedia)),
+		weakScaling("fig14c", "Ladder weak scaling: OC (2^27 points/node, Mira)", plat, OC,
+			Spec{Points: paperPow2(27)}, nodes, rpn, ladder(OC)),
+		weakScaling("fig14d", "Ladder weak scaling: BFS (2^22 vertices/node, Mira)", plat, BFS,
+			Spec{Scale: 12}, nodes, rpn, ladder(BFS)),
+	}
+}

@@ -1,0 +1,65 @@
+package expt
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+)
+
+// jsonPoint is the wire form of a Point; NaN times (failed runs) are
+// encoded as null, which encoding/json cannot do for float64 directly.
+type jsonPoint struct {
+	Series string   `json:"series"`
+	X      string   `json:"x"`
+	Time   *float64 `json:"time_sec"`
+	PeakGB *float64 `json:"peak_gb"`
+	Note   string   `json:"note,omitempty"`
+}
+
+type jsonFigure struct {
+	ID     string      `json:"id"`
+	Title  string      `json:"title"`
+	XLabel string      `json:"x_label"`
+	Points []jsonPoint `json:"points"`
+}
+
+// WriteJSON emits the figure as one JSON document.
+func (f *Figure) WriteJSON(w io.Writer) error {
+	out := jsonFigure{ID: f.ID, Title: f.Title, XLabel: f.XLabel}
+	for _, p := range f.Points {
+		jp := jsonPoint{Series: p.Series, X: p.X, Note: p.Note}
+		if !math.IsNaN(p.Time) {
+			t := p.Time
+			jp.Time = &t
+		}
+		if p.PeakGB > 0 {
+			g := p.PeakGB
+			jp.PeakGB = &g
+		}
+		out.Points = append(out.Points, jp)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSONFigure parses a figure written by WriteJSON (used by downstream
+// tooling and the round-trip tests).
+func ReadJSONFigure(r io.Reader) (*Figure, error) {
+	var in jsonFigure
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, err
+	}
+	f := &Figure{ID: in.ID, Title: in.Title, XLabel: in.XLabel}
+	for _, jp := range in.Points {
+		p := Point{Series: jp.Series, X: jp.X, Note: jp.Note, Time: math.NaN()}
+		if jp.Time != nil {
+			p.Time = *jp.Time
+		}
+		if jp.PeakGB != nil {
+			p.PeakGB = *jp.PeakGB
+		}
+		f.Points = append(f.Points, p)
+	}
+	return f, nil
+}

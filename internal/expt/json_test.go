@@ -1,0 +1,113 @@
+package expt
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleFigure() *Figure {
+	f := &Figure{ID: "figX", Title: "sample", XLabel: "n"}
+	f.Add("A", "1", Result{Time: 1.5, PeakPerProc: 2 << 20})
+	f.Add("A", "2", Result{Time: 3.25, PeakPerProc: 4 << 20, SpilledBytes: 7})
+	f.Add("B", "1", Result{Time: math.NaN(), Err: errFake})
+	return f
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	f := sampleFigure()
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONFigure(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != f.ID || got.Title != f.Title || got.XLabel != f.XLabel {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if len(got.Points) != len(f.Points) {
+		t.Fatalf("points = %d, want %d", len(got.Points), len(f.Points))
+	}
+	for i := range f.Points {
+		a, b := f.Points[i], got.Points[i]
+		if a.Series != b.Series || a.X != b.X || a.Note != b.Note {
+			t.Errorf("point %d: %+v != %+v", i, a, b)
+		}
+		if math.IsNaN(a.Time) != math.IsNaN(b.Time) {
+			t.Errorf("point %d NaN mismatch", i)
+		}
+		if !math.IsNaN(a.Time) && a.Time != b.Time {
+			t.Errorf("point %d time %v != %v", i, a.Time, b.Time)
+		}
+	}
+}
+
+func TestJSONEncodesFailuresAsNull(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleFigure().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, `"time_sec": null`) {
+		t.Errorf("OOM point not null:\n%s", s)
+	}
+	if !strings.Contains(s, `"note": "OOM"`) || !strings.Contains(s, `"note": "spill"`) {
+		t.Errorf("notes missing:\n%s", s)
+	}
+}
+
+// Property: WriteJSON/ReadJSONFigure round-trips arbitrary well-formed
+// figures.
+func TestJSONRoundTripProperty(t *testing.T) {
+	f := func(ids []uint8, times []float64) bool {
+		fig := &Figure{ID: "p", Title: "t", XLabel: "x"}
+		for i, id := range ids {
+			tm := 1.0
+			if i < len(times) && !math.IsNaN(times[i]) && !math.IsInf(times[i], 0) {
+				tm = math.Abs(math.Mod(times[i], 1e6))
+			}
+			fig.AddRaw(Point{Series: string(rune('A' + id%4)), X: string(rune('0' + id%8)), Time: tm, PeakGB: float64(id)})
+		}
+		var buf bytes.Buffer
+		if err := fig.WriteJSON(&buf); err != nil {
+			return false
+		}
+		got, err := ReadJSONFigure(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Points) != len(fig.Points) {
+			return false
+		}
+		for i := range fig.Points {
+			if got.Points[i] != fig.Points[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRenderGolden(t *testing.T) {
+	var sb strings.Builder
+	sampleFigure().Render(&sb)
+	want := "== FIGX: sample ==\n" +
+		"-- execution time (s) --\n" +
+		"n                               A                  B\n" +
+		"1                             1.5                OOM\n" +
+		"2                           (3.2)                  -\n" +
+		"-- peak memory per process (GB) --\n" +
+		"n                               A                  B\n" +
+		"1                            2.00                OOM\n" +
+		"2                            4.00                  -\n\n"
+	if sb.String() != want {
+		t.Errorf("render mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}

@@ -1,0 +1,221 @@
+// Package expt is the experiment harness that regenerates every figure of
+// the paper's evaluation (Section IV). Each figure function returns a
+// Figure whose rows mirror the paper's x-axis sweep and whose series mirror
+// the paper's lines; cmd/mimir-bench prints them and bench_test.go exposes
+// one testing.B benchmark per figure.
+//
+// Scaling: all sizes are 1024x smaller than the paper's (see
+// internal/platform); row labels keep the paper-scale names, so the row
+// labeled "1G" runs a 1 MiB dataset against a 128 MiB "128 GB" node.
+package expt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"mimir/internal/mem"
+	"mimir/internal/mpi"
+	"mimir/internal/mrmpi"
+	"mimir/internal/pfs"
+	"mimir/internal/platform"
+	"mimir/internal/workloads"
+)
+
+// EngineKind selects the MapReduce engine.
+type EngineKind int
+
+// Engines under comparison.
+const (
+	Mimir EngineKind = iota
+	MRMPI
+)
+
+// Bench selects one of the paper's benchmarks.
+type Bench int
+
+// The paper's three benchmarks (WordCount appears with two datasets).
+const (
+	WCUniform Bench = iota
+	WCWikipedia
+	OC
+	BFS
+)
+
+// String names the benchmark as the paper does.
+func (b Bench) String() string {
+	switch b {
+	case WCUniform:
+		return "WC (Uniform)"
+	case WCWikipedia:
+		return "WC (Wikipedia)"
+	case OC:
+		return "OC"
+	case BFS:
+		return "BFS"
+	}
+	return fmt.Sprintf("Bench(%d)", int(b))
+}
+
+// Spec describes one experimental run (one point of one figure).
+type Spec struct {
+	Plat  *platform.Platform
+	Nodes int
+	// RanksPerNode overrides the platform's core count; the multi-node
+	// weak-scaling figures use fewer ranks per node to keep the in-process
+	// rank count tractable (node-level memory ratios are unaffected).
+	RanksPerNode int
+	Engine       EngineKind
+	// MRMPIPage sets the MR-MPI page size (default: the platform page size).
+	MRMPIPage int
+	// Optimizations (Mimir honors all three; MR-MPI only CPS).
+	Hint, PR, CPS bool
+
+	Bench Bench
+	// WC: total dataset bytes (scaled). OC: total points. BFS: graph scale.
+	SizeBytes int64
+	Points    int64
+	Scale     int
+	Seed      uint64
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	// Time is the simulated job execution time in seconds (max over ranks),
+	// including reading the input from the parallel file system.
+	Time float64
+	// PeakPerProc is the peak memory per process in scaled bytes: the
+	// busiest node's arena high-water mark divided by its ranks (how the
+	// paper reports "peak memory usage").
+	PeakPerProc int64
+	// SpilledBytes counts MR-MPI out-of-core traffic (0 for Mimir).
+	SpilledBytes int64
+	// Err is non-nil if the run failed (typically out of memory).
+	Err error
+}
+
+// InMemory reports whether the run completed without touching the I/O
+// subsystem — the paper's criterion for a valid performance point.
+func (r Result) InMemory() bool { return r.Err == nil && r.SpilledBytes == 0 }
+
+// Failed reports whether the run could not complete at all.
+func (r Result) Failed() bool { return r.Err != nil }
+
+// Run executes one spec and gathers metrics.
+func Run(spec Spec) Result {
+	plat := spec.Plat
+	rpn := spec.RanksPerNode
+	if rpn <= 0 {
+		rpn = plat.CoresPerNode
+	}
+	p := spec.Nodes * rpn
+	world := mpi.NewWorld(mpi.Config{Size: p, Net: plat.Net})
+
+	// One memory arena per node; the node's memory is shared by its ranks.
+	// Per-process budget scales with ranks per node so that reducing the
+	// rank count (for tractability) does not inflate per-node memory.
+	nodeMem := plat.NodeMemory
+	arenas := make([]*mem.Arena, spec.Nodes)
+	for i := range arenas {
+		arenas[i] = mem.NewArena(nodeMem)
+	}
+	inputFS := plat.InputFSFor(spec.Nodes)
+	spillFS := plat.SpillFSFor(spec.Nodes)
+	costs := plat.Costs()
+
+	opts := workloads.StageOpts{}
+	if spec.Hint {
+		switch spec.Bench {
+		case WCUniform, WCWikipedia:
+			opts.Hint = workloads.WCHint()
+		case OC:
+			opts.Hint = workloads.OCHint()
+		case BFS:
+			opts.Hint = workloads.BFSHint()
+		}
+	}
+	if spec.PR {
+		// BFS is map-only: partial reduction does not apply (paper IV-D).
+		if spec.Bench != BFS {
+			opts.PartialReduce = workloads.WordCountCombine
+		}
+	}
+	if spec.CPS {
+		if spec.Bench == BFS {
+			opts.Combiner = workloads.BFSCombine
+		} else {
+			opts.Combiner = workloads.WordCountCombine
+		}
+	}
+
+	var mu sync.Mutex
+	var res Result
+	err := world.Run(func(c *mpi.Comm) error {
+		arena := arenas[c.Rank()/rpn]
+		var eng workloads.Engine
+		switch spec.Engine {
+		case Mimir:
+			me := workloads.NewMimirEngine(c, arena)
+			me.PageSize = plat.PageSize
+			me.CommBuf = plat.PageSize
+			me.Costs = costs
+			eng = me
+		case MRMPI:
+			mre := workloads.NewMRMPIEngine(c, arena, spillFS)
+			mre.PageSize = spec.MRMPIPage
+			if mre.PageSize <= 0 {
+				mre.PageSize = plat.PageSize
+			}
+			mre.Mode = mrmpi.SpillWhenNeeded
+			mre.Costs = costs
+			eng = mre
+		}
+		stats, err := runBench(eng, inputFS, spec, opts)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		res.SpilledBytes += stats.SpilledBytes
+		mu.Unlock()
+		return nil
+	})
+	res.Time = world.MaxTime()
+	if err != nil {
+		res.Err = err
+		res.Time = math.NaN()
+	}
+	var maxPeak int64
+	for _, a := range arenas {
+		if a.Peak() > maxPeak {
+			maxPeak = a.Peak()
+		}
+	}
+	res.PeakPerProc = maxPeak / int64(rpn)
+	return res
+}
+
+func runBench(eng workloads.Engine, fs *pfs.FS, spec Spec, opts workloads.StageOpts) (workloads.StageStats, error) {
+	switch spec.Bench {
+	case WCUniform, WCWikipedia:
+		dist := workloads.Uniform
+		if spec.Bench == WCWikipedia {
+			dist = workloads.Wikipedia
+		}
+		r, err := workloads.RunWordCount(eng, fs, workloads.WCConfig{
+			Dist: dist, TotalBytes: spec.SizeBytes, Seed: spec.Seed,
+		}, opts)
+		return r.Stats, err
+	case OC:
+		r, err := workloads.RunOctree(eng, fs, workloads.OCConfig{
+			TotalPoints: spec.Points, Seed: spec.Seed,
+		}, opts)
+		return r.Stats, err
+	case BFS:
+		r, err := workloads.RunBFS(eng, fs, workloads.BFSConfig{
+			Scale: spec.Scale, Seed: spec.Seed,
+		}, opts)
+		return r.Stats, err
+	}
+	return workloads.StageStats{}, errors.New("expt: unknown benchmark")
+}

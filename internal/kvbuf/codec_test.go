@@ -1,0 +1,215 @@
+package kvbuf
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodedSizeDefaultHeader(t *testing.T) {
+	// The paper: "we add an eight-byte header (two integers), containing the
+	// lengths of the key and value, before the actual data of the KV."
+	h := DefaultHint()
+	if got := h.EncodedSize([]byte("word"), []byte("12345678")); got != 8+4+8 {
+		t.Errorf("EncodedSize = %d, want 20 (8-byte header + data)", got)
+	}
+}
+
+func TestEncodedSizeWithHints(t *testing.T) {
+	// WordCount's hint: key is a NUL-free string, value a fixed 8-byte count.
+	h := Hint{Key: StrZ(), Val: Fixed(8)}
+	if got := h.EncodedSize([]byte("word"), []byte("12345678")); got != 5+8 {
+		t.Errorf("EncodedSize = %d, want 13 (strz key + fixed value, no headers)", got)
+	}
+	// Fully fixed graph KV: 8-byte vertex, 8-byte parent.
+	h2 := Hint{Key: Fixed(8), Val: Fixed(8)}
+	if got := h2.EncodedSize(make([]byte, 8), make([]byte, 8)); got != 16 {
+		t.Errorf("EncodedSize = %d, want 16", got)
+	}
+}
+
+func roundTrip(t *testing.T, h Hint, k, v []byte) {
+	t.Helper()
+	enc, err := h.Encode(nil, k, v)
+	if err != nil {
+		t.Fatalf("Encode(%q,%q): %v", k, v, err)
+	}
+	if len(enc) != h.EncodedSize(k, v) {
+		t.Fatalf("encoded %d bytes, EncodedSize says %d", len(enc), h.EncodedSize(k, v))
+	}
+	gk, gv, n, err := h.Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if n != len(enc) {
+		t.Fatalf("Decode consumed %d of %d", n, len(enc))
+	}
+	if !bytes.Equal(gk, k) || !bytes.Equal(gv, v) {
+		t.Fatalf("round trip (%q,%q) -> (%q,%q)", k, v, gk, gv)
+	}
+}
+
+func TestRoundTripAllModes(t *testing.T) {
+	hints := []Hint{
+		DefaultHint(),
+		{Key: StrZ(), Val: Varlen()},
+		{Key: StrZ(), Val: Fixed(8)},
+		{Key: Fixed(3), Val: Fixed(8)},
+		{Key: Varlen(), Val: StrZ()},
+		{Key: StrZ(), Val: StrZ()},
+		{Key: Fixed(3), Val: Varlen()},
+	}
+	for _, h := range hints {
+		k := []byte("abc")
+		v := []byte("12345678")
+		if h.Val.kind == kindStrZ || h.Val.IsVarlen() {
+			v = []byte("hello")
+		}
+		if h.Val.kind == kindFixed {
+			v = []byte("12345678")
+		}
+		roundTrip(t, h, k, v)
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	roundTrip(t, DefaultHint(), []byte{}, []byte{})
+	roundTrip(t, Hint{Key: StrZ(), Val: StrZ()}, []byte{}, []byte{})
+}
+
+func TestHintViolations(t *testing.T) {
+	h := Hint{Key: StrZ(), Val: Fixed(4)}
+	if _, err := h.Encode(nil, []byte("a\x00b"), []byte("1234")); err == nil {
+		t.Error("Encode accepted NUL inside a strz key")
+	}
+	if _, err := h.Encode(nil, []byte("ok"), []byte("123")); err == nil {
+		t.Error("Encode accepted wrong-length fixed value")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	h := DefaultHint()
+	enc, err := h.Encode(nil, []byte("key"), []byte("value"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, _, err := h.Decode(enc[:cut]); err == nil {
+			t.Errorf("Decode of %d/%d bytes succeeded", cut, len(enc))
+		}
+	}
+}
+
+func TestDecodeUnterminatedStrz(t *testing.T) {
+	h := Hint{Key: StrZ(), Val: StrZ()}
+	if _, _, _, err := h.Decode([]byte("no-nul-here")); err == nil ||
+		!strings.Contains(err.Error(), "unterminated") {
+		t.Errorf("Decode unterminated = %v", err)
+	}
+}
+
+func TestFixedZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Fixed(0) did not panic")
+		}
+	}()
+	Fixed(0)
+}
+
+func TestLenModeString(t *testing.T) {
+	if Varlen().String() != "varlen" || Fixed(8).String() != "fixed(8)" || StrZ().String() != "strz" {
+		t.Error("LenMode.String mismatch")
+	}
+}
+
+// Property: round trip under every hint mode combination for random data.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(k, v []byte, mode uint8) bool {
+		var h Hint
+		switch mode % 4 {
+		case 0:
+			h = DefaultHint()
+		case 1:
+			h = Hint{Key: StrZ(), Val: Varlen()}
+			k = bytes.ReplaceAll(k, []byte{0}, []byte{1})
+		case 2:
+			h = Hint{Key: Varlen(), Val: StrZ()}
+			v = bytes.ReplaceAll(v, []byte{0}, []byte{1})
+		case 3:
+			if len(k) == 0 {
+				k = []byte{42}
+			}
+			h = Hint{Key: Fixed(len(k)), Val: Varlen()}
+		}
+		enc, err := h.Encode(nil, k, v)
+		if err != nil {
+			return false
+		}
+		gk, gv, n, err := h.Decode(enc)
+		return err == nil && n == len(enc) && bytes.Equal(gk, k) && bytes.Equal(gv, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decoding a concatenated stream recovers each KV in order.
+func TestStreamDecodeProperty(t *testing.T) {
+	f := func(pairs [][2][]byte) bool {
+		h := DefaultHint()
+		var stream []byte
+		for _, p := range pairs {
+			var err error
+			stream, err = h.Encode(stream, p[0], p[1])
+			if err != nil {
+				return false
+			}
+		}
+		i, pos := 0, 0
+		for pos < len(stream) {
+			k, v, n, err := h.Decode(stream[pos:])
+			if err != nil || i >= len(pairs) {
+				return false
+			}
+			if !bytes.Equal(k, pairs[i][0]) || !bytes.Equal(v, pairs[i][1]) {
+				return false
+			}
+			pos += n
+			i++
+		}
+		return i == len(pairs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashKeyStability(t *testing.T) {
+	// FNV-1a 64 known-answer test.
+	if got := HashKey(nil); got != 14695981039346656037 {
+		t.Errorf("HashKey(nil) = %d", got)
+	}
+	if got := HashKey([]byte("a")); got != 12638187200555641996 {
+		t.Errorf("HashKey(a) = %d", got)
+	}
+	if HashKey([]byte("ab")) == HashKey([]byte("ba")) {
+		t.Error("suspicious collision")
+	}
+}
+
+func TestEncodeHeaderLayout(t *testing.T) {
+	h := DefaultHint()
+	enc, err := h.Encode(nil, []byte("k"), []byte("vv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binary.LittleEndian.Uint32(enc[0:]) != 1 || binary.LittleEndian.Uint32(enc[4:]) != 2 {
+		t.Errorf("header = % x, want klen=1 vlen=2", enc[:8])
+	}
+	if string(enc[8:]) != "kvv" {
+		t.Errorf("payload = %q", enc[8:])
+	}
+}

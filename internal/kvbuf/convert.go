@@ -1,0 +1,78 @@
+package kvbuf
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mimir/internal/mem"
+)
+
+// Convert turns a KV container into a KMV container with the paper's
+// two-pass algorithm (Section III-A):
+//
+//	pass 1: scan the KVs, gathering per-unique-key value count and total
+//	        value bytes in a hash bucket, then reserve every KMV record at
+//	        its exact final size and position;
+//	pass 2: scan the KVs again, scattering each value into its record.
+//
+// The input container is drained during pass 2, releasing its pages as they
+// are consumed, so peak memory is (input + index) during pass 1 and roughly
+// max(input, output) + index during pass 2 — never input + output + slack
+// as in MR-MPI's static page model.
+func Convert(in *KVC, arena *mem.Arena, pageSize int, hint Hint) (*KMVC, error) {
+	// Pass 1: per-key statistics in a hash bucket. Values are fixed 12-byte
+	// records: [count uint32][valBytes uint32][recID uint32].
+	idx, err := NewBucket(arena, pageSize)
+	if err != nil {
+		return nil, err
+	}
+	defer idx.Free()
+
+	var stat [12]byte
+	err = in.Scan(func(k, v []byte) error {
+		binary.LittleEndian.PutUint32(stat[0:], 1)
+		binary.LittleEndian.PutUint32(stat[4:], uint32(len(v)))
+		binary.LittleEndian.PutUint32(stat[8:], 0)
+		return idx.Upsert(k, stat[:], func(existing, incoming []byte) ([]byte, error) {
+			count := binary.LittleEndian.Uint32(existing[0:]) + 1
+			vb := binary.LittleEndian.Uint32(existing[4:]) + binary.LittleEndian.Uint32(incoming[4:])
+			binary.LittleEndian.PutUint32(existing[0:], count)
+			binary.LittleEndian.PutUint32(existing[4:], vb)
+			return existing, nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Reserve all records in first-appearance order (deterministic output).
+	out := NewKMVC(arena, pageSize, hint)
+	err = idx.Scan(func(k, v []byte) error {
+		count := int(binary.LittleEndian.Uint32(v[0:]))
+		valBytes := int(binary.LittleEndian.Uint32(v[4:]))
+		id, err := out.NewRecord(k, count, valBytes)
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(v[8:], uint32(id))
+		return nil
+	})
+	if err != nil {
+		out.Free()
+		return nil, err
+	}
+
+	// Pass 2: scatter values; drain the input as its pages are consumed.
+	err = in.Drain(func(k, v []byte) error {
+		sv, ok := idx.Get(k)
+		if !ok {
+			return fmt.Errorf("kvbuf: convert pass 2 found unindexed key %q", k)
+		}
+		return out.AppendValue(int(binary.LittleEndian.Uint32(sv[8:])), v)
+	})
+	if err != nil {
+		out.Free()
+		return nil, err
+	}
+	return out, nil
+}

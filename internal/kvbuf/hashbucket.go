@@ -1,0 +1,207 @@
+package kvbuf
+
+import (
+	"bytes"
+	"fmt"
+
+	"mimir/internal/mem"
+)
+
+// bucketEntryBytes is the accounting charge per hash-bucket entry (hash,
+// refs, lengths, chain link).
+const bucketEntryBytes = 40
+
+// Bucket is the hash bucket used by the KV compression and partial
+// reduction optimizations: it holds one KV per unique key and merges
+// incoming duplicates via a user callback. Key/value bytes live in
+// arena-charged pages; the entry table and chain heads are charged to the
+// arena as estimates of their in-memory size, so enabling a combiner
+// *costs* memory up front and only pays off past a compression-ratio
+// threshold — a trade-off the paper calls out explicitly.
+type Bucket struct {
+	arena   *mem.Arena
+	data    *pagedBuf
+	entries []bucketEntry
+	heads   []int32
+	// garbage counts dead value bytes left behind by size-changing updates.
+	garbage int64
+	// headCharged is the arena charge currently held for the heads table.
+	headCharged int64
+}
+
+type bucketEntry struct {
+	hash   uint64
+	keyRef ref
+	valRef ref
+	keyLen int32
+	valLen int32
+	next   int32
+}
+
+const initialHeads = 64
+
+// NewBucket creates an empty bucket whose storage pages come from arena.
+func NewBucket(arena *mem.Arena, pageSize int) (*Bucket, error) {
+	b := &Bucket{arena: arena, data: newPagedBuf(arena, pageSize)}
+	if err := b.setHeads(initialHeads); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func (b *Bucket) setHeads(n int) error {
+	charge := int64(n) * 4
+	if err := b.arena.Alloc(charge); err != nil {
+		return err
+	}
+	if b.headCharged > 0 {
+		b.arena.Free(b.headCharged)
+	}
+	b.headCharged = charge
+	b.heads = make([]int32, n)
+	for i := range b.heads {
+		b.heads[i] = -1
+	}
+	for i := range b.entries {
+		slot := b.entries[i].hash & uint64(n-1)
+		b.entries[i].next = b.heads[slot]
+		b.heads[slot] = int32(i)
+	}
+	return nil
+}
+
+// Len returns the number of unique keys.
+func (b *Bucket) Len() int { return len(b.entries) }
+
+// MemoryBytes returns the arena reservation attributable to the bucket.
+func (b *Bucket) MemoryBytes() int64 {
+	return b.data.reservedBytes() + int64(len(b.entries))*bucketEntryBytes + b.headCharged
+}
+
+// GarbageBytes returns dead bytes left by size-changing value updates.
+func (b *Bucket) GarbageBytes() int64 { return b.garbage }
+
+func (b *Bucket) find(h uint64, k []byte) int32 {
+	for i := b.heads[h&uint64(len(b.heads)-1)]; i >= 0; i = b.entries[i].next {
+		e := &b.entries[i]
+		if e.hash == h && int(e.keyLen) == len(k) &&
+			bytes.Equal(b.data.at(e.keyRef, int(e.keyLen)), k) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Get returns the value stored for k. The slice aliases bucket memory.
+func (b *Bucket) Get(k []byte) ([]byte, bool) {
+	i := b.find(HashKey(k), k)
+	if i < 0 {
+		return nil, false
+	}
+	e := &b.entries[i]
+	return b.data.at(e.valRef, int(e.valLen)), true
+}
+
+// Put inserts (k, v), replacing any existing value. Same-length replacement
+// is done in place; a different length appends new storage and leaves the
+// old bytes as garbage.
+func (b *Bucket) Put(k, v []byte) error {
+	h := HashKey(k)
+	if i := b.find(h, k); i >= 0 {
+		return b.replaceValue(&b.entries[i], v)
+	}
+	return b.insert(h, k, v)
+}
+
+// Upsert merges v into the entry for k: if k is absent, (k, v) is inserted;
+// otherwise merge(existing, v) produces the replacement value. This is the
+// paper's combiner protocol — "the partial-reduction callback is called,
+// which reduces these two KVs into a single KV. The existing KV in the hash
+// bucket then is replaced with the reduced version."
+func (b *Bucket) Upsert(k, v []byte, merge func(existing, incoming []byte) ([]byte, error)) error {
+	h := HashKey(k)
+	i := b.find(h, k)
+	if i < 0 {
+		return b.insert(h, k, v)
+	}
+	e := &b.entries[i]
+	merged, err := merge(b.data.at(e.valRef, int(e.valLen)), v)
+	if err != nil {
+		return err
+	}
+	return b.replaceValue(e, merged)
+}
+
+func (b *Bucket) replaceValue(e *bucketEntry, v []byte) error {
+	if len(v) == int(e.valLen) {
+		copy(b.data.at(e.valRef, int(e.valLen)), v)
+		return nil
+	}
+	r, err := b.data.append(v)
+	if err != nil {
+		return err
+	}
+	b.garbage += int64(e.valLen)
+	e.valRef = r
+	e.valLen = int32(len(v))
+	return nil
+}
+
+func (b *Bucket) insert(h uint64, k, v []byte) error {
+	if len(b.entries) >= 2*len(b.heads) {
+		if err := b.setHeads(2 * len(b.heads)); err != nil {
+			return err
+		}
+	}
+	if err := b.arena.Alloc(bucketEntryBytes); err != nil {
+		return err
+	}
+	kr, err := b.data.append(k)
+	if err != nil {
+		b.arena.Free(bucketEntryBytes)
+		return err
+	}
+	vr, err := b.data.append(v)
+	if err != nil {
+		b.arena.Free(bucketEntryBytes)
+		return err
+	}
+	slot := h & uint64(len(b.heads)-1)
+	b.entries = append(b.entries, bucketEntry{
+		hash: h, keyRef: kr, valRef: vr,
+		keyLen: int32(len(k)), valLen: int32(len(v)),
+		next: b.heads[slot],
+	})
+	b.heads[slot] = int32(len(b.entries) - 1)
+	return nil
+}
+
+// Scan calls fn for every (key, value) in insertion order, making iteration
+// deterministic. Slices alias bucket memory.
+func (b *Bucket) Scan(fn func(k, v []byte) error) error {
+	for i := range b.entries {
+		e := &b.entries[i]
+		if err := fn(b.data.at(e.keyRef, int(e.keyLen)), b.data.at(e.valRef, int(e.valLen))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Free releases all storage back to the arena.
+func (b *Bucket) Free() {
+	b.data.free()
+	b.arena.Free(int64(len(b.entries)) * bucketEntryBytes)
+	if b.headCharged > 0 {
+		b.arena.Free(b.headCharged)
+		b.headCharged = 0
+	}
+	b.entries = nil
+	b.heads = nil
+	b.garbage = 0
+}
+
+// String summarizes the bucket for debugging.
+func (b *Bucket) String() string {
+	return fmt.Sprintf("Bucket{keys=%d mem=%dB garbage=%dB}", b.Len(), b.MemoryBytes(), b.garbage)
+}

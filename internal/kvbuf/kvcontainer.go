@@ -1,0 +1,133 @@
+package kvbuf
+
+import (
+	"fmt"
+
+	"mimir/internal/mem"
+)
+
+// KVC is the paper's KV container: an opaque object managing a collection of
+// encoded KVs in one or more fixed-size buffer pages. Pages are allocated
+// from the node arena as KVs are inserted and can be freed as the data is
+// consumed (Drain), which is the core of Mimir's memory efficiency.
+type KVC struct {
+	buf  *pagedBuf
+	hint Hint
+	nkv  int64
+}
+
+// NewKVC creates an empty container whose pages come from arena. hint
+// selects the KV encoding (see Hint).
+func NewKVC(arena *mem.Arena, pageSize int, hint Hint) *KVC {
+	return &KVC{buf: newPagedBuf(arena, pageSize), hint: hint}
+}
+
+// Hint returns the container's encoding hint.
+func (c *KVC) Hint() Hint { return c.hint }
+
+// Append encodes and stores one KV.
+func (c *KVC) Append(k, v []byte) error {
+	// Validate hints before reserving so a rejected KV leaves no hole.
+	if err := c.hint.Key.check("key", k); err != nil {
+		return err
+	}
+	if err := c.hint.Val.check("value", v); err != nil {
+		return err
+	}
+	n := c.hint.EncodedSize(k, v)
+	r, err := c.buf.reserve(n)
+	if err != nil {
+		return err
+	}
+	dst := c.buf.at(r, n)
+	enc, err := c.hint.Encode(dst[:0], k, v)
+	if err != nil {
+		return err
+	}
+	if len(enc) != n {
+		panic(fmt.Sprintf("kvbuf: encoded size %d != computed size %d", len(enc), n))
+	}
+	c.nkv++
+	return nil
+}
+
+// AppendChunk parses a buffer of concatenated encoded KVs (e.g. one rank's
+// portion of an Alltoallv receive buffer) and appends each KV. It returns
+// the number of KVs appended.
+func (c *KVC) AppendChunk(chunk []byte) (int, error) {
+	count := 0
+	for pos := 0; pos < len(chunk); {
+		k, v, n, err := c.hint.Decode(chunk[pos:])
+		if err != nil {
+			return count, fmt.Errorf("kvbuf: bad chunk at offset %d: %w", pos, err)
+		}
+		if err := c.Append(k, v); err != nil {
+			return count, err
+		}
+		pos += n
+		count++
+	}
+	return count, nil
+}
+
+// NumKV returns the number of stored KVs.
+func (c *KVC) NumKV() int64 { return c.nkv }
+
+// Bytes returns the encoded payload bytes stored.
+func (c *KVC) Bytes() int64 { return c.buf.usedBytes() }
+
+// ReservedBytes returns the arena reservation currently held by the
+// container's pages.
+func (c *KVC) ReservedBytes() int64 { return c.buf.reservedBytes() }
+
+// Scan calls fn for every stored KV in insertion order. The key and value
+// slices alias container memory and are valid only during the call.
+func (c *KVC) Scan(fn func(k, v []byte) error) error {
+	for _, p := range c.buf.pages {
+		if err := c.scanPage(p, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Drain is Scan that releases each page back to the arena immediately after
+// its KVs are consumed — "when the data is read (consumed), the KVC frees
+// buffers that are no longer needed". The container is empty afterwards.
+func (c *KVC) Drain(fn func(k, v []byte) error) error {
+	pages := c.buf.pages
+	c.buf.pages = nil
+	c.nkv = 0
+	for i, p := range pages {
+		err := c.scanPage(p, fn)
+		p.Release()
+		if err != nil {
+			for _, q := range pages[i+1:] {
+				q.Release()
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *KVC) scanPage(p *mem.Page, fn func(k, v []byte) error) error {
+	data := p.Data()
+	for pos := 0; pos < len(data); {
+		k, v, n, err := c.hint.Decode(data[pos:])
+		if err != nil {
+			return fmt.Errorf("kvbuf: corrupt container page at %d: %w", pos, err)
+		}
+		if err := fn(k, v); err != nil {
+			return err
+		}
+		pos += n
+	}
+	return nil
+}
+
+// Free releases all pages back to the arena.
+func (c *KVC) Free() {
+	c.buf.free()
+	c.nkv = 0
+}

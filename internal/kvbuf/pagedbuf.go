@@ -1,0 +1,103 @@
+package kvbuf
+
+import (
+	"fmt"
+
+	"mimir/internal/mem"
+)
+
+// pagedBuf is an append-only byte store built from fixed-size arena pages.
+// Records never straddle page boundaries: an append that does not fit in the
+// current page's remainder opens a new page, and a record larger than the
+// page size gets a dedicated oversized page. This mirrors how the paper's
+// containers "gradually allocate more memory to store the data" in
+// fixed-size units to avoid fragmentation.
+type pagedBuf struct {
+	arena    *mem.Arena
+	pageSize int
+	pages    []*mem.Page
+}
+
+// ref addresses a byte range inside a pagedBuf: page index in the high 32
+// bits, offset in the low 32.
+type ref uint64
+
+func makeRef(page, off int) ref { return ref(uint64(page)<<32 | uint64(uint32(off))) }
+
+func (r ref) page() int { return int(r >> 32) }
+func (r ref) off() int  { return int(uint32(r)) }
+
+func newPagedBuf(arena *mem.Arena, pageSize int) *pagedBuf {
+	if pageSize <= 0 {
+		panic(fmt.Sprintf("kvbuf: invalid page size %d", pageSize))
+	}
+	return &pagedBuf{arena: arena, pageSize: pageSize}
+}
+
+// reserve allocates n contiguous bytes and returns their ref. The bytes are
+// zeroed and can be filled in place via at().
+func (pb *pagedBuf) reserve(n int) (ref, error) {
+	if n > pb.pageSize {
+		// Oversized record: dedicated page.
+		p, err := pb.arena.NewPage(n)
+		if err != nil {
+			return 0, err
+		}
+		p.Used = n
+		pb.pages = append(pb.pages, p)
+		return makeRef(len(pb.pages)-1, 0), nil
+	}
+	if len(pb.pages) == 0 || pb.pages[len(pb.pages)-1].Remaining() < n {
+		p, err := pb.arena.NewPage(pb.pageSize)
+		if err != nil {
+			return 0, err
+		}
+		pb.pages = append(pb.pages, p)
+	}
+	p := pb.pages[len(pb.pages)-1]
+	off := p.Used
+	p.Used += n
+	return makeRef(len(pb.pages)-1, off), nil
+}
+
+// append copies b into the buffer and returns its ref.
+func (pb *pagedBuf) append(b []byte) (ref, error) {
+	r, err := pb.reserve(len(b))
+	if err != nil {
+		return 0, err
+	}
+	copy(pb.at(r, len(b)), b)
+	return r, nil
+}
+
+// at returns the n bytes addressed by r.
+func (pb *pagedBuf) at(r ref, n int) []byte {
+	p := pb.pages[r.page()]
+	return p.Buf[r.off() : r.off()+n]
+}
+
+// usedBytes returns the meaningful bytes stored (sum of page Used).
+func (pb *pagedBuf) usedBytes() int64 {
+	var n int64
+	for _, p := range pb.pages {
+		n += int64(p.Used)
+	}
+	return n
+}
+
+// reservedBytes returns the arena reservation held (sum of page sizes).
+func (pb *pagedBuf) reservedBytes() int64 {
+	var n int64
+	for _, p := range pb.pages {
+		n += int64(len(p.Buf))
+	}
+	return n
+}
+
+// free releases all pages back to the arena.
+func (pb *pagedBuf) free() {
+	for _, p := range pb.pages {
+		p.Release()
+	}
+	pb.pages = nil
+}

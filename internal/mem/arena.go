@@ -1,0 +1,92 @@
+// Package mem provides the per-node memory accounting that drives every
+// memory figure in the paper. A compute node (Comet: 128 GB, Mira: 16 GB;
+// both scaled down 1024x in this reproduction) is modeled as an Arena with a
+// hard capacity. All buffer pages used by every MPI rank placed on that node
+// are charged to the node's arena, so peak usage and out-of-memory behavior
+// reflect the node, not a single process — exactly how the paper reports
+// "peak memory usage" per node.
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNoMemory is returned when an allocation would exceed the arena
+// capacity. Mimir treats it as job failure (the paper's missing data
+// points); MR-MPI treats a full page as a spill trigger instead and only
+// fails when even the page set itself cannot be allocated.
+var ErrNoMemory = errors.New("mem: node out of memory")
+
+// Arena is one compute node's memory pool. The zero value is unusable; use
+// NewArena. An Arena with capacity <= 0 is unlimited.
+type Arena struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	peak     int64
+}
+
+// NewArena returns an arena with the given capacity in bytes. A capacity of
+// zero or less means unlimited (used for reference computations in tests).
+func NewArena(capacity int64) *Arena {
+	return &Arena{capacity: capacity}
+}
+
+// Alloc reserves n bytes, returning ErrNoMemory if the reservation would
+// exceed capacity. n must be non-negative.
+func (a *Arena) Alloc(n int64) error {
+	if n < 0 {
+		panic(fmt.Sprintf("mem: negative allocation %d", n))
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.capacity > 0 && a.used+n > a.capacity {
+		return fmt.Errorf("%w: want %d bytes, used %d of %d", ErrNoMemory, n, a.used, a.capacity)
+	}
+	a.used += n
+	if a.used > a.peak {
+		a.peak = a.used
+	}
+	return nil
+}
+
+// Free releases n bytes previously reserved with Alloc.
+func (a *Arena) Free(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("mem: negative free %d", n))
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.used -= n
+	if a.used < 0 {
+		panic(fmt.Sprintf("mem: arena freed below zero (%d)", a.used))
+	}
+}
+
+// Used returns the currently reserved bytes.
+func (a *Arena) Used() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used
+}
+
+// Peak returns the high-water mark of reserved bytes since creation or the
+// last ResetPeak.
+func (a *Arena) Peak() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peak
+}
+
+// Capacity returns the arena capacity in bytes (0 or less = unlimited).
+func (a *Arena) Capacity() int64 { return a.capacity }
+
+// ResetPeak sets the high-water mark back to the current usage so a new
+// measurement interval can begin (used between experiment repetitions).
+func (a *Arena) ResetPeak() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.peak = a.used
+}

@@ -1,0 +1,170 @@
+package mem
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestArenaAllocFree(t *testing.T) {
+	a := NewArena(100)
+	if err := a.Alloc(60); err != nil {
+		t.Fatalf("Alloc(60): %v", err)
+	}
+	if err := a.Alloc(50); !errors.Is(err, ErrNoMemory) {
+		t.Fatalf("Alloc(50) over capacity: got %v, want ErrNoMemory", err)
+	}
+	if got := a.Used(); got != 60 {
+		t.Errorf("Used = %d, want 60 (failed alloc must not charge)", got)
+	}
+	a.Free(60)
+	if got := a.Used(); got != 0 {
+		t.Errorf("Used = %d, want 0", got)
+	}
+	if got := a.Peak(); got != 60 {
+		t.Errorf("Peak = %d, want 60", got)
+	}
+}
+
+func TestArenaUnlimited(t *testing.T) {
+	a := NewArena(0)
+	if err := a.Alloc(1 << 40); err != nil {
+		t.Fatalf("unlimited arena refused allocation: %v", err)
+	}
+	a.Free(1 << 40)
+}
+
+func TestArenaPeakTracking(t *testing.T) {
+	a := NewArena(1000)
+	for _, n := range []int64{100, 300, 200} {
+		if err := a.Alloc(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Free(300)
+	if err := a.Alloc(50); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Peak(); got != 600 {
+		t.Errorf("Peak = %d, want 600", got)
+	}
+	a.ResetPeak()
+	if got := a.Peak(); got != a.Used() {
+		t.Errorf("Peak after reset = %d, want Used = %d", got, a.Used())
+	}
+}
+
+func TestArenaFreeBelowZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Free below zero did not panic")
+		}
+	}()
+	NewArena(10).Free(1)
+}
+
+func TestArenaNegativeAllocPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Alloc did not panic")
+		}
+	}()
+	NewArena(10).Alloc(-1)
+}
+
+func TestArenaConcurrent(t *testing.T) {
+	a := NewArena(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				if err := a.Alloc(7); err != nil {
+					t.Error(err)
+					return
+				}
+				a.Free(7)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.Used(); got != 0 {
+		t.Errorf("Used = %d after balanced concurrent alloc/free, want 0", got)
+	}
+}
+
+// Property: any sequence of allocations within capacity keeps
+// used = sum(allocs) and peak >= used at all times.
+func TestArenaAccountingProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		a := NewArena(0)
+		var total int64
+		var maxTotal int64
+		for _, s := range sizes {
+			n := int64(s)
+			if err := a.Alloc(n); err != nil {
+				return false
+			}
+			total += n
+			if total > maxTotal {
+				maxTotal = total
+			}
+			if a.Used() != total || a.Peak() != maxTotal {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageLifecycle(t *testing.T) {
+	a := NewArena(1024)
+	p, err := a.NewPage(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Used(); got != 256 {
+		t.Errorf("Used = %d after NewPage(256), want 256", got)
+	}
+	p.Append([]byte("hello"))
+	if got := string(p.Data()); got != "hello" {
+		t.Errorf("Data = %q, want %q", got, "hello")
+	}
+	if got := p.Remaining(); got != 251 {
+		t.Errorf("Remaining = %d, want 251", got)
+	}
+	p.Release()
+	p.Release() // idempotent
+	if got := a.Used(); got != 0 {
+		t.Errorf("Used = %d after Release, want 0", got)
+	}
+}
+
+func TestPageOverflowPanics(t *testing.T) {
+	a := NewArena(0)
+	p, err := a.NewPage(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("page overflow did not panic")
+		}
+	}()
+	p.Append([]byte("too long"))
+}
+
+func TestPageAllocFailure(t *testing.T) {
+	a := NewArena(100)
+	if _, err := a.NewPage(200); !errors.Is(err, ErrNoMemory) {
+		t.Errorf("NewPage over capacity: got %v, want ErrNoMemory", err)
+	}
+	if got := a.Used(); got != 0 {
+		t.Errorf("Used = %d after failed NewPage, want 0", got)
+	}
+}

@@ -1,0 +1,48 @@
+package mem
+
+// Page is a fixed-size buffer charged to a node arena. Pages are the unit of
+// allocation for both engines: MR-MPI statically allocates a handful of
+// large pages per phase, while Mimir's KV containers allocate pages on
+// demand and release them as data is consumed.
+type Page struct {
+	arena *Arena
+	Buf   []byte
+	// Used is the number of meaningful bytes at the front of Buf.
+	Used int
+}
+
+// NewPage allocates a page of the given size from the arena. The returned
+// page owns an arena reservation of exactly size bytes until Release.
+func (a *Arena) NewPage(size int) (*Page, error) {
+	if err := a.Alloc(int64(size)); err != nil {
+		return nil, err
+	}
+	return &Page{arena: a, Buf: make([]byte, size)}, nil
+}
+
+// Remaining returns the unused capacity of the page.
+func (p *Page) Remaining() int { return len(p.Buf) - p.Used }
+
+// Append copies b into the page and advances Used. It panics if b does not
+// fit; callers check Remaining first.
+func (p *Page) Append(b []byte) {
+	n := copy(p.Buf[p.Used:], b)
+	if n != len(b) {
+		panic("mem: page overflow")
+	}
+	p.Used += n
+}
+
+// Data returns the valid prefix of the page buffer.
+func (p *Page) Data() []byte { return p.Buf[:p.Used] }
+
+// Release returns the page's reservation to the arena. Release is
+// idempotent.
+func (p *Page) Release() {
+	if p.arena != nil {
+		p.arena.Free(int64(len(p.Buf)))
+		p.arena = nil
+		p.Buf = nil
+		p.Used = 0
+	}
+}

@@ -1,0 +1,114 @@
+// Package metrics aggregates per-rank observations (phase times, buffer
+// sizes, counters) into distribution summaries — the min / mean / max view
+// that exposes load imbalance, which is the paper's recurring failure mode.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Summary collects named samples from many ranks concurrently.
+type Summary struct {
+	mu     sync.Mutex
+	series map[string]*Series
+	order  []string
+}
+
+// Series is the aggregate of one named quantity.
+type Series struct {
+	Name  string
+	Count int
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// Mean returns the average sample, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Imbalance returns max/mean — 1.0 means perfectly balanced ranks; the
+// paper's skewed workloads show large values here.
+func (s *Series) Imbalance() float64 {
+	m := s.Mean()
+	if m == 0 {
+		return 1
+	}
+	return s.Max / m
+}
+
+// NewSummary returns an empty summary.
+func NewSummary() *Summary {
+	return &Summary{series: make(map[string]*Series)}
+}
+
+// Add records one sample of the named quantity. Safe for concurrent use by
+// all ranks.
+func (m *Summary) Add(name string, v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.series[name]
+	if !ok {
+		s = &Series{Name: name, Min: math.Inf(1), Max: math.Inf(-1)}
+		m.series[name] = s
+		m.order = append(m.order, name)
+	}
+	s.Count++
+	s.Sum += v
+	if v < s.Min {
+		s.Min = v
+	}
+	if v > s.Max {
+		s.Max = v
+	}
+}
+
+// Get returns the series with the given name, or nil.
+func (m *Summary) Get(name string) *Series {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.series[name]
+}
+
+// Names returns the series names in first-Add order.
+func (m *Summary) Names() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.order...)
+}
+
+// Render prints an aligned table of all series.
+func (m *Summary) Render(w io.Writer) {
+	m.mu.Lock()
+	names := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	fmt.Fprintf(w, "%-24s %8s %12s %12s %12s %8s\n", "metric", "ranks", "min", "mean", "max", "max/avg")
+	for _, n := range names {
+		s := m.Get(n)
+		fmt.Fprintf(w, "%-24s %8d %12.4g %12.4g %12.4g %8.2f\n",
+			s.Name, s.Count, s.Min, s.Mean(), s.Max, s.Imbalance())
+	}
+}
+
+// Sorted returns all series ordered by name (stable output for tests).
+func (m *Summary) Sorted() []*Series {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Series, 0, len(m.series))
+	for _, s := range m.series {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	m := NewSummary()
+	for _, v := range []float64{1, 2, 3, 10} {
+		m.Add("time", v)
+	}
+	s := m.Get("time")
+	if s == nil {
+		t.Fatal("series missing")
+	}
+	if s.Count != 4 || s.Min != 1 || s.Max != 10 || s.Sum != 16 {
+		t.Errorf("series = %+v", s)
+	}
+	if s.Mean() != 4 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Imbalance() != 2.5 {
+		t.Errorf("Imbalance = %v, want 2.5", s.Imbalance())
+	}
+}
+
+func TestSummaryEmptyAndNaN(t *testing.T) {
+	m := NewSummary()
+	if m.Get("nope") != nil {
+		t.Error("Get on empty summary")
+	}
+	m.Add("x", math.NaN()) // ignored
+	if m.Get("x") != nil {
+		t.Error("NaN created a series")
+	}
+	var s Series
+	if s.Mean() != 0 || s.Imbalance() != 1 {
+		t.Error("zero-series accessors wrong")
+	}
+}
+
+func TestSummaryOrderAndRender(t *testing.T) {
+	m := NewSummary()
+	m.Add("b-second", 1)
+	m.Add("a-first", 2)
+	m.Add("b-second", 3)
+	if names := m.Names(); len(names) != 2 || names[0] != "b-second" {
+		t.Errorf("Names = %v (want first-Add order)", names)
+	}
+	if sorted := m.Sorted(); sorted[0].Name != "a-first" {
+		t.Errorf("Sorted[0] = %s", sorted[0].Name)
+	}
+	var sb strings.Builder
+	m.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "b-second") || !strings.Contains(out, "max/avg") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestSummaryConcurrent(t *testing.T) {
+	m := NewSummary()
+	var wg sync.WaitGroup
+	for r := 0; r < 16; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				m.Add("phase", float64(r))
+			}
+		}(r)
+	}
+	wg.Wait()
+	s := m.Get("phase")
+	if s.Count != 1600 || s.Min != 0 || s.Max != 15 {
+		t.Errorf("series = %+v", s)
+	}
+}
+
+// Property: Min <= Mean <= Max and Sum = Count * Mean for any sample set.
+func TestSummaryInvariantsProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		m := NewSummary()
+		n := 0
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Keep magnitudes realistic; summing near-max float64 values
+			// overflows, which is out of scope for timing metrics.
+			v = math.Mod(v, 1e9)
+			m.Add("s", v)
+			n++
+		}
+		if n == 0 {
+			return true
+		}
+		s := m.Get("s")
+		return s.Count == n && s.Min <= s.Mean()+1e-9 && s.Mean() <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,209 @@
+package mpi
+
+import (
+	"fmt"
+
+	"mimir/internal/simtime"
+)
+
+// Barrier blocks until all ranks have entered it and synchronizes simulated
+// clocks to the latest participant plus the barrier cost.
+func (c *Comm) Barrier() error {
+	tmax, err := c.world.rv.exchange(c.rank, c.Clock().Now(), nil, nil)
+	if err != nil {
+		return err
+	}
+	c.Clock().SyncTo(tmax)
+	c.Clock().Advance(c.world.net.Barrier(c.world.size), simtime.Comm)
+	c.world.trace(c.rank, "barrier", 0)
+	return nil
+}
+
+// Alltoallv exchanges variable-sized byte buffers with every rank: send[i]
+// goes to rank i, and the returned slice holds recv[i] received from rank i.
+// send must have length Size. The returned buffers are copies owned by the
+// caller, so send buffers may be reused immediately. A nil entry is
+// delivered as an empty buffer.
+func (c *Comm) Alltoallv(send [][]byte) ([][]byte, error) {
+	if len(send) != c.world.size {
+		return nil, fmt.Errorf("mpi: Alltoallv send has %d entries, world size is %d", len(send), c.world.size)
+	}
+	recv := make([][]byte, c.world.size)
+	var sendBytes, recvBytes int
+	for _, b := range send {
+		sendBytes += len(b)
+	}
+	tmax, err := c.world.rv.exchange(c.rank, c.Clock().Now(), send, func(slots []contribution) {
+		for src := 0; src < c.world.size; src++ {
+			theirs := slots[src].data.([][]byte)
+			buf := theirs[c.rank]
+			recv[src] = append([]byte(nil), buf...)
+			recvBytes += len(buf)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Clock().SyncTo(tmax)
+	c.Clock().Advance(c.world.net.Alltoallv(c.world.size, sendBytes, recvBytes), simtime.Comm)
+	c.world.trace(c.rank, "alltoallv", sendBytes)
+	return recv, nil
+}
+
+// Op identifies a reduction operator.
+type Op int
+
+// Supported reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+)
+
+// String returns the operator name.
+func (o Op) String() string {
+	switch o {
+	case OpSum:
+		return "sum"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+func (o Op) apply(a, b int64) int64 {
+	switch o {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	}
+	panic("mpi: unknown op")
+}
+
+// AllreduceInt64 element-wise reduces vals across all ranks with op and
+// returns the reduced vector on every rank. All ranks must pass vectors of
+// the same length.
+func (c *Comm) AllreduceInt64(vals []int64, op Op) ([]int64, error) {
+	out := append([]int64(nil), vals...)
+	tmax, err := c.world.rv.exchange(c.rank, c.Clock().Now(), vals, func(slots []contribution) {
+		for src, s := range slots {
+			if src == c.rank {
+				continue
+			}
+			theirs := s.data.([]int64)
+			if len(theirs) != len(out) {
+				panic(fmt.Sprintf("mpi: Allreduce length mismatch: rank %d has %d, rank %d has %d",
+					c.rank, len(out), src, len(theirs)))
+			}
+			for i, v := range theirs {
+				out[i] = op.apply(out[i], v)
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Clock().SyncTo(tmax)
+	c.Clock().Advance(c.world.net.Reduction(c.world.size, 8*len(vals)), simtime.Comm)
+	c.world.trace(c.rank, "allreduce", 8*len(vals))
+	return out, nil
+}
+
+// AllgatherInt64 gathers one int64 from every rank; result[i] is rank i's
+// value, identical on all ranks.
+func (c *Comm) AllgatherInt64(v int64) ([]int64, error) {
+	out := make([]int64, c.world.size)
+	tmax, err := c.world.rv.exchange(c.rank, c.Clock().Now(), v, func(slots []contribution) {
+		for src, s := range slots {
+			out[src] = s.data.(int64)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Clock().SyncTo(tmax)
+	c.Clock().Advance(c.world.net.Reduction(c.world.size, 8*c.world.size), simtime.Comm)
+	c.world.trace(c.rank, "allgather", 8)
+	return out, nil
+}
+
+// Allgatherv gathers a byte buffer from every rank; result[i] is a copy of
+// rank i's buffer, identical on all ranks.
+func (c *Comm) Allgatherv(b []byte) ([][]byte, error) {
+	out := make([][]byte, c.world.size)
+	var total int
+	tmax, err := c.world.rv.exchange(c.rank, c.Clock().Now(), b, func(slots []contribution) {
+		for src, s := range slots {
+			theirs := s.data.([]byte)
+			out[src] = append([]byte(nil), theirs...)
+			total += len(theirs)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Clock().SyncTo(tmax)
+	c.Clock().Advance(c.world.net.Reduction(c.world.size, total), simtime.Comm)
+	c.world.trace(c.rank, "allgatherv", len(b))
+	return out, nil
+}
+
+// Bcast broadcasts root's buffer to all ranks; every rank (including root)
+// receives a copy. Non-root ranks pass their own b, which is ignored.
+func (c *Comm) Bcast(b []byte, root int) ([]byte, error) {
+	if root < 0 || root >= c.world.size {
+		return nil, fmt.Errorf("mpi: Bcast root %d out of range", root)
+	}
+	var out []byte
+	var n int
+	tmax, err := c.world.rv.exchange(c.rank, c.Clock().Now(), b, func(slots []contribution) {
+		theirs := slots[root].data.([]byte)
+		out = append([]byte(nil), theirs...)
+		n = len(theirs)
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Clock().SyncTo(tmax)
+	c.Clock().Advance(c.world.net.Reduction(c.world.size, n), simtime.Comm)
+	c.world.trace(c.rank, "bcast", n)
+	return out, nil
+}
+
+// Gatherv gathers every rank's buffer at root. On root the result has one
+// copied buffer per rank; on other ranks it is nil.
+func (c *Comm) Gatherv(b []byte, root int) ([][]byte, error) {
+	if root < 0 || root >= c.world.size {
+		return nil, fmt.Errorf("mpi: Gatherv root %d out of range", root)
+	}
+	var out [][]byte
+	var total int
+	tmax, err := c.world.rv.exchange(c.rank, c.Clock().Now(), b, func(slots []contribution) {
+		if c.rank != root {
+			return
+		}
+		out = make([][]byte, c.world.size)
+		for src, s := range slots {
+			theirs := s.data.([]byte)
+			out[src] = append([]byte(nil), theirs...)
+			total += len(theirs)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Clock().SyncTo(tmax)
+	c.Clock().Advance(c.world.net.Reduction(c.world.size, total), simtime.Comm)
+	return out, nil
+}

@@ -1,0 +1,153 @@
+package mpi
+
+import (
+	"fmt"
+
+	"mimir/internal/simtime"
+)
+
+// Request is a handle to a pending nonblocking operation, in the spirit of
+// MPI_Request. Complete it with Wait (blocking) or poll it with Test.
+type Request struct {
+	comm *Comm
+	// recv parameters (nil comm in done state).
+	src, tag int
+	isRecv   bool
+	done     bool
+	// results
+	data      []byte
+	actualSrc int
+	actualTag int
+	err       error
+}
+
+// Isend starts a nonblocking send. The runtime's sends are eager and
+// buffered, so the operation completes immediately; the Request exists for
+// API symmetry with Irecv and completes trivially.
+func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	err := c.Send(dst, tag, data)
+	return &Request{comm: c, done: true, err: err}
+}
+
+// Irecv posts a nonblocking receive for a message matching (src, tag);
+// wildcards AnySource / AnyTag apply. The message is claimed at Wait or at
+// the first successful Test.
+func (c *Comm) Irecv(src, tag int) *Request {
+	return &Request{comm: c, src: src, tag: tag, isRecv: true}
+}
+
+// Wait blocks until the operation completes and returns its payload (nil
+// for sends) with the actual source and tag.
+func (r *Request) Wait() (data []byte, src, tag int, err error) {
+	if r.done {
+		return r.data, r.actualSrc, r.actualTag, r.err
+	}
+	r.data, r.actualSrc, r.actualTag, r.err = r.comm.Recv(r.src, r.tag)
+	r.done = true
+	return r.data, r.actualSrc, r.actualTag, r.err
+}
+
+// Test completes the operation if a matching message has already arrived
+// and reports whether the request is now done. A completed request's
+// results are read with Wait (which returns immediately).
+func (r *Request) Test() (completed bool, err error) {
+	if r.done {
+		return true, r.err
+	}
+	m, ok, err := r.comm.world.boxes[r.comm.rank].tryGet(r.src, r.tag)
+	if err != nil {
+		r.done = true
+		r.err = err
+		return true, err
+	}
+	if !ok {
+		return false, nil
+	}
+	r.comm.Clock().SyncTo(m.t)
+	r.data, r.actualSrc, r.actualTag = m.data, m.src, m.tag
+	r.done = true
+	return true, nil
+}
+
+// tryGet is the non-blocking variant of mailbox.get.
+func (b *mailbox) tryGet(src, tag int) (message, bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.aborted {
+		return message{}, false, b.abortEr
+	}
+	for i, m := range b.queue {
+		if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+			b.queue = append(b.queue[:i], b.queue[i+1:]...)
+			return m, true, nil
+		}
+	}
+	return message{}, false, nil
+}
+
+// WaitAll completes every request, returning the first error encountered.
+func WaitAll(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if _, _, _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Scatterv distributes root's per-rank buffers: rank i receives a copy of
+// bufs[i]. Non-root ranks pass nil bufs.
+func (c *Comm) Scatterv(bufs [][]byte, root int) ([]byte, error) {
+	if root < 0 || root >= c.world.size {
+		return nil, fmt.Errorf("mpi: Scatterv root %d out of range", root)
+	}
+	if c.rank == root && len(bufs) != c.world.size {
+		return nil, fmt.Errorf("mpi: Scatterv root has %d buffers, world size is %d", len(bufs), c.world.size)
+	}
+	var out []byte
+	var n int
+	tmax, err := c.world.rv.exchange(c.rank, c.Clock().Now(), bufs, func(slots []contribution) {
+		rootBufs := slots[root].data.([][]byte)
+		out = append([]byte(nil), rootBufs[c.rank]...)
+		n = len(out)
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Clock().SyncTo(tmax)
+	c.Clock().Advance(c.world.net.Reduction(c.world.size, n), simtime.Comm)
+	return out, nil
+}
+
+// ReduceScatterInt64 element-wise reduces a vector of length Size across all
+// ranks and returns element i to rank i — the MPI_Reduce_scatter_block
+// pattern used to size Alltoallv exchanges.
+func (c *Comm) ReduceScatterInt64(vals []int64, op Op) (int64, error) {
+	if len(vals) != c.world.size {
+		return 0, fmt.Errorf("mpi: ReduceScatter vector has %d entries, world size is %d", len(vals), c.world.size)
+	}
+	full, err := c.AllreduceInt64(vals, op)
+	if err != nil {
+		return 0, err
+	}
+	return full[c.rank], nil
+}
+
+// ExscanInt64 returns the exclusive prefix reduction of v over ranks
+// 0..rank-1 (0 on rank 0 for OpSum) — handy for computing global output
+// offsets.
+func (c *Comm) ExscanInt64(v int64, op Op) (int64, error) {
+	all, err := c.AllgatherInt64(v)
+	if err != nil {
+		return 0, err
+	}
+	if c.rank == 0 {
+		return 0, nil
+	}
+	acc := all[0]
+	for i := 1; i < c.rank; i++ {
+		acc = op.apply(acc, all[i])
+	}
+	return acc, nil
+}

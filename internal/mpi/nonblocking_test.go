@@ -1,0 +1,212 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestIsendIrecv(t *testing.T) {
+	w := testWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			req := c.Isend(1, 5, []byte("async"))
+			_, _, _, err := req.Wait()
+			return err
+		}
+		req := c.Irecv(0, 5)
+		data, src, tag, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		if string(data) != "async" || src != 0 || tag != 5 {
+			return fmt.Errorf("Irecv got %q src=%d tag=%d", data, src, tag)
+		}
+		// A second Wait returns the same result.
+		data2, _, _, err := req.Wait()
+		if err != nil || string(data2) != "async" {
+			return fmt.Errorf("re-Wait = %q, %v", data2, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIrecvTest(t *testing.T) {
+	w := testWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			// Rank 1 sends only after the barrier, so the first Test (before
+			// our barrier) cannot observe a message.
+			req := c.Irecv(1, 3)
+			done, err := req.Test()
+			if err != nil {
+				return err
+			}
+			if done {
+				return errors.New("Test reported done before any send")
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			// Poll until the message lands.
+			for {
+				done, err := req.Test()
+				if err != nil {
+					return err
+				}
+				if done {
+					break
+				}
+			}
+			data, _, _, err := req.Wait()
+			if err != nil {
+				return err
+			}
+			if string(data) != "polled" {
+				return fmt.Errorf("polled recv = %q", data)
+			}
+			return nil
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		return c.Send(0, 3, []byte("polled"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitAll(t *testing.T) {
+	const p = 4
+	w := testWorld(p)
+	err := w.Run(func(c *Comm) error {
+		var reqs []*Request
+		for dst := 0; dst < p; dst++ {
+			if dst != c.Rank() {
+				reqs = append(reqs, c.Isend(dst, c.Rank(), []byte{byte(c.Rank())}))
+			}
+		}
+		for src := 0; src < p; src++ {
+			if src != c.Rank() {
+				reqs = append(reqs, c.Irecv(src, src))
+			}
+		}
+		return WaitAll(reqs...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterv(t *testing.T) {
+	const p = 3
+	w := testWorld(p)
+	err := w.Run(func(c *Comm) error {
+		var bufs [][]byte
+		if c.Rank() == 1 {
+			bufs = [][]byte{[]byte("zero"), []byte("one"), []byte("two")}
+		}
+		got, err := c.Scatterv(bufs, 1)
+		if err != nil {
+			return err
+		}
+		want := []string{"zero", "one", "two"}[c.Rank()]
+		if string(got) != want {
+			return fmt.Errorf("rank %d got %q, want %q", c.Rank(), got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScattervValidation(t *testing.T) {
+	w := testWorld(1)
+	err := w.Run(func(c *Comm) error {
+		if _, err := c.Scatterv(nil, 9); err == nil {
+			return errors.New("bad root accepted")
+		}
+		if _, err := c.Scatterv([][]byte{{1}, {2}}, 0); err == nil {
+			return errors.New("wrong buffer count accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceScatterInt64(t *testing.T) {
+	const p = 4
+	w := testWorld(p)
+	err := w.Run(func(c *Comm) error {
+		// Every rank contributes [r, r, r, r]; element i reduced with sum is
+		// 0+1+2+3 = 6 for every i, so each rank receives 6.
+		vals := make([]int64, p)
+		for i := range vals {
+			vals[i] = int64(c.Rank())
+		}
+		got, err := c.ReduceScatterInt64(vals, OpSum)
+		if err != nil {
+			return err
+		}
+		if got != 6 {
+			return fmt.Errorf("rank %d got %d, want 6", c.Rank(), got)
+		}
+		if _, err := c.ReduceScatterInt64([]int64{1}, OpSum); err == nil {
+			return errors.New("wrong-length vector accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExscanInt64(t *testing.T) {
+	const p = 5
+	w := testWorld(p)
+	err := w.Run(func(c *Comm) error {
+		got, err := c.ExscanInt64(int64(c.Rank()+1), OpSum)
+		if err != nil {
+			return err
+		}
+		// Exclusive prefix sums of 1,2,3,4,5: 0,1,3,6,10.
+		want := []int64{0, 1, 3, 6, 10}[c.Rank()]
+		if got != want {
+			return fmt.Errorf("rank %d exscan = %d, want %d", c.Rank(), got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIrecvAbort(t *testing.T) {
+	w := testWorld(2)
+	boom := errors.New("boom")
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			return boom
+		}
+		req := c.Irecv(0, 0)
+		_, _, _, err := req.Wait()
+		if !errors.Is(err, ErrAborted) {
+			return fmt.Errorf("Wait after abort = %v", err)
+		}
+		done, err := req.Test()
+		if !done || !errors.Is(err, ErrAborted) {
+			return fmt.Errorf("Test after abort = %v, %v", done, err)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+}

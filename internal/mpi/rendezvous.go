@@ -1,0 +1,106 @@
+package mpi
+
+import "sync"
+
+// contribution is what a rank deposits at a collective rendezvous: its
+// simulated clock time (for synchronization) and an operation-specific
+// payload.
+type contribution struct {
+	t    float64
+	data any
+}
+
+// rendezvous implements a reusable, generation-counted barrier with a
+// per-rank slot array for data exchange. All ranks call exchange in the same
+// order (the SPMD contract), so a single slot array double-gated by two
+// barrier phases is sufficient:
+//
+//	phase A: every rank deposits its contribution, then waits;
+//	         (all slots are now complete and frozen)
+//	read:    every rank reads whatever slots it needs;
+//	phase B: every rank waits again, after which slots may be overwritten.
+type rendezvous struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	size    int
+	arrived int
+	gen     uint64
+	slots   []contribution
+	aborted bool
+	abortEr error
+}
+
+func newRendezvous(size int) *rendezvous {
+	r := &rendezvous{size: size, slots: make([]contribution, size)}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+func (r *rendezvous) abort(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.aborted {
+		r.aborted = true
+		r.abortEr = err
+		r.cond.Broadcast()
+	}
+}
+
+// arrive blocks until all ranks have arrived (one barrier phase).
+func (r *rendezvous) arrive() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.aborted {
+		return r.abortEr
+	}
+	gen := r.gen
+	r.arrived++
+	if r.arrived == r.size {
+		r.arrived = 0
+		r.gen++
+		r.cond.Broadcast()
+		return nil
+	}
+	for r.gen == gen && !r.aborted {
+		r.cond.Wait()
+	}
+	// A generation advance means every rank arrived and this phase
+	// completed — even if another rank aborted the world immediately
+	// afterwards. Only report the abort when the phase itself can no
+	// longer complete.
+	if r.gen == gen && r.aborted {
+		return r.abortEr
+	}
+	return nil
+}
+
+// exchange deposits this rank's contribution, waits for everyone, invokes
+// read with the complete frozen slot array, then waits again so slots can be
+// reused. It returns the maximum clock time across all contributions, which
+// the caller uses to synchronize its simulated clock.
+func (r *rendezvous) exchange(rank int, now float64, data any, read func(slots []contribution)) (tmax float64, err error) {
+	r.mu.Lock()
+	if r.aborted {
+		err := r.abortEr
+		r.mu.Unlock()
+		return 0, err
+	}
+	r.slots[rank] = contribution{t: now, data: data}
+	r.mu.Unlock()
+
+	if err := r.arrive(); err != nil {
+		return 0, err
+	}
+	for _, s := range r.slots {
+		if s.t > tmax {
+			tmax = s.t
+		}
+	}
+	if read != nil {
+		read(r.slots)
+	}
+	if err := r.arrive(); err != nil {
+		return 0, err
+	}
+	return tmax, nil
+}

@@ -1,0 +1,77 @@
+package mpi
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event describes one communication operation for tracing, in the spirit of
+// the MPI profiling interface: which rank did what, how many payload bytes
+// moved, and at what simulated time the operation completed.
+type Event struct {
+	Rank    int
+	Op      string // "barrier", "alltoallv", "allreduce", "send", "recv", ...
+	Bytes   int    // payload bytes this rank contributed
+	SimTime float64
+}
+
+// Tracer receives events. Implementations must be safe for concurrent use
+// by all ranks; see NewLogTracer for a ready-made one.
+type Tracer func(Event)
+
+// SetTracer installs a tracer on the world (nil disables tracing). Install
+// it before Run; the runtime invokes it synchronously from rank goroutines.
+func (w *World) SetTracer(t Tracer) { w.tracer = t }
+
+func (w *World) trace(rank int, op string, bytes int) {
+	if w.tracer != nil {
+		w.tracer(Event{Rank: rank, Op: op, Bytes: bytes, SimTime: w.clocks[rank].Now()})
+	}
+}
+
+// NewLogTracer returns a Tracer that writes one line per event to w,
+// serialized with an internal lock.
+func NewLogTracer(w io.Writer) Tracer {
+	var mu sync.Mutex
+	return func(ev Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		fmt.Fprintf(w, "t=%.6f rank=%d op=%s bytes=%d\n", ev.SimTime, ev.Rank, ev.Op, ev.Bytes)
+	}
+}
+
+// CountingTracer tallies events per operation, for tests and quick
+// diagnostics.
+type CountingTracer struct {
+	mu     sync.Mutex
+	counts map[string]int
+	bytes  map[string]int64
+}
+
+// NewCountingTracer returns an empty counting tracer.
+func NewCountingTracer() *CountingTracer {
+	return &CountingTracer{counts: map[string]int{}, bytes: map[string]int64{}}
+}
+
+// Trace is the Tracer function to install.
+func (c *CountingTracer) Trace(ev Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counts[ev.Op]++
+	c.bytes[ev.Op] += int64(ev.Bytes)
+}
+
+// Count returns the number of events of the given op.
+func (c *CountingTracer) Count(op string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[op]
+}
+
+// Bytes returns the payload bytes traced for the given op.
+func (c *CountingTracer) Bytes(op string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes[op]
+}

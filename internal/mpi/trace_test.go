@@ -1,0 +1,75 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCountingTracer(t *testing.T) {
+	const p = 3
+	w := testWorld(p)
+	ct := NewCountingTracer()
+	w.SetTracer(ct.Trace)
+	err := w.Run(func(c *Comm) error {
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		send := make([][]byte, p)
+		send[(c.Rank()+1)%p] = []byte("xx")
+		if _, err := c.Alltoallv(send); err != nil {
+			return err
+		}
+		if _, err := c.AllreduceInt64([]int64{1}, OpSum); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			return c.Send(1, 0, []byte("hello"))
+		}
+		if c.Rank() == 1 {
+			_, _, _, err := c.Recv(0, 0)
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ct.Count("barrier"); got != p {
+		t.Errorf("barrier events = %d, want %d", got, p)
+	}
+	if got := ct.Count("alltoallv"); got != p {
+		t.Errorf("alltoallv events = %d, want %d", got, p)
+	}
+	if got := ct.Bytes("alltoallv"); got != int64(2*p) {
+		t.Errorf("alltoallv bytes = %d, want %d", got, 2*p)
+	}
+	if ct.Count("send") != 1 || ct.Count("recv") != 1 {
+		t.Errorf("p2p events = %d/%d, want 1/1", ct.Count("send"), ct.Count("recv"))
+	}
+	if got := ct.Bytes("send"); got != 5 {
+		t.Errorf("send bytes = %d, want 5", got)
+	}
+}
+
+func TestLogTracer(t *testing.T) {
+	var sb strings.Builder
+	w := testWorld(2)
+	w.SetTracer(NewLogTracer(&sb))
+	err := w.Run(func(c *Comm) error { return c.Barrier() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "op=barrier") || strings.Count(out, "\n") != 2 {
+		t.Errorf("log tracer output:\n%s", out)
+	}
+}
+
+func TestNoTracerIsFree(t *testing.T) {
+	// The default (no tracer) path must not panic or allocate trace events.
+	w := testWorld(2)
+	err := w.Run(func(c *Comm) error { return c.Barrier() })
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,158 @@
+// Package mpi is an in-process, MPI-like message-passing runtime. It is the
+// substitute for MPICH in this reproduction (Go has no mature MPI bindings):
+// ranks are goroutines inside one OS process, collectives have true MPI
+// semantics (all ranks participate, data is exchanged, the call
+// synchronizes), and every operation charges simulated network time from an
+// alpha-beta cost model to the calling rank's clock. Collective calls
+// synchronize the participants' simulated clocks to the maximum, so barrier
+// waits caused by load imbalance show up in measured execution time just as
+// they do on a real machine.
+//
+// The runtime supports the subset of MPI that MapReduce engines need:
+// Barrier, Alltoallv, Allreduce, Allgather(v), Bcast, Gather(v), and
+// tagged point-to-point Send/Recv.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mimir/internal/simtime"
+)
+
+// ErrAborted is returned from every pending and subsequent operation after
+// any rank aborts the world (typically because a rank's function returned an
+// error, e.g. out-of-memory).
+var ErrAborted = errors.New("mpi: world aborted")
+
+// Config describes a world.
+type Config struct {
+	// Size is the number of ranks. Must be >= 1.
+	Size int
+	// Net is the network cost model used to charge simulated time.
+	Net simtime.NetworkModel
+}
+
+// World is a set of ranks that can communicate. Create one with NewWorld and
+// execute an SPMD function on all ranks with Run.
+type World struct {
+	size   int
+	net    simtime.NetworkModel
+	clocks []*simtime.Clock
+	rv     *rendezvous
+	boxes  []*mailbox
+
+	abortOnce sync.Once
+	abortErr  error
+
+	tracer Tracer
+}
+
+// NewWorld creates a world with cfg.Size ranks.
+func NewWorld(cfg Config) *World {
+	if cfg.Size < 1 {
+		panic(fmt.Sprintf("mpi: invalid world size %d", cfg.Size))
+	}
+	w := &World{
+		size:   cfg.Size,
+		net:    cfg.Net,
+		clocks: make([]*simtime.Clock, cfg.Size),
+		boxes:  make([]*mailbox, cfg.Size),
+	}
+	for i := range w.clocks {
+		w.clocks[i] = simtime.NewClock()
+		w.boxes[i] = newMailbox()
+	}
+	w.rv = newRendezvous(cfg.Size)
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Clock returns the simulated clock of the given rank. Read it only after
+// Run returns (or from the owning rank).
+func (w *World) Clock(rank int) *simtime.Clock { return w.clocks[rank] }
+
+// MaxTime returns the maximum simulated time across all ranks; this is the
+// job execution time the experiment harness reports.
+func (w *World) MaxTime() float64 {
+	var max float64
+	for _, c := range w.clocks {
+		if c.Now() > max {
+			max = c.Now()
+		}
+	}
+	return max
+}
+
+// Run executes f once per rank, each on its own goroutine, and waits for all
+// of them. If any rank returns a non-nil error the world is aborted: every
+// rank blocked in (or later entering) a communication call gets ErrAborted.
+// Run returns the first original (non-ErrAborted) error, or nil.
+func (w *World) Run(f func(*Comm) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			err := f(&Comm{world: w, rank: rank})
+			if err != nil {
+				w.abort(err)
+			}
+			errs[rank] = err
+		}(r)
+	}
+	wg.Wait()
+	// Prefer a root-cause error over the ErrAborted echoes from other ranks.
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, ErrAborted) {
+			return err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// abort terminates all communication in the world with the given cause.
+func (w *World) abort(cause error) {
+	w.abortOnce.Do(func() {
+		w.abortErr = fmt.Errorf("%w: %v", ErrAborted, cause)
+		w.rv.abort(w.abortErr)
+		for _, b := range w.boxes {
+			b.abort(w.abortErr)
+		}
+	})
+}
+
+// Comm is one rank's handle to the world. A Comm is used by exactly one
+// goroutine (the rank's) and is not safe for sharing.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return c.world.size }
+
+// Clock returns this rank's simulated clock. Engines charge compute and I/O
+// time to it; the runtime charges communication time.
+func (c *Comm) Clock() *simtime.Clock { return c.world.clocks[c.rank] }
+
+// Net returns the world's network model.
+func (c *Comm) Net() simtime.NetworkModel { return c.world.net }
+
+// Abort terminates the world with the given cause; all communication calls
+// on all ranks return ErrAborted from now on.
+func (c *Comm) Abort(cause error) { c.world.abort(cause) }

@@ -1,0 +1,294 @@
+package mrmpi
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"mimir/internal/core"
+	"mimir/internal/mem"
+	"mimir/internal/mpi"
+	"mimir/internal/pfs"
+)
+
+// runSortKeys maps the given lines, sorts, and returns each rank's key
+// order.
+func runSortKeys(t *testing.T, p, pageSize int, lines []string) [][]string {
+	t.Helper()
+	w := mpi.NewWorld(mpi.Config{Size: p, Net: testNet()})
+	arena := mem.NewArena(0)
+	spill := pfs.New(pfs.Config{Bandwidth: 1e9})
+	orders := make([][]string, p)
+	err := w.Run(func(c *mpi.Comm) error {
+		mr := New(c, Config{Arena: arena, PageSize: pageSize, Spill: spill})
+		defer mr.Free()
+		var mine []core.Record
+		for i, l := range lines {
+			if i%p == c.Rank() {
+				mine = append(mine, core.Record{Val: []byte(l)})
+			}
+		}
+		if err := mr.Map(core.SliceInput(mine), wcMap); err != nil {
+			return err
+		}
+		if err := mr.SortKeys(nil); err != nil {
+			return err
+		}
+		var order []string
+		err := mr.ScanOutput(func(k, v []byte) error {
+			order = append(order, string(k))
+			return nil
+		})
+		orders[c.Rank()] = order
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arena.Used() != 0 {
+		t.Fatalf("arena used %d after sort", arena.Used())
+	}
+	return orders
+}
+
+func checkSorted(t *testing.T, orders [][]string, wantTotal int) {
+	t.Helper()
+	total := 0
+	for r, order := range orders {
+		total += len(order)
+		for i := 1; i < len(order); i++ {
+			if order[i-1] > order[i] {
+				t.Fatalf("rank %d not sorted at %d: %q > %q", r, i, order[i-1], order[i])
+			}
+		}
+	}
+	if total != wantTotal {
+		t.Fatalf("sorted %d records, want %d", total, wantTotal)
+	}
+}
+
+func TestSortKeysInMemory(t *testing.T) {
+	lines := []string{"delta alpha echo", "charlie bravo foxtrot"}
+	orders := runSortKeys(t, 2, 64<<10, lines)
+	checkSorted(t, orders, 6)
+}
+
+func TestSortKeysExternal(t *testing.T) {
+	// A tiny page forces the run-merge path.
+	lines := make([]string, 50)
+	nwords := 0
+	for i := range lines {
+		lines[i] = fmt.Sprintf("w%02d q%02d a%02d", (i*7)%50, (i*3)%50, (i*11)%50)
+		nwords += 3
+	}
+	orders := runSortKeys(t, 2, 128, lines)
+	checkSorted(t, orders, nwords)
+}
+
+func TestSortKeysCustomComparator(t *testing.T) {
+	w := mpi.NewWorld(mpi.Config{Size: 1, Net: testNet()})
+	arena := mem.NewArena(0)
+	spill := pfs.New(pfs.Config{Bandwidth: 1e9})
+	err := w.Run(func(c *mpi.Comm) error {
+		mr := New(c, Config{Arena: arena, Spill: spill})
+		defer mr.Free()
+		if err := mr.Map(core.SliceInput([]core.Record{{Val: []byte("a c b d")}}), wcMap); err != nil {
+			return err
+		}
+		// Descending order.
+		desc := func(a, b []byte) int { return -bytes.Compare(a, b) }
+		if err := mr.SortKeys(desc); err != nil {
+			return err
+		}
+		var order []string
+		if err := mr.ScanOutput(func(k, v []byte) error {
+			order = append(order, string(k))
+			return nil
+		}); err != nil {
+			return err
+		}
+		if !sort.SliceIsSorted(order, func(i, j int) bool { return order[i] > order[j] }) {
+			return fmt.Errorf("not descending: %v", order)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: external sort output equals in-memory sort output for random
+// word multisets.
+func TestSortKeysExternalMatchesInMemoryProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		n := int(seed%40) + 5
+		lines := make([]string, n)
+		for i := range lines {
+			lines[i] = fmt.Sprintf("t%d u%d", (int(seed)+i*13)%23, (int(seed)+i*7)%31)
+		}
+		inMem := runSortKeys(t, 1, 1<<20, lines)
+		ext := runSortKeys(t, 1, 64, lines)
+		if len(inMem[0]) != len(ext[0]) {
+			return false
+		}
+		for i := range inMem[0] {
+			if inMem[0][i] != ext[0][i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortKeysBeforeMapFails(t *testing.T) {
+	w := mpi.NewWorld(mpi.Config{Size: 1, Net: testNet()})
+	arena := mem.NewArena(0)
+	spill := pfs.New(pfs.Config{})
+	err := w.Run(func(c *mpi.Comm) error {
+		mr := New(c, Config{Arena: arena, Spill: spill})
+		if err := mr.SortKeys(nil); err == nil {
+			return fmt.Errorf("SortKeys before Map succeeded")
+		}
+		if err := mr.GatherTo(1); err == nil {
+			return fmt.Errorf("GatherTo before Map succeeded")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherTo(t *testing.T) {
+	const p = 4
+	w := mpi.NewWorld(mpi.Config{Size: p, Net: testNet()})
+	arena := mem.NewArena(0)
+	spill := pfs.New(pfs.Config{Bandwidth: 1e9})
+	var mu sync.Mutex
+	perRank := make([]int64, p)
+	var total int64
+	err := w.Run(func(c *mpi.Comm) error {
+		mr := New(c, Config{Arena: arena, Spill: spill})
+		defer mr.Free()
+		input := core.SliceInput([]core.Record{
+			{Val: []byte(fmt.Sprintf("r%d w1 w2 w3", c.Rank()))},
+		})
+		if err := mr.Map(input, wcMap); err != nil {
+			return err
+		}
+		if err := mr.GatherTo(1); err != nil {
+			return err
+		}
+		n := int64(0)
+		if err := mr.ScanOutput(func(k, v []byte) error { n++; return nil }); err != nil {
+			return err
+		}
+		mu.Lock()
+		perRank[c.Rank()] = n
+		total += n
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 16 {
+		t.Errorf("gathered %d KVs, want 16", total)
+	}
+	if perRank[0] != 16 {
+		t.Errorf("rank 0 holds %d, want all 16", perRank[0])
+	}
+	for r := 1; r < p; r++ {
+		if perRank[r] != 0 {
+			t.Errorf("rank %d holds %d after GatherTo(1)", r, perRank[r])
+		}
+	}
+}
+
+func TestMapKV(t *testing.T) {
+	// Re-map the current KVs: double every count, upper-case every key.
+	w := mpi.NewWorld(mpi.Config{Size: 2, Net: testNet()})
+	arena := mem.NewArena(0)
+	spill := pfs.New(pfs.Config{Bandwidth: 1e9})
+	var mu sync.Mutex
+	counts := map[string]uint64{}
+	err := w.Run(func(c *mpi.Comm) error {
+		mr := New(c, Config{Arena: arena, Spill: spill})
+		defer mr.Free()
+		if err := mr.Map(core.SliceInput([]core.Record{
+			{Val: []byte("a b a")},
+		}), wcMap); err != nil {
+			return err
+		}
+		double := func(rec core.Record, emit core.Emitter) error {
+			return emit.Emit(bytes.ToUpper(rec.Key), core.Uint64Bytes(2*core.BytesUint64(rec.Val)))
+		}
+		if err := mr.MapKV(double); err != nil {
+			return err
+		}
+		if err := mr.Collate(); err != nil {
+			return err
+		}
+		if err := mr.Reduce(wcReduce); err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return mr.ScanOutput(func(k, v []byte) error {
+			counts[string(k)] += core.BytesUint64(v)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both ranks map "a b a": A appears 2 ranks x 2 times x 2 = 8, B = 4.
+	if counts["A"] != 8 || counts["B"] != 4 {
+		t.Errorf("counts = %v, want A=8 B=4", counts)
+	}
+	w2 := mpi.NewWorld(mpi.Config{Size: 1, Net: testNet()})
+	err = w2.Run(func(c *mpi.Comm) error {
+		mr := New(c, Config{Arena: arena, Spill: spill})
+		if err := mr.MapKV(double()); err == nil {
+			return fmt.Errorf("MapKV before Map succeeded")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func double() core.MapFunc {
+	return func(rec core.Record, emit core.Emitter) error { return nil }
+}
+
+func TestGatherToValidation(t *testing.T) {
+	w := mpi.NewWorld(mpi.Config{Size: 2, Net: testNet()})
+	arena := mem.NewArena(0)
+	spill := pfs.New(pfs.Config{})
+	err := w.Run(func(c *mpi.Comm) error {
+		mr := New(c, Config{Arena: arena, Spill: spill})
+		defer mr.Free()
+		if err := mr.Map(core.SliceInput(nil), wcMap); err != nil {
+			return err
+		}
+		if err := mr.GatherTo(0); err == nil {
+			return fmt.Errorf("GatherTo(0) accepted")
+		}
+		if err := mr.GatherTo(3); err == nil {
+			return fmt.Errorf("GatherTo(>size) accepted")
+		}
+		// A valid gather with empty data must still complete collectively.
+		return mr.GatherTo(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

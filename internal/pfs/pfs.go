@@ -1,0 +1,149 @@
+// Package pfs simulates the globally shared parallel file system of a
+// supercomputer (Lustre on Comet, GPFS behind 1:128 I/O forwarding nodes on
+// Mira). Supercomputer nodes have no local disk, so both input data and
+// MR-MPI's out-of-core page spills go through this file system — which is
+// why spilling costs orders of magnitude more than memory and produces the
+// performance cliff of Figure 1.
+//
+// Files are backed by process memory (this is a simulation of storage, so
+// their bytes are deliberately NOT charged to any node's memory arena);
+// every operation charges simulated I/O time to the calling rank's clock
+// using a shared-bandwidth model.
+package pfs
+
+import (
+	"fmt"
+	"sync"
+
+	"mimir/internal/simtime"
+)
+
+// Config describes the file system's performance.
+type Config struct {
+	// Bandwidth is the aggregate file-system bandwidth in (effective,
+	// scale-calibrated) bytes per second.
+	Bandwidth float64
+	// Latency is the fixed per-operation cost in seconds (metadata, RPC).
+	Latency float64
+	// Sharers is the number of clients the aggregate bandwidth is divided
+	// among: on Comet every rank of the job shares the Lustre pipes; on Mira
+	// each group of 128 nodes funnels through one I/O forwarding node. The
+	// experiment harness sets this to the number of ranks in the job
+	// (capped by the forwarding ratio on Mira). Zero means 1.
+	Sharers int
+}
+
+func (c Config) perClientSeconds(n int) float64 {
+	sharers := c.Sharers
+	if sharers < 1 {
+		sharers = 1
+	}
+	if c.Bandwidth <= 0 {
+		return c.Latency
+	}
+	return c.Latency + float64(n)*float64(sharers)/c.Bandwidth
+}
+
+// FS is a simulated parallel file system shared by all ranks.
+type FS struct {
+	cfg Config
+
+	mu           sync.Mutex
+	files        map[string][]byte
+	bytesRead    int64
+	bytesWritten int64
+	ops          int64
+}
+
+// New creates an empty file system.
+func New(cfg Config) *FS {
+	return &FS{cfg: cfg, files: make(map[string][]byte)}
+}
+
+// Append adds data to the end of the named file (creating it if needed) and
+// charges the write cost to clock.
+func (fs *FS) Append(clock *simtime.Clock, name string, data []byte) {
+	fs.mu.Lock()
+	fs.files[name] = append(fs.files[name], data...)
+	fs.bytesWritten += int64(len(data))
+	fs.ops++
+	fs.mu.Unlock()
+	if clock != nil {
+		clock.Advance(fs.cfg.perClientSeconds(len(data)), simtime.IO)
+	}
+}
+
+// ReadAll returns a copy of the named file's contents, charging the read
+// cost to clock. Reading a missing file is an error.
+func (fs *FS) ReadAll(clock *simtime.Clock, name string) ([]byte, error) {
+	fs.mu.Lock()
+	data, ok := fs.files[name]
+	if ok {
+		fs.bytesRead += int64(len(data))
+		fs.ops++
+	}
+	fs.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("pfs: no such file %q", name)
+	}
+	if clock != nil {
+		clock.Advance(fs.cfg.perClientSeconds(len(data)), simtime.IO)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// ReadAt returns a copy of n bytes at offset off of the named file.
+func (fs *FS) ReadAt(clock *simtime.Clock, name string, off, n int64) ([]byte, error) {
+	fs.mu.Lock()
+	data, ok := fs.files[name]
+	if ok && off >= 0 && off+n <= int64(len(data)) {
+		fs.bytesRead += n
+		fs.ops++
+	}
+	fs.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("pfs: no such file %q", name)
+	}
+	if off < 0 || off+n > int64(len(data)) {
+		return nil, fmt.Errorf("pfs: read [%d,%d) out of range of %q (size %d)", off, off+n, name, len(data))
+	}
+	if clock != nil {
+		clock.Advance(fs.cfg.perClientSeconds(int(n)), simtime.IO)
+	}
+	return append([]byte(nil), data[off:off+n]...), nil
+}
+
+// Size returns the current size of the named file (0 if absent).
+func (fs *FS) Size(name string) int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return int64(len(fs.files[name]))
+}
+
+// Remove deletes the named file; removing a missing file is a no-op.
+func (fs *FS) Remove(name string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	delete(fs.files, name)
+}
+
+// ChargeRead charges clock for reading n bytes without transferring data.
+// The workload generators use it to account for reading the (synthetic)
+// input dataset from the parallel file system, which the paper includes in
+// execution time.
+func (fs *FS) ChargeRead(clock *simtime.Clock, n int64) {
+	fs.mu.Lock()
+	fs.bytesRead += n
+	fs.ops++
+	fs.mu.Unlock()
+	if clock != nil {
+		clock.Advance(fs.cfg.perClientSeconds(int(n)), simtime.IO)
+	}
+}
+
+// Stats returns total bytes read, bytes written, and operation count.
+func (fs *FS) Stats() (bytesRead, bytesWritten, ops int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.bytesRead, fs.bytesWritten, fs.ops
+}

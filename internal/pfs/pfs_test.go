@@ -1,0 +1,130 @@
+package pfs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"mimir/internal/simtime"
+)
+
+func TestAppendRead(t *testing.T) {
+	fs := New(Config{Bandwidth: 1e6, Latency: 1e-3, Sharers: 1})
+	c := simtime.NewClock()
+	fs.Append(c, "spill.0", []byte("hello "))
+	fs.Append(c, "spill.0", []byte("world"))
+	got, err := fs.ReadAll(c, "spill.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello world" {
+		t.Errorf("ReadAll = %q", got)
+	}
+	if fs.Size("spill.0") != 11 {
+		t.Errorf("Size = %d, want 11", fs.Size("spill.0"))
+	}
+	r, w, ops := fs.Stats()
+	if r != 11 || w != 11 || ops != 3 {
+		t.Errorf("Stats = (%d,%d,%d), want (11,11,3)", r, w, ops)
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	fs := New(Config{})
+	if _, err := fs.ReadAll(nil, "nope"); err == nil || !strings.Contains(err.Error(), "no such file") {
+		t.Errorf("ReadAll(missing) = %v", err)
+	}
+}
+
+func TestReadAt(t *testing.T) {
+	fs := New(Config{Bandwidth: 1e9})
+	c := simtime.NewClock()
+	fs.Append(c, "f", []byte("0123456789"))
+	got, err := fs.ReadAt(c, "f", 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("3456")) {
+		t.Errorf("ReadAt = %q", got)
+	}
+	if _, err := fs.ReadAt(c, "f", 8, 5); err == nil {
+		t.Error("out-of-range ReadAt succeeded")
+	}
+	if _, err := fs.ReadAt(c, "g", 0, 1); err == nil {
+		t.Error("ReadAt on missing file succeeded")
+	}
+}
+
+func TestTimeCharging(t *testing.T) {
+	fs := New(Config{Bandwidth: 1000, Latency: 0.5, Sharers: 4})
+	c := simtime.NewClock()
+	fs.Append(c, "f", make([]byte, 1000))
+	// 0.5 latency + 1000 bytes * 4 sharers / 1000 B/s = 4.5s
+	want := 0.5 + 4.0
+	if got := c.Spent(simtime.IO); got != want {
+		t.Errorf("IO time = %v, want %v", got, want)
+	}
+}
+
+func TestChargeRead(t *testing.T) {
+	fs := New(Config{Bandwidth: 100, Latency: 0})
+	c := simtime.NewClock()
+	fs.ChargeRead(c, 200)
+	if got := c.Spent(simtime.IO); got != 2.0 {
+		t.Errorf("IO time = %v, want 2.0", got)
+	}
+	r, _, _ := fs.Stats()
+	if r != 200 {
+		t.Errorf("bytesRead = %d, want 200", r)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fs := New(Config{})
+	fs.Append(nil, "f", []byte("x"))
+	fs.Remove("f")
+	fs.Remove("f") // idempotent
+	if fs.Size("f") != 0 {
+		t.Error("file survived Remove")
+	}
+}
+
+func TestNilClockOK(t *testing.T) {
+	fs := New(Config{Bandwidth: 1})
+	fs.Append(nil, "f", []byte("x"))
+	if _, err := fs.ReadAll(nil, "f"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAppendDistinctFiles(t *testing.T) {
+	fs := New(Config{Bandwidth: 1e9})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := simtime.NewClock()
+			name := string(rune('a' + i))
+			for j := 0; j < 100; j++ {
+				fs.Append(c, name, []byte{byte(j)})
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 8; i++ {
+		if got := fs.Size(string(rune('a' + i))); got != 100 {
+			t.Errorf("file %d size = %d, want 100", i, got)
+		}
+	}
+}
+
+func TestZeroBandwidthChargesLatencyOnly(t *testing.T) {
+	fs := New(Config{Latency: 0.25})
+	c := simtime.NewClock()
+	fs.Append(c, "f", make([]byte, 1<<20))
+	if got := c.Spent(simtime.IO); got != 0.25 {
+		t.Errorf("IO time = %v, want latency only (0.25)", got)
+	}
+}

@@ -1,0 +1,176 @@
+// Package platform models the two evaluation machines of the paper — the
+// XSEDE Comet cluster (2x Intel Xeon E5-2680v3, 24 cores and 128 GB per
+// node, FDR InfiniBand, Lustre) and the IBM BG/Q Mira (16 PowerPC A2 cores
+// and 16 GB per node, 5D torus, GPFS behind 1:128 I/O forwarding nodes).
+//
+// All byte quantities are scaled down by Scale (1024x) so the paper's
+// 256 MB - 64 GB experiments run on a laptop in seconds: the paper's 64 MB
+// page becomes 64 KiB, Comet's 128 GB node becomes 128 MiB, and a "1G"
+// dataset becomes 1 MiB. Every ratio that drives the paper's results
+// (dataset/page, dataset/node-memory, buffer/page) is preserved exactly.
+//
+// The cost constants are *effective* values calibrated so that simulated
+// execution times of scaled workloads land in the ranges the paper reports
+// for the full-size workloads (e.g. WordCount on a "1G" dataset on one Comet
+// node takes a few simulated seconds, and the out-of-core cliff of Figure 1
+// reaches three orders of magnitude). They are not microarchitectural
+// measurements.
+package platform
+
+import (
+	"mimir/internal/core"
+	"mimir/internal/pfs"
+	"mimir/internal/simtime"
+)
+
+// Scale is the factor by which all dataset, page, buffer, and node-memory
+// sizes are divided relative to the paper.
+const Scale = 1024
+
+// Platform describes one evaluation machine.
+type Platform struct {
+	Name string
+	// CoresPerNode is the number of MPI ranks placed per node (the paper
+	// runs one rank per core).
+	CoresPerNode int
+	// NodeMemory is the usable memory per node in scaled bytes.
+	NodeMemory int64
+	// PageSize is the default buffer page size in scaled bytes (the paper's
+	// 64 MB default for both frameworks).
+	PageSize int
+	// MaxPageSize is the largest MR-MPI page size the node supports (512 MB
+	// on Comet, 128 MB on Mira in the paper), scaled.
+	MaxPageSize int
+	// Net is the interconnect cost model.
+	Net simtime.NetworkModel
+	// InputFS models streaming reads of input datasets from the parallel
+	// file system.
+	InputFS pfs.Config
+	// SpillFS models MR-MPI's out-of-core page traffic: small, latency-bound
+	// writes and re-reads that achieve far lower effective bandwidth than
+	// streaming input reads. This is what produces Figure 1's cliff.
+	SpillFS pfs.Config
+	// IOForwardRatio is the compute-to-I/O-forwarding-node ratio (128 on
+	// Mira, 1 on Comet where every node mounts Lustre directly).
+	IOForwardRatio int
+
+	// Compute cost constants, in effective seconds.
+	MapCostPerByte    float64 // user map processing per input byte
+	KVCostPerByte     float64 // per intermediate KV byte handled (hash, copy, insert)
+	PerRecordCost     float64 // fixed per-KV overhead
+	ReduceCostPerByte float64 // convert + user reduce per intermediate byte
+}
+
+// KiB and MiB are scaled-size helpers: in paper terms, MiB reads as "GB".
+const (
+	KiB = 1 << 10
+	MiB = 1 << 20
+)
+
+// Comet returns the model of SDSC's Comet cluster.
+func Comet() *Platform {
+	return &Platform{
+		Name:         "Comet",
+		CoresPerNode: 24,
+		NodeMemory:   128 * MiB, // 128 GB
+		PageSize:     64 * KiB,  // 64 MB
+		MaxPageSize:  512 * KiB, // 512 MB
+		Net:          simtime.NetworkModel{Alpha: 5e-6, Beta: 6e6},
+		InputFS:      pfs.Config{Bandwidth: 2e6, Latency: 1e-4},
+		SpillFS:      pfs.Config{Bandwidth: 2e5, Latency: 2e-3},
+
+		IOForwardRatio:    1,
+		MapCostPerByte:    2.0e-5,
+		KVCostPerByte:     1.0e-5,
+		PerRecordCost:     2.0e-7,
+		ReduceCostPerByte: 1.0e-5,
+	}
+}
+
+// Mira returns the model of Argonne's Mira BG/Q system. The PowerPC A2
+// cores are far slower than Comet's Xeons, the node has only 16 GB, and all
+// I/O funnels through forwarding nodes shared by 128 compute nodes.
+func Mira() *Platform {
+	return &Platform{
+		Name:         "Mira",
+		CoresPerNode: 16,
+		NodeMemory:   16 * MiB,  // 16 GB
+		PageSize:     64 * KiB,  // 64 MB
+		MaxPageSize:  128 * KiB, // 128 MB
+		Net:          simtime.NetworkModel{Alpha: 3e-6, Beta: 1.8e6},
+		InputFS:      pfs.Config{Bandwidth: 8e5, Latency: 5e-4},
+		SpillFS:      pfs.Config{Bandwidth: 2e4, Latency: 1e-2},
+
+		IOForwardRatio:    128,
+		MapCostPerByte:    2.0e-4,
+		KVCostPerByte:     1.0e-4,
+		PerRecordCost:     2.0e-6,
+		ReduceCostPerByte: 1.0e-4,
+	}
+}
+
+// Laptop returns a small unconstrained platform for examples and unit tests:
+// generous memory, negligible network and I/O costs.
+func Laptop() *Platform {
+	return &Platform{
+		Name:           "Laptop",
+		CoresPerNode:   4,
+		NodeMemory:     0, // unlimited
+		PageSize:       64 * KiB,
+		MaxPageSize:    512 * KiB,
+		Net:            simtime.NetworkModel{Alpha: 1e-7, Beta: 1e9},
+		InputFS:        pfs.Config{Bandwidth: 1e9},
+		SpillFS:        pfs.Config{Bandwidth: 1e8},
+		IOForwardRatio: 1,
+
+		MapCostPerByte:    1e-9,
+		KVCostPerByte:     1e-9,
+		PerRecordCost:     1e-9,
+		ReduceCostPerByte: 1e-9,
+	}
+}
+
+// Costs returns the platform's compute cost constants in the form the
+// engines consume.
+func (p *Platform) Costs() core.Costs {
+	return core.Costs{
+		MapPerByte:    p.MapCostPerByte,
+		KVPerByte:     p.KVCostPerByte,
+		PerRecord:     p.PerRecordCost,
+		ReducePerByte: p.ReduceCostPerByte,
+	}
+}
+
+// Sharers returns the pfs contention divisor for a job running on the given
+// number of nodes: on Comet every rank in the job shares the Lustre
+// bandwidth; on Mira contention is bounded by the ranks funneling through
+// one I/O forwarding node (128 nodes per forwarding node).
+func (p *Platform) Sharers(nodes int) int {
+	n := nodes
+	if p.IOForwardRatio > 1 && n > p.IOForwardRatio {
+		n = p.IOForwardRatio
+	}
+	s := n * p.CoresPerNode
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// InputFSFor returns an input file system configured for a job on the given
+// number of nodes. Streaming input reads see per-client bandwidth (Lustre
+// and GPFS stripe across servers, so aggregate read bandwidth grows with
+// the client count); only the spill path is modeled as contended.
+func (p *Platform) InputFSFor(nodes int) *pfs.FS {
+	cfg := p.InputFS
+	cfg.Sharers = 1
+	return pfs.New(cfg)
+}
+
+// SpillFSFor returns a spill file system configured for a job on the given
+// number of nodes.
+func (p *Platform) SpillFSFor(nodes int) *pfs.FS {
+	cfg := p.SpillFS
+	cfg.Sharers = p.Sharers(nodes)
+	return pfs.New(cfg)
+}

@@ -1,0 +1,74 @@
+package platform
+
+import "testing"
+
+func TestPresetsPreserveRatios(t *testing.T) {
+	// The paper's ratios must survive the 1024x scaling.
+	comet := Comet()
+	if got := comet.NodeMemory / int64(comet.PageSize); got != 2048 {
+		t.Errorf("Comet node/page ratio = %d, want 2048 (128 GB / 64 MB)", got)
+	}
+	if got := comet.MaxPageSize / comet.PageSize; got != 8 {
+		t.Errorf("Comet max/default page ratio = %d, want 8 (512/64)", got)
+	}
+	mira := Mira()
+	if got := mira.NodeMemory / int64(mira.PageSize); got != 256 {
+		t.Errorf("Mira node/page ratio = %d, want 256 (16 GB / 64 MB)", got)
+	}
+	if got := mira.MaxPageSize / mira.PageSize; got != 2 {
+		t.Errorf("Mira max/default page ratio = %d, want 2 (128/64)", got)
+	}
+}
+
+func TestCores(t *testing.T) {
+	if got := Comet().CoresPerNode; got != 24 {
+		t.Errorf("Comet cores = %d, want 24", got)
+	}
+	if got := Mira().CoresPerNode; got != 16 {
+		t.Errorf("Mira cores = %d, want 16", got)
+	}
+}
+
+func TestSharers(t *testing.T) {
+	comet := Comet()
+	if got := comet.Sharers(1); got != 24 {
+		t.Errorf("Comet Sharers(1) = %d, want 24", got)
+	}
+	if got := comet.Sharers(64); got != 64*24 {
+		t.Errorf("Comet Sharers(64) = %d, want %d", got, 64*24)
+	}
+	mira := Mira()
+	if got := mira.Sharers(1); got != 16 {
+		t.Errorf("Mira Sharers(1) = %d, want 16", got)
+	}
+	// Beyond the forwarding ratio, contention per forwarding node saturates.
+	if got := mira.Sharers(1024); got != 128*16 {
+		t.Errorf("Mira Sharers(1024) = %d, want %d", got, 128*16)
+	}
+}
+
+func TestSharersMinimum(t *testing.T) {
+	p := &Platform{CoresPerNode: 0, IOForwardRatio: 1}
+	if got := p.Sharers(0); got != 1 {
+		t.Errorf("Sharers floor = %d, want 1", got)
+	}
+}
+
+func TestMiraSlowerThanComet(t *testing.T) {
+	c, m := Comet(), Mira()
+	if m.MapCostPerByte <= c.MapCostPerByte {
+		t.Error("Mira per-byte map cost should exceed Comet's (A2 vs Xeon)")
+	}
+	if m.NodeMemory >= c.NodeMemory {
+		t.Error("Mira node memory should be smaller than Comet's")
+	}
+}
+
+func TestFSFactories(t *testing.T) {
+	p := Comet()
+	in := p.InputFSFor(2)
+	sp := p.SpillFSFor(2)
+	if in == nil || sp == nil {
+		t.Fatal("nil fs")
+	}
+}

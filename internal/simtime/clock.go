@@ -1,0 +1,77 @@
+// Package simtime provides deterministic simulated time for the Mimir
+// reproduction. Real supercomputer runs in the paper report wall-clock
+// seconds on Comet and Mira; this reproduction replays the same workloads
+// on an in-process MPI runtime and charges simulated costs (compute,
+// network, I/O) to per-rank clocks instead. Collectives synchronize the
+// clocks of all participants to the maximum, which is what makes load
+// imbalance and barrier waiting visible in the weak-scaling figures.
+package simtime
+
+import "fmt"
+
+// Kind classifies where simulated time is spent. The breakdown is reported
+// by the experiment harness next to total execution time.
+type Kind int
+
+const (
+	// Compute is time spent in map/convert/reduce callbacks and data movement
+	// within a rank's own memory.
+	Compute Kind = iota
+	// Comm is time spent in MPI communication, including barrier waits.
+	Comm
+	// IO is time spent reading or writing the simulated parallel file system.
+	IO
+	numKinds
+)
+
+// String returns the conventional short name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case Comm:
+		return "comm"
+	case IO:
+		return "io"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Clock tracks simulated elapsed seconds for a single MPI rank. A Clock is
+// not safe for concurrent use; each rank owns exactly one.
+type Clock struct {
+	now   float64
+	spent [numKinds]float64
+}
+
+// NewClock returns a clock at time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current simulated time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// Advance moves the clock forward by d seconds, attributing the interval to
+// the given kind. Negative durations are ignored.
+func (c *Clock) Advance(d float64, kind Kind) {
+	if d <= 0 {
+		return
+	}
+	c.now += d
+	c.spent[kind] += d
+}
+
+// SyncTo jumps the clock forward to time t if t is in the future,
+// attributing the waiting interval to Comm (barrier wait). It never moves
+// the clock backward.
+func (c *Clock) SyncTo(t float64) {
+	if t > c.now {
+		c.spent[Comm] += t - c.now
+		c.now = t
+	}
+}
+
+// Spent returns the accumulated seconds attributed to kind.
+func (c *Clock) Spent(kind Kind) float64 { return c.spent[kind] }
+
+// Reset returns the clock to time zero and clears the breakdown.
+func (c *Clock) Reset() { *c = Clock{} }

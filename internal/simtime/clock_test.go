@@ -1,0 +1,119 @@
+package simtime
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %v, want 0", c.Now())
+	}
+	c.Advance(1.5, Compute)
+	c.Advance(0.5, Comm)
+	c.Advance(2.0, IO)
+	if got := c.Now(); got != 4.0 {
+		t.Errorf("Now() = %v, want 4.0", got)
+	}
+	if got := c.Spent(Compute); got != 1.5 {
+		t.Errorf("Spent(Compute) = %v, want 1.5", got)
+	}
+	if got := c.Spent(Comm); got != 0.5 {
+		t.Errorf("Spent(Comm) = %v, want 0.5", got)
+	}
+	if got := c.Spent(IO); got != 2.0 {
+		t.Errorf("Spent(IO) = %v, want 2.0", got)
+	}
+}
+
+func TestClockAdvanceNegativeIgnored(t *testing.T) {
+	c := NewClock()
+	c.Advance(-1, Compute)
+	c.Advance(0, Comm)
+	if c.Now() != 0 {
+		t.Errorf("Now() = %v, want 0 after non-positive advances", c.Now())
+	}
+}
+
+func TestClockSyncTo(t *testing.T) {
+	c := NewClock()
+	c.Advance(1, Compute)
+	c.SyncTo(3)
+	if c.Now() != 3 {
+		t.Errorf("Now() = %v, want 3", c.Now())
+	}
+	if c.Spent(Comm) != 2 {
+		t.Errorf("Spent(Comm) = %v, want 2 (barrier wait)", c.Spent(Comm))
+	}
+	// Syncing backward must be a no-op.
+	c.SyncTo(1)
+	if c.Now() != 3 {
+		t.Errorf("Now() = %v after backward sync, want 3", c.Now())
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	c := NewClock()
+	c.Advance(5, IO)
+	c.Reset()
+	if c.Now() != 0 || c.Spent(IO) != 0 {
+		t.Errorf("after Reset: Now=%v Spent(IO)=%v, want zeros", c.Now(), c.Spent(IO))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{Compute: "compute", Comm: "comm", IO: "io", Kind(42): "Kind(42)"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestNetworkModelPointToPoint(t *testing.T) {
+	m := NetworkModel{Alpha: 1e-6, Beta: 1e9}
+	got := m.PointToPoint(1000)
+	want := 1e-6 + 1000.0/1e9
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("PointToPoint = %v, want %v", got, want)
+	}
+}
+
+func TestNetworkModelBarrier(t *testing.T) {
+	m := NetworkModel{Alpha: 2e-6, Beta: 1e9}
+	if got := m.Barrier(1); got != 0 {
+		t.Errorf("Barrier(1) = %v, want 0", got)
+	}
+	if got := m.Barrier(8); math.Abs(got-3*2e-6) > 1e-15 {
+		t.Errorf("Barrier(8) = %v, want %v", got, 3*2e-6)
+	}
+	// Non-power-of-two rounds the tree depth up.
+	if got := m.Barrier(9); math.Abs(got-4*2e-6) > 1e-15 {
+		t.Errorf("Barrier(9) = %v, want %v", got, 4*2e-6)
+	}
+}
+
+func TestNetworkModelAlltoallv(t *testing.T) {
+	m := NetworkModel{Alpha: 1e-6, Beta: 1e8}
+	if got := m.Alltoallv(1, 100, 100); got != 0 {
+		t.Errorf("Alltoallv(p=1) = %v, want 0 (self exchange is free)", got)
+	}
+	got := m.Alltoallv(4, 1000, 3000)
+	want := 3*1e-6 + 4000.0/1e8
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Alltoallv = %v, want %v", got, want)
+	}
+}
+
+func TestNetworkModelReductionMonotonicInRanks(t *testing.T) {
+	m := NetworkModel{Alpha: 1e-6, Beta: 1e9}
+	prev := -1.0
+	for _, p := range []int{1, 2, 4, 16, 256} {
+		c := m.Reduction(p, 64)
+		if c < prev {
+			t.Errorf("Reduction cost decreased at p=%d: %v < %v", p, c, prev)
+		}
+		prev = c
+	}
+}

@@ -1,0 +1,48 @@
+package simtime
+
+import "math"
+
+// NetworkModel is the classic alpha-beta (latency-bandwidth) cost model used
+// to charge simulated time for MPI operations. It stands in for the FDR
+// InfiniBand fabric on Comet and the 5D torus on Mira.
+type NetworkModel struct {
+	// Alpha is the per-message latency in seconds.
+	Alpha float64
+	// Beta is the link bandwidth in bytes per second.
+	Beta float64
+}
+
+// PointToPoint returns the cost of moving n bytes between two ranks.
+func (m NetworkModel) PointToPoint(n int) float64 {
+	return m.Alpha + float64(n)/m.Beta
+}
+
+// Barrier returns the cost of a dissemination barrier across p ranks.
+func (m NetworkModel) Barrier(p int) float64 {
+	return m.Alpha * ceilLog2(p)
+}
+
+// Reduction returns the cost of a log-tree reduction of n bytes across p
+// ranks (used for Allreduce, Reduce, Bcast, and the gather family).
+func (m NetworkModel) Reduction(p, n int) float64 {
+	steps := ceilLog2(p)
+	return steps * (m.Alpha + float64(n)/m.Beta)
+}
+
+// Alltoallv returns the per-rank cost of a pairwise-exchange Alltoallv in
+// which this rank sends sendBytes in total and receives recvBytes in total.
+// Each rank exchanges with p-1 peers, paying latency per peer and bandwidth
+// on its own injected plus delivered volume.
+func (m NetworkModel) Alltoallv(p, sendBytes, recvBytes int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return m.Alpha*float64(p-1) + float64(sendBytes+recvBytes)/m.Beta
+}
+
+func ceilLog2(p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(p)))
+}

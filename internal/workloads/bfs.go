@@ -1,0 +1,283 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mimir/internal/core"
+	"mimir/internal/kvbuf"
+	"mimir/internal/mpi"
+	"mimir/internal/pfs"
+)
+
+// BFS is the paper's third benchmark: an iterative, map-only graph traversal
+// building a parents tree from a source vertex (one of the Graph500
+// kernels). It has two phases:
+//
+//  1. graph partitioning — one map-only MapReduce distributes every edge to
+//     the owner rank of its source endpoint, where the local adjacency is
+//     built (the paper notes BFS's peak memory occurs here);
+//  2. traversal — one map-only MapReduce per BFS level: the map expands the
+//     current frontier's neighbors, the shuffle routes (vertex, parent)
+//     candidates to the vertex's owner, and the owner marks unvisited
+//     vertices and forms the next frontier.
+//
+// Partial reduction does not apply (there is no reduce phase), matching the
+// paper; KV compression deduplicates candidate parents before the exchange.
+
+// BFSConfig describes one BFS run.
+type BFSConfig struct {
+	// Scale: the graph has 2^Scale vertices (the paper sweeps 2^18..2^26).
+	Scale int
+	// EdgeFactor is edges per vertex (default 16, Graph500's edgefactor).
+	EdgeFactor int
+	Seed       uint64
+	// Root is the source vertex (clamped into range).
+	Root uint64
+	// Validate runs the Graph500-style tree check after the traversal
+	// (root is its own parent, parents are visited, tree edges exist).
+	// Like Graph500's own validation it is not part of the timed kernel,
+	// so it is off by default and enabled by the tests.
+	Validate bool
+}
+
+// BFSResult summarizes a run.
+type BFSResult struct {
+	Visited int64 // vertices reached (global)
+	Depth   int   // BFS levels executed
+	Stats   StageStats
+}
+
+// BFSHint is BFS's KV-hint: vertices and parents are fixed 8-byte integers
+// (the paper's example of graph applications with fixed-length types).
+func BFSHint() kvbuf.Hint { return kvbuf.Hint{Key: kvbuf.Fixed(8), Val: kvbuf.Fixed(8)} }
+
+// BFSCombine keeps one candidate parent per vertex when compressing.
+func BFSCombine(_ []byte, existing, _ []byte) ([]byte, error) { return existing, nil }
+
+// vertexOwner must agree with the engines' key partitioning, which hashes
+// the encoded 8-byte key.
+func vertexOwner(v uint64, nranks int) int {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return int(kvbuf.HashKey(b[:]) % uint64(nranks))
+}
+
+// adjacency is a rank's partition of the graph.
+type adjacency struct {
+	neighbors map[uint64][]uint64
+	bytes     int64 // accounting estimate charged to the arena
+}
+
+const adjEntryBytes = 48 // per-vertex map overhead estimate
+const adjEdgeBytes = 8
+
+// RunBFS executes both phases on the given engine.
+func RunBFS(e Engine, fs *pfs.FS, cfg BFSConfig, opts StageOpts) (BFSResult, error) {
+	comm := e.Comm()
+	if cfg.EdgeFactor <= 0 {
+		cfg.EdgeFactor = DefaultEdgeFactor
+	}
+	nVerts := uint64(1) << uint(cfg.Scale)
+	root := cfg.Root % nVerts
+
+	arena := engineArena(e)
+	var res BFSResult
+
+	// ---- Phase 1: graph partitioning ----
+	edges := genEdges(cfg.Seed, cfg.Scale, cfg.EdgeFactor, comm.Rank(), comm.Size())
+	if fs != nil {
+		fs.ChargeRead(comm.Clock(), int64(len(edges))*16)
+	}
+	edgeInput := func(emit func(rec core.Record) error) error {
+		var rec [16]byte
+		for _, ed := range edges {
+			binary.LittleEndian.PutUint64(rec[0:], ed[0])
+			binary.LittleEndian.PutUint64(rec[8:], ed[1])
+			if err := emit(core.Record{Val: rec[:]}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Each undirected edge contributes both directions.
+	edgeMap := func(rec core.Record, emit core.Emitter) error {
+		u := rec.Val[0:8]
+		v := rec.Val[8:16]
+		if err := emit.Emit(u, v); err != nil {
+			return err
+		}
+		return emit.Emit(v, u)
+	}
+	adj := &adjacency{neighbors: map[uint64][]uint64{}}
+	charge := func(n int64) error {
+		if arena == nil {
+			return nil
+		}
+		if err := arena.Alloc(n); err != nil {
+			return fmt.Errorf("workloads: building adjacency: %w", err)
+		}
+		adj.bytes += n
+		return nil
+	}
+	defer func() {
+		if arena != nil && adj.bytes > 0 {
+			arena.Free(adj.bytes)
+		}
+	}()
+	// Phase 1 must not compress: every (u,v) pair is a distinct edge.
+	p1opts := opts
+	p1opts.Combiner = nil
+	p1opts.PartialReduce = nil
+	stats, err := e.RunStage(p1opts, edgeInput, edgeMap, nil, func(k, v []byte) error {
+		u := binary.LittleEndian.Uint64(k)
+		w := binary.LittleEndian.Uint64(v)
+		lst, ok := adj.neighbors[u]
+		if !ok {
+			if err := charge(adjEntryBytes); err != nil {
+				return err
+			}
+		}
+		if err := charge(adjEdgeBytes); err != nil {
+			return err
+		}
+		adj.neighbors[u] = append(lst, w)
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Stats = stats
+
+	// ---- Phase 2: traversal ----
+	parent := map[uint64]uint64{}
+	var frontier []uint64
+	if vertexOwner(root, comm.Size()) == comm.Rank() {
+		parent[root] = root
+		frontier = append(frontier, root)
+		if err := charge(16); err != nil {
+			return res, err
+		}
+	}
+	p2opts := opts
+	p2opts.PartialReduce = nil // map-only: no reduce to replace
+	for depth := 0; ; depth++ {
+		// Globally: is anyone still expanding?
+		local := int64(len(frontier))
+		total, err := comm.AllreduceInt64([]int64{local}, mpi.OpSum)
+		if err != nil {
+			return res, err
+		}
+		if total[0] == 0 {
+			res.Depth = depth
+			break
+		}
+		cur := frontier
+		frontier = nil
+		frontierInput := func(emit func(rec core.Record) error) error {
+			var rec [8]byte
+			for _, u := range cur {
+				binary.LittleEndian.PutUint64(rec[:], u)
+				if err := emit(core.Record{Val: rec[:]}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		expandMap := func(rec core.Record, emit core.Emitter) error {
+			u := binary.LittleEndian.Uint64(rec.Val)
+			for _, w := range adj.neighbors[u] {
+				var wb [8]byte
+				binary.LittleEndian.PutUint64(wb[:], w)
+				if err := emit.Emit(wb[:], rec.Val); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		stats, err := e.RunStage(p2opts, frontierInput, expandMap, nil, func(k, v []byte) error {
+			w := binary.LittleEndian.Uint64(k)
+			if _, seen := parent[w]; seen {
+				return nil
+			}
+			parent[w] = binary.LittleEndian.Uint64(v)
+			frontier = append(frontier, w)
+			return charge(16)
+		})
+		if err != nil {
+			return res, err
+		}
+		res.Stats.accumulate(stats)
+	}
+
+	visited, err := comm.AllreduceInt64([]int64{int64(len(parent))}, mpi.OpSum)
+	if err != nil {
+		return res, err
+	}
+	res.Visited = visited[0]
+
+	if cfg.Validate {
+		if err := validateBFSTree(comm, adj, parent, root); err != nil {
+			return res, fmt.Errorf("workloads: BFS validation failed: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// validateBFSTree runs the Graph500-style result check on the distributed
+// parents tree: (1) the root is its own parent; (2) every visited vertex's
+// parent is itself visited; (3) every tree edge (v, parent[v]) exists in
+// the graph. Checks 2 and 3 need remote information, gathered with one
+// map-reduce-free exchange: each rank sends (parent, v) queries to the
+// parent's owner, which verifies visitation and edge existence against its
+// local adjacency.
+func validateBFSTree(comm *mpi.Comm, adj *adjacency, parent map[uint64]uint64, root uint64) error {
+	p := comm.Size()
+	send := make([][]byte, p)
+	for v, pa := range parent {
+		if v == root {
+			if pa != root {
+				return fmt.Errorf("root %d has parent %d", root, pa)
+			}
+			continue
+		}
+		var q [16]byte
+		binary.LittleEndian.PutUint64(q[0:], pa)
+		binary.LittleEndian.PutUint64(q[8:], v)
+		owner := vertexOwner(pa, p)
+		send[owner] = append(send[owner], q[:]...)
+	}
+	recv, err := comm.Alltoallv(send)
+	if err != nil {
+		return err
+	}
+	bad := int64(0)
+	for _, chunk := range recv {
+		for off := 0; off+16 <= len(chunk); off += 16 {
+			pa := binary.LittleEndian.Uint64(chunk[off:])
+			v := binary.LittleEndian.Uint64(chunk[off+8:])
+			if _, ok := parent[pa]; !ok {
+				bad++ // parent of a visited vertex is unvisited
+				continue
+			}
+			found := false
+			for _, w := range adj.neighbors[pa] {
+				if w == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				bad++ // tree edge not in graph
+			}
+		}
+	}
+	total, err := comm.AllreduceInt64([]int64{bad}, mpi.OpSum)
+	if err != nil {
+		return err
+	}
+	if total[0] != 0 {
+		return fmt.Errorf("%d invalid tree edges", total[0])
+	}
+	return nil
+}

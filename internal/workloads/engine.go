@@ -1,0 +1,189 @@
+package workloads
+
+import (
+	"mimir/internal/core"
+	"mimir/internal/kvbuf"
+	"mimir/internal/mem"
+	"mimir/internal/mpi"
+	"mimir/internal/mrmpi"
+	"mimir/internal/pfs"
+)
+
+// StageOpts selects the optimizations for one MapReduce stage. The Mimir
+// engine honors all of them; the MR-MPI engine supports only Combiner (its
+// compress call) and silently has no KV-hint or partial reduction, exactly
+// like the original library.
+type StageOpts struct {
+	// Hint is the KV-hint encoding (Mimir only).
+	Hint kvbuf.Hint
+	// Combiner enables KV compression for the stage.
+	Combiner core.CombineFunc
+	// PartialReduce replaces convert+reduce (Mimir only).
+	PartialReduce core.CombineFunc
+}
+
+// StageStats aggregates one rank's counters for one stage.
+type StageStats struct {
+	ShuffledBytes int64
+	SpilledBytes  int64
+	MapOutKVs     int64
+	MapOutBytes   int64
+	OutputKVs     int64
+	// Phase times in simulated seconds (map / aggregate / convert+reduce).
+	MapTime, AggrTime, ConvertTime, ReduceTime float64
+}
+
+// accumulate folds another stage's stats into s (for iterative workloads).
+func (s *StageStats) accumulate(o StageStats) {
+	s.ShuffledBytes += o.ShuffledBytes
+	s.SpilledBytes += o.SpilledBytes
+	s.MapOutKVs += o.MapOutKVs
+	s.MapOutBytes += o.MapOutBytes
+	s.OutputKVs += o.OutputKVs
+	s.MapTime += o.MapTime
+	s.AggrTime += o.AggrTime
+	s.ConvertTime += o.ConvertTime
+	s.ReduceTime += o.ReduceTime
+}
+
+// Engine runs MapReduce stages on one rank. It abstracts over the Mimir and
+// MR-MPI engines so every benchmark is written once — the paper's "we
+// ported it to Mimir for our experiments" in reverse.
+type Engine interface {
+	// RunStage executes map [+ shuffle [+ reduce]] and streams the rank's
+	// output KVs to sink. A nil reduceFn makes the stage map-only (output =
+	// post-shuffle KVs).
+	RunStage(opts StageOpts, input core.Input, mapFn core.MapFunc, reduceFn core.ReduceFunc,
+		sink func(k, v []byte) error) (StageStats, error)
+	// Comm returns the rank's communicator.
+	Comm() *mpi.Comm
+	// Name identifies the engine in experiment output.
+	Name() string
+}
+
+// MimirEngine runs stages on the Mimir engine (internal/core).
+type MimirEngine struct {
+	comm  *mpi.Comm
+	arena *mem.Arena
+	// PageSize and CommBuf default to the paper's 64 MB (scaled).
+	PageSize int
+	CommBuf  int
+	Costs    core.Costs
+}
+
+// NewMimirEngine creates a Mimir-backed engine for this rank.
+func NewMimirEngine(comm *mpi.Comm, arena *mem.Arena) *MimirEngine {
+	return &MimirEngine{comm: comm, arena: arena}
+}
+
+// Comm returns the rank's communicator.
+func (e *MimirEngine) Comm() *mpi.Comm { return e.comm }
+
+// Name returns "Mimir".
+func (e *MimirEngine) Name() string { return "Mimir" }
+
+// RunStage implements Engine.
+func (e *MimirEngine) RunStage(opts StageOpts, input core.Input, mapFn core.MapFunc,
+	reduceFn core.ReduceFunc, sink func(k, v []byte) error) (StageStats, error) {
+	job := core.NewJob(e.comm, core.Config{
+		Arena:         e.arena,
+		PageSize:      e.PageSize,
+		CommBuf:       e.CommBuf,
+		Hint:          opts.Hint,
+		Combiner:      opts.Combiner,
+		PartialReduce: opts.PartialReduce,
+		Costs:         e.Costs,
+	})
+	out, err := job.Run(input, mapFn, reduceFn)
+	if err != nil {
+		return StageStats{}, err
+	}
+	defer out.Free()
+	if sink != nil {
+		if err := out.Scan(sink); err != nil {
+			return StageStats{}, err
+		}
+	}
+	s := out.Stats
+	return StageStats{
+		ShuffledBytes: s.ShuffledBytes,
+		MapOutKVs:     s.MapOutKVs,
+		MapOutBytes:   s.MapOutBytes,
+		OutputKVs:     s.OutputKVs,
+		MapTime:       s.Phases.Map,
+		AggrTime:      s.Phases.Aggregate,
+		ConvertTime:   s.Phases.Convert,
+		ReduceTime:    s.Phases.Reduce,
+	}, nil
+}
+
+// MRMPIEngine runs stages on the MR-MPI baseline (internal/mrmpi).
+type MRMPIEngine struct {
+	comm     *mpi.Comm
+	arena    *mem.Arena
+	spill    *pfs.FS
+	PageSize int
+	Mode     mrmpi.Mode
+	Costs    core.Costs
+}
+
+// NewMRMPIEngine creates an MR-MPI-backed engine for this rank. spill is
+// the parallel file system that receives out-of-core pages.
+func NewMRMPIEngine(comm *mpi.Comm, arena *mem.Arena, spill *pfs.FS) *MRMPIEngine {
+	return &MRMPIEngine{comm: comm, arena: arena, spill: spill}
+}
+
+// Comm returns the rank's communicator.
+func (e *MRMPIEngine) Comm() *mpi.Comm { return e.comm }
+
+// Name returns "MR-MPI".
+func (e *MRMPIEngine) Name() string { return "MR-MPI" }
+
+// RunStage implements Engine. KV-hints and partial reduction are not
+// supported by MR-MPI and are ignored, as in the original library.
+func (e *MRMPIEngine) RunStage(opts StageOpts, input core.Input, mapFn core.MapFunc,
+	reduceFn core.ReduceFunc, sink func(k, v []byte) error) (StageStats, error) {
+	mr := mrmpi.New(e.comm, mrmpi.Config{
+		Arena:    e.arena,
+		PageSize: e.PageSize,
+		Mode:     e.Mode,
+		Spill:    e.spill,
+		Costs:    e.Costs,
+	})
+	defer mr.Free()
+	if err := mr.Map(input, mapFn); err != nil {
+		return StageStats{}, err
+	}
+	if opts.Combiner != nil {
+		if err := mr.Compress(opts.Combiner); err != nil {
+			return StageStats{}, err
+		}
+	}
+	if err := mr.Aggregate(); err != nil {
+		return StageStats{}, err
+	}
+	if reduceFn != nil {
+		if err := mr.Convert(); err != nil {
+			return StageStats{}, err
+		}
+		if err := mr.Reduce(reduceFn); err != nil {
+			return StageStats{}, err
+		}
+	}
+	if sink != nil {
+		if err := mr.ScanOutput(sink); err != nil {
+			return StageStats{}, err
+		}
+	}
+	s := mr.Stats()
+	return StageStats{
+		ShuffledBytes: s.ShuffledBytes,
+		SpilledBytes:  s.SpilledBytes,
+		MapOutKVs:     s.MapOutKVs,
+		OutputKVs:     s.OutputKVs,
+		MapTime:       s.Phases.Map,
+		AggrTime:      s.Phases.Aggregate,
+		ConvertTime:   s.Phases.Convert,
+		ReduceTime:    s.Phases.Reduce,
+	}, nil
+}

@@ -1,0 +1,51 @@
+package workloads
+
+// R-MAT / Kronecker graph generation in the style of the Graph500 reference
+// generator: scale-free graphs whose edge distribution follows a power law,
+// with the standard partition probabilities A=0.57, B=0.19, C=0.19, D=0.05
+// and edgefactor 16 (so the average degree counting both directions is 32,
+// as the paper states).
+
+const (
+	rmatA = 0.57
+	rmatB = 0.19
+	rmatC = 0.19
+	// DefaultEdgeFactor is the Graph500 edgefactor: edges = EdgeFactor * 2^scale.
+	DefaultEdgeFactor = 16
+)
+
+// rmatEdge samples one directed edge in a 2^scale vertex graph.
+func rmatEdge(r *rng, scale int) (u, v uint64) {
+	for bit := 0; bit < scale; bit++ {
+		p := r.float64()
+		switch {
+		case p < rmatA:
+			// top-left: no bits set
+		case p < rmatA+rmatB:
+			v |= 1 << uint(bit)
+		case p < rmatA+rmatB+rmatC:
+			u |= 1 << uint(bit)
+		default:
+			u |= 1 << uint(bit)
+			v |= 1 << uint(bit)
+		}
+	}
+	return u, v
+}
+
+// genEdges deterministically generates this rank's share of the edge list
+// of an R-MAT graph with 2^scale vertices and edgeFactor*2^scale edges.
+func genEdges(seed uint64, scale, edgeFactor, rank, nranks int) [][2]uint64 {
+	total := int64(edgeFactor) << uint(scale)
+	share := total / int64(nranks)
+	if int64(rank) < total%int64(nranks) {
+		share++
+	}
+	r := newRNG(seed + uint64(rank)*0xD1B54A32D192ED03)
+	edges := make([][2]uint64, share)
+	for i := range edges {
+		u, v := rmatEdge(r, scale)
+		edges[i] = [2]uint64{u, v}
+	}
+	return edges
+}

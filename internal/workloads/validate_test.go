@@ -1,0 +1,146 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"mimir/internal/mem"
+	"mimir/internal/mpi"
+)
+
+// buildValidationFixture constructs a tiny distributed graph and a correct
+// BFS parents map on each rank, then lets corrupt mutate one rank's state.
+func runValidation(t *testing.T, corrupt func(rank int, adj *adjacency, parent map[uint64]uint64)) error {
+	t.Helper()
+	const p = 2
+	// Graph: 0-1, 1-2, 2-3 (path). BFS from 0: parent = {0:0, 1:0, 2:1, 3:2}.
+	edges := [][2]uint64{{0, 1}, {1, 2}, {2, 3}}
+	fullParent := map[uint64]uint64{0: 0, 1: 0, 2: 1, 3: 2}
+	w := mpi.NewWorld(mpi.Config{Size: p, Net: testNet()})
+	return w.Run(func(c *mpi.Comm) error {
+		adj := &adjacency{neighbors: map[uint64][]uint64{}}
+		for _, e := range edges {
+			if vertexOwner(e[0], p) == c.Rank() {
+				adj.neighbors[e[0]] = append(adj.neighbors[e[0]], e[1])
+			}
+			if vertexOwner(e[1], p) == c.Rank() {
+				adj.neighbors[e[1]] = append(adj.neighbors[e[1]], e[0])
+			}
+		}
+		parent := map[uint64]uint64{}
+		for v, pa := range fullParent {
+			if vertexOwner(v, p) == c.Rank() {
+				parent[v] = pa
+			}
+		}
+		if corrupt != nil {
+			corrupt(c.Rank(), adj, parent)
+		}
+		return validateBFSTree(c, adj, parent, 0)
+	})
+}
+
+func TestValidateBFSTreeAcceptsCorrect(t *testing.T) {
+	if err := runValidation(t, nil); err != nil {
+		t.Fatalf("correct tree rejected: %v", err)
+	}
+}
+
+func TestValidateBFSTreeRejectsBadRoot(t *testing.T) {
+	err := runValidation(t, func(rank int, adj *adjacency, parent map[uint64]uint64) {
+		if _, ok := parent[0]; ok {
+			parent[0] = 3 // root must be its own parent
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "root") {
+		t.Fatalf("bad root accepted: %v", err)
+	}
+}
+
+func TestValidateBFSTreeRejectsPhantomEdge(t *testing.T) {
+	err := runValidation(t, func(rank int, adj *adjacency, parent map[uint64]uint64) {
+		// Vertex 3's parent becomes 0, but edge (0,3) does not exist.
+		if _, ok := parent[3]; ok {
+			parent[3] = 0
+		}
+	})
+	if err == nil {
+		t.Fatal("phantom tree edge accepted")
+	}
+}
+
+// refOctree runs the clustering algorithm serially over the identical
+// point set and returns (levels refined, total dense octants).
+func refOctree(cfg OCConfig, nranks int) (levels, totalDense int) {
+	if cfg.Density <= 0 {
+		cfg.Density = 0.01
+	}
+	if cfg.MaxLevel <= 0 {
+		cfg.MaxLevel = 8
+	}
+	threshold := uint64(float64(cfg.TotalPoints) * cfg.Density)
+	if threshold < 1 {
+		threshold = 1
+	}
+	var pts [][3]float64
+	for rank := 0; rank < nranks; rank++ {
+		pts = append(pts, genPoints(cfg.Seed, cfg.TotalPoints, rank, nranks)...)
+	}
+	dense := map[uint64]bool{}
+	for level := 1; level <= cfg.MaxLevel; level++ {
+		counts := map[uint64]uint64{}
+		for _, p := range pts {
+			k := octKey(level, p[0], p[1], p[2])
+			if level > 1 && !dense[parentKey(k)] {
+				continue
+			}
+			counts[k]++
+		}
+		dense = map[uint64]bool{}
+		for k, n := range counts {
+			if n >= threshold {
+				dense[k] = true
+			}
+		}
+		levels = level
+		totalDense += len(dense)
+		if len(dense) == 0 {
+			break
+		}
+	}
+	return levels, totalDense
+}
+
+func TestOctreeMatchesSerialReference(t *testing.T) {
+	const p = 3
+	cfg := OCConfig{TotalPoints: 1 << 13, Seed: 51, MaxLevel: 6}
+	wantLevels, wantDense := refOctree(cfg, p)
+	w := mpi.NewWorld(mpi.Config{Size: p, Net: testNet()})
+	arena := mem.NewArena(0)
+	res := make([]OCResult, p)
+	err := w.Run(func(c *mpi.Comm) error {
+		r, err := RunOctree(NewMimirEngine(c, arena), nil, cfg, StageOpts{})
+		res[c.Rank()] = r
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Levels != wantLevels || res[0].TotalDense != wantDense {
+		t.Errorf("OC = levels %d dense %d, serial reference = %d / %d",
+			res[0].Levels, res[0].TotalDense, wantLevels, wantDense)
+	}
+	if wantDense == 0 {
+		t.Error("reference found no dense octants; test is vacuous")
+	}
+}
+
+func TestValidateBFSTreeRejectsUnvisitedParent(t *testing.T) {
+	err := runValidation(t, func(rank int, adj *adjacency, parent map[uint64]uint64) {
+		// Vertex 2 claims parent 1, but 1 is deleted from the visited set.
+		delete(parent, 1)
+	})
+	if err == nil {
+		t.Fatal("unvisited parent accepted")
+	}
+}

@@ -1,0 +1,151 @@
+// Package mimir is a Go reproduction of Mimir, the memory-efficient and
+// scalable MapReduce framework for large supercomputing systems of Gao et
+// al. (IPDPS 2017). It is a research system built from scratch on the Go
+// standard library: an in-process MPI-like runtime stands in for MPICH,
+// simulated platform models stand in for the Comet and Mira machines, and
+// both the Mimir engine and the MR-MPI baseline are full implementations
+// whose memory behavior is tracked byte-for-byte through a node memory
+// arena.
+//
+// A minimal job looks like this:
+//
+//	world := mimir.NewWorld(4)
+//	arena := mimir.NewArena(0) // unlimited node memory
+//	err := world.Run(func(c *mimir.Comm) error {
+//		job := mimir.NewJob(c, mimir.Config{Arena: arena})
+//		out, err := job.Run(input, mapFn, reduceFn)
+//		...
+//	})
+//
+// See examples/ for complete programs, internal/expt for the harness that
+// regenerates every figure of the paper, and DESIGN.md for the system
+// inventory.
+package mimir
+
+import (
+	"mimir/internal/core"
+	"mimir/internal/kvbuf"
+	"mimir/internal/mem"
+	"mimir/internal/mpi"
+	"mimir/internal/platform"
+	"mimir/internal/simtime"
+)
+
+// Core MapReduce API (see internal/core).
+type (
+	// Job is one Mimir MapReduce execution on one rank.
+	Job = core.Job
+	// Config configures a job: node arena, buffer sizes, KV-hint, and the
+	// optional partial-reduction and KV-compression callbacks.
+	Config = core.Config
+	// Record is one input record.
+	Record = core.Record
+	// Emitter receives KVs from map and reduce callbacks.
+	Emitter = core.Emitter
+	// MapFunc is the user-defined map callback.
+	MapFunc = core.MapFunc
+	// ReduceFunc is the user-defined reduce callback.
+	ReduceFunc = core.ReduceFunc
+	// CombineFunc merges two values of one key (KV compression / partial
+	// reduction).
+	CombineFunc = core.CombineFunc
+	// Input feeds one rank's share of the job input.
+	Input = core.Input
+	// Output is a rank's share of the job result.
+	Output = core.Output
+	// Costs are simulated per-operation compute costs.
+	Costs = core.Costs
+	// Checkpoint enables post-shuffle checkpoint/restart (fault tolerance).
+	Checkpoint = core.Checkpoint
+	// PhaseTimes is the per-phase simulated time breakdown in Output.Stats.
+	PhaseTimes = core.PhaseTimes
+)
+
+// Message passing (see internal/mpi).
+type (
+	// World is a set of communicating ranks (goroutines).
+	World = mpi.World
+	// Comm is one rank's communicator.
+	Comm = mpi.Comm
+)
+
+// KV encoding (see internal/kvbuf).
+type (
+	// Hint is the KV-hint encoding declaration for keys and values.
+	Hint = kvbuf.Hint
+	// LenMode describes one side's length encoding.
+	LenMode = kvbuf.LenMode
+	// ValueIter iterates the values of one key in a reduce callback.
+	ValueIter = kvbuf.ValueIter
+)
+
+// Memory accounting (see internal/mem).
+type (
+	// Arena is one compute node's accounted memory pool.
+	Arena = mem.Arena
+)
+
+// Platform models (see internal/platform).
+type (
+	// Platform describes a machine (node memory, network, file system,
+	// compute costs).
+	Platform = platform.Platform
+)
+
+// NewWorld creates an in-process world of n ranks with negligible network
+// costs. For modeled platforms use NewWorldOn.
+func NewWorld(n int) *World {
+	return mpi.NewWorld(mpi.Config{Size: n, Net: simtime.NetworkModel{Alpha: 1e-7, Beta: 1e9}})
+}
+
+// NewWorldOn creates a world of n ranks whose communication is charged
+// against the platform's network model.
+func NewWorldOn(p *Platform, n int) *World {
+	return mpi.NewWorld(mpi.Config{Size: n, Net: p.Net})
+}
+
+// NewArena returns a node memory pool with the given capacity in bytes
+// (0 = unlimited).
+func NewArena(capacity int64) *Arena { return mem.NewArena(capacity) }
+
+// NewJob creates a Mimir job for this rank.
+func NewJob(c *Comm, cfg Config) *Job { return core.NewJob(c, cfg) }
+
+// SliceInput feeds a fixed record list (tests, small inputs, in-situ data).
+func SliceInput(recs []Record) Input { return core.SliceInput(recs) }
+
+// FileInput reads one rank's line-aligned split of a file on the simulated
+// parallel file system (the paper's "files from disk" input source).
+var FileInput = core.FileInput
+
+// MultiFileInput reads the per-rank splits of several files in order.
+var MultiFileInput = core.MultiFileInput
+
+// Uint64Bytes encodes n as the conventional 8-byte little-endian value.
+func Uint64Bytes(n uint64) []byte { return core.Uint64Bytes(n) }
+
+// BytesUint64 decodes an 8-byte little-endian value.
+func BytesUint64(b []byte) uint64 { return core.BytesUint64(b) }
+
+// KV-hint constructors.
+var (
+	// Varlen stores an explicit 4-byte length (the default).
+	Varlen = kvbuf.Varlen
+	// Fixed declares a constant length; no header is stored.
+	Fixed = kvbuf.Fixed
+	// StrZ declares NUL-free string data, stored NUL-terminated (the
+	// paper's reserved -1 length).
+	StrZ = kvbuf.StrZ
+	// DefaultHint is explicit lengths on both sides (8-byte header per KV).
+	DefaultHint = kvbuf.DefaultHint
+)
+
+// Platform presets.
+var (
+	// Comet models SDSC's Comet cluster (24 cores, 128 GB/node, scaled).
+	Comet = platform.Comet
+	// Mira models Argonne's IBM BG/Q Mira (16 cores, 16 GB/node, scaled).
+	Mira = platform.Mira
+	// Laptop is an unconstrained platform for examples and tests.
+	Laptop = platform.Laptop
+)

@@ -1,0 +1,171 @@
+package mimir_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"mimir"
+)
+
+// TestPublicAPIWordCount exercises the facade exactly as the README's
+// quickstart does.
+func TestPublicAPIWordCount(t *testing.T) {
+	corpus := []string{
+		"to be or not to be",
+		"that is the question",
+	}
+	const ranks = 3
+	world := mimir.NewWorld(ranks)
+	arena := mimir.NewArena(0)
+
+	var mu sync.Mutex
+	counts := map[string]uint64{}
+	err := world.Run(func(c *mimir.Comm) error {
+		var mine []mimir.Record
+		for i, line := range corpus {
+			if i%ranks == c.Rank() {
+				mine = append(mine, mimir.Record{Val: []byte(line)})
+			}
+		}
+		job := mimir.NewJob(c, mimir.Config{
+			Arena: arena,
+			Hint:  mimir.Hint{Key: mimir.StrZ(), Val: mimir.Fixed(8)},
+		})
+		mapFn := func(rec mimir.Record, emit mimir.Emitter) error {
+			for _, w := range strings.Fields(string(rec.Val)) {
+				if err := emit.Emit([]byte(w), mimir.Uint64Bytes(1)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		reduceFn := func(key []byte, vals *mimir.ValueIter, emit mimir.Emitter) error {
+			var sum uint64
+			for v, ok := vals.Next(); ok; v, ok = vals.Next() {
+				sum += mimir.BytesUint64(v)
+			}
+			return emit.Emit(key, mimir.Uint64Bytes(sum))
+		}
+		out, err := job.Run(mimir.SliceInput(mine), mapFn, reduceFn)
+		if err != nil {
+			return err
+		}
+		defer out.Free()
+		mu.Lock()
+		defer mu.Unlock()
+		return out.Scan(func(k, v []byte) error {
+			counts[string(k)] += mimir.BytesUint64(v)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]uint64{"to": 2, "be": 2, "or": 1, "not": 1,
+		"that": 1, "is": 1, "the": 1, "question": 1}
+	if len(counts) != len(want) {
+		t.Fatalf("counts = %v, want %v", counts, want)
+	}
+	for w, n := range want {
+		if counts[w] != n {
+			t.Errorf("count[%q] = %d, want %d", w, counts[w], n)
+		}
+	}
+	if arena.Used() != 0 {
+		t.Errorf("arena used %d after job", arena.Used())
+	}
+}
+
+func TestPublicAPIPlatforms(t *testing.T) {
+	for _, p := range []*mimir.Platform{mimir.Comet(), mimir.Mira(), mimir.Laptop()} {
+		if p.CoresPerNode <= 0 || p.PageSize <= 0 {
+			t.Errorf("%s: bad platform preset %+v", p.Name, p)
+		}
+	}
+	w := mimir.NewWorldOn(mimir.Comet(), 4)
+	err := w.Run(func(c *mimir.Comm) error { return c.Barrier() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.MaxTime() <= 0 {
+		t.Error("barrier on a modeled platform charged no time")
+	}
+}
+
+func TestPublicAPIEncodingHelpers(t *testing.T) {
+	if got := mimir.BytesUint64(mimir.Uint64Bytes(123456789)); got != 123456789 {
+		t.Errorf("Uint64Bytes round trip = %d", got)
+	}
+	h := mimir.DefaultHint()
+	if h.EncodedSize([]byte("k"), []byte("v")) != 10 {
+		t.Error("DefaultHint header size wrong")
+	}
+}
+
+// TestPublicAPIMultiStage runs an iterative two-stage pipeline through the
+// facade: count words, then bucket counts into powers of two.
+func TestPublicAPIMultiStage(t *testing.T) {
+	const ranks = 2
+	world := mimir.NewWorld(ranks)
+	arena := mimir.NewArena(0)
+	lines := make([]string, 16)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("a b c d%d", i%4)
+	}
+	var mu sync.Mutex
+	total := uint64(0)
+	err := world.Run(func(c *mimir.Comm) error {
+		var mine []mimir.Record
+		for i, line := range lines {
+			if i%ranks == c.Rank() {
+				mine = append(mine, mimir.Record{Val: []byte(line)})
+			}
+		}
+		sum := func(key []byte, vals *mimir.ValueIter, emit mimir.Emitter) error {
+			var s uint64
+			for v, ok := vals.Next(); ok; v, ok = vals.Next() {
+				s += mimir.BytesUint64(v)
+			}
+			return emit.Emit(key, mimir.Uint64Bytes(s))
+		}
+		wcMap := func(rec mimir.Record, emit mimir.Emitter) error {
+			for _, w := range strings.Fields(string(rec.Val)) {
+				if err := emit.Emit([]byte(w), mimir.Uint64Bytes(1)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		out1, err := mimir.NewJob(c, mimir.Config{Arena: arena}).Run(mimir.SliceInput(mine), wcMap, sum)
+		if err != nil {
+			return err
+		}
+		// Stage 2 consumes stage 1's output in place.
+		histMap := func(rec mimir.Record, emit mimir.Emitter) error {
+			return emit.Emit(rec.Val, mimir.Uint64Bytes(1))
+		}
+		out2, err := mimir.NewJob(c, mimir.Config{Arena: arena}).Run(out1.AsInput(), histMap, sum)
+		if err != nil {
+			return err
+		}
+		defer out2.Free()
+		mu.Lock()
+		defer mu.Unlock()
+		return out2.Scan(func(k, v []byte) error {
+			total += mimir.BytesUint64(v)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage 2's histogram totals the number of unique words: a, b, c, d0-d3.
+	if total != 7 {
+		t.Errorf("histogram total = %d, want 7 unique words", total)
+	}
+	if arena.Used() != 0 {
+		t.Errorf("arena used %d after pipeline", arena.Used())
+	}
+}

@@ -51,6 +51,8 @@ func main() {
 			perRank.Add("aggregate (s)", res.Stats.AggrTime)
 			perRank.Add("reduce (s)", res.Stats.ReduceTime)
 			perRank.Add("shuffled (KB)", float64(res.Stats.ShuffledBytes)/1024)
+			perRank.Add("overlap rounds", float64(res.Stats.OverlapRounds))
+			perRank.Add("overlap saved (s)", res.Stats.OverlapSavedSec)
 		}
 		return err
 	})

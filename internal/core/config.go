@@ -76,8 +76,12 @@ type Config struct {
 	// PageSize is the unit of data-buffer allocation (default 64 KiB,
 	// standing in for the paper's 64 MB).
 	PageSize int
-	// CommBuf is the total send buffer size; the receive buffer has the same
-	// size, which Mimir's design guarantees is sufficient (Section III-B).
+	// CommBuf is the communication buffer budget. With the default
+	// overlapped aggregate, the two send sets and the receive set all fit
+	// inside this budget (a third each). With SerialAggregate it is the
+	// paper's Section III-B layout: a send buffer of CommBuf plus an
+	// equal-sized receive buffer, which Mimir's design guarantees is
+	// sufficient.
 	CommBuf int
 	// Hint is the KV-hint encoding used for intermediate data.
 	Hint kvbuf.Hint
@@ -103,6 +107,14 @@ type Config struct {
 	// from it, skipping input, map, and aggregate (fault tolerance in the
 	// style of the authors' FT-MRMPI).
 	Checkpoint *Checkpoint
+	// SerialAggregate disables communication/computation overlap in the
+	// aggregate phase. By default the send buffer is split into two
+	// half-sized partition sets and exchanges are posted nonblocking
+	// (Ialltoallv): the map keeps filling the spare set while the posted one
+	// drains in the background, so an overlapped round costs
+	// max(compute, comm) instead of their sum. Setting SerialAggregate
+	// restores the paper's blocking single-buffer exchange.
+	SerialAggregate bool
 	// Partitioner overrides the hash function that assigns keys to ranks
 	// ("Users can provide alternative hash functions that suit their
 	// needs"). It must return a destination in [0, nranks) and be identical

@@ -16,10 +16,18 @@ type Job struct {
 	comm *mpi.Comm
 	cfg  Config
 
-	// send buffer state (one partition per destination rank)
+	// Send buffer state: nbuf sets of one partition per destination rank.
+	// The serial aggregate uses a single set; the default overlapped
+	// aggregate splits the same budget into two half-sized sets, posting a
+	// full set nonblocking while the map keeps filling the other.
 	sendBuf  *mem.Page
+	nbuf     int
+	active   int     // index of the set the map is filling
 	partSize int
-	partOff  []int // write offset within each partition
+	partOffs [][]int // per-set write offset within each partition
+	// pending is the in-flight exchange of the inactive set (overlap only).
+	pending   *mpi.AlltoallvRequest
+	inputDone bool
 
 	// destination of received KVs: either a KV container (core workflow) or
 	// the partial-reduction bucket.
@@ -48,6 +56,13 @@ type Stats struct {
 	// Rounds is the number of Alltoallv exchange rounds the aggregate phase
 	// needed (the map suspends once per round, Section III-A).
 	Rounds int
+	// OverlapRounds counts rounds whose communication was at least partly
+	// hidden behind map computation (overlapped aggregate only).
+	OverlapRounds int
+	// OverlapSavedSec is the simulated seconds this rank saved by
+	// overlapping exchange rounds with computation, relative to the serial
+	// schedule that blocks at every post.
+	OverlapSavedSec float64
 	// ShuffledBytes is the total intermediate bytes this rank sent.
 	ShuffledBytes int64
 	// MapOutKVs / MapOutBytes count the map's emitted KVs after optional KV
@@ -149,21 +164,34 @@ func (j *Job) cleanup() {
 // mapAggregate runs the interleaved map + aggregate phases (Figure 4).
 func (j *Job) mapAggregate(input Input, mapFn MapFunc) error {
 	p := j.comm.Size()
-	j.partSize = j.cfg.CommBuf / p
+	// The serial aggregate keeps the paper's Section III-B layout: a send
+	// buffer of CommBuf and an equal-sized receive buffer (2x CommBuf of
+	// static memory). The overlapped aggregate instead fits its whole
+	// static footprint — two send sets plus the receive set, each a third —
+	// inside one CommBuf, halving the static comm memory while the smaller
+	// rounds hide their latency behind the map.
+	j.nbuf = 2
+	denom := (j.nbuf + 1) * p
+	if j.cfg.SerialAggregate {
+		j.nbuf = 1
+		denom = p
+	}
+	j.partSize = j.cfg.CommBuf / denom
 	if j.partSize < MinPartition {
 		j.partSize = MinPartition
 	}
-	bufSize := j.partSize * p
+	setSize := j.partSize * p
 
-	// Statically allocated, equal-sized send and receive buffers
-	// (Section III-B). The receive buffer can never overflow because no
-	// rank injects more than one partition per destination per round.
+	// The receive buffer can never overflow because no rank injects more
+	// than one partition per destination per round, and at most one round's
+	// data is resident (a round is always consumed before the next is
+	// posted).
 	var err error
-	j.sendBuf, err = j.cfg.Arena.NewPage(bufSize)
+	j.sendBuf, err = j.cfg.Arena.NewPage(j.nbuf * setSize)
 	if err != nil {
 		return fmt.Errorf("core: allocating send buffer: %w", err)
 	}
-	recvBuf, err := j.cfg.Arena.NewPage(bufSize)
+	recvBuf, err := j.cfg.Arena.NewPage(setSize)
 	if err != nil {
 		j.sendBuf.Release()
 		return fmt.Errorf("core: allocating receive buffer: %w", err)
@@ -173,7 +201,11 @@ func (j *Job) mapAggregate(input Input, mapFn MapFunc) error {
 		j.sendBuf = nil
 		recvBuf.Release()
 	}()
-	j.partOff = make([]int, p)
+	j.partOffs = make([][]int, j.nbuf)
+	for s := range j.partOffs {
+		j.partOffs[s] = make([]int, p)
+	}
+	j.active = 0
 
 	// Destination of received KVs.
 	if j.cfg.PartialReduce != nil {
@@ -213,14 +245,33 @@ func (j *Job) mapAggregate(input Input, mapFn MapFunc) error {
 		j.cpsBkt = nil
 	}
 
-	// Final rounds: keep exchanging with done=1 until every rank is done.
-	for {
-		allDone, err := j.exchange(true)
-		if err != nil {
-			return err
+	// Final rounds: keep exchanging until every rank agrees it has nothing
+	// left to send.
+	if j.cfg.SerialAggregate {
+		for {
+			allDone, err := j.exchange(true)
+			if err != nil {
+				return err
+			}
+			if allDone {
+				break
+			}
 		}
-		if allDone {
-			break
+		return nil
+	}
+	j.inputDone = true
+	for {
+		if j.pending != nil {
+			allDone, err := j.completeRound()
+			if err != nil {
+				return err
+			}
+			if allDone {
+				break
+			}
+		}
+		if err := j.postRound(); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -292,12 +343,16 @@ func (j *Job) insertSend(k, v []byte) error {
 	} else {
 		dest = int(kvbuf.HashKey(k) % uint64(j.comm.Size()))
 	}
-	if j.partOff[dest]+n > j.partSize {
-		if _, err := j.exchange(false); err != nil {
+	if j.partOffs[j.active][dest]+n > j.partSize {
+		if j.cfg.SerialAggregate {
+			if _, err := j.exchange(false); err != nil {
+				return err
+			}
+		} else if err := j.rotateRound(); err != nil {
 			return err
 		}
 	}
-	base := dest*j.partSize + j.partOff[dest]
+	base := (j.active*j.comm.Size()+dest)*j.partSize + j.partOffs[j.active][dest]
 	enc, err := j.cfg.Hint.Encode(j.sendBuf.Buf[base:base], k, v)
 	if err != nil {
 		return err
@@ -305,45 +360,28 @@ func (j *Job) insertSend(k, v []byte) error {
 	if len(enc) != n {
 		panic("core: encode size mismatch")
 	}
-	j.partOff[dest] += n
+	j.partOffs[j.active][dest] += n
 	j.stats.MapOutKVs++
 	j.stats.MapOutBytes += int64(n)
 	return nil
 }
 
-// exchange is one aggregate round: all ranks swap their send-buffer
-// partitions with Alltoallv and fold the received KVs into their KV
-// container (or partial-reduction bucket), then agree via Allreduce whether
-// every rank has finished its input.
+// exchange is one serial aggregate round: all ranks swap their send-buffer
+// partitions with a blocking Alltoallv and fold the received KVs into their
+// KV container (or partial-reduction bucket), then agree via Allreduce
+// whether every rank has finished its input.
 func (j *Job) exchange(done bool) (allDone bool, err error) {
 	tStart := j.comm.Clock().Now()
 	defer func() {
 		j.stats.Phases.Aggregate += j.comm.Clock().Now() - tStart
 	}()
-	p := j.comm.Size()
-	send := make([][]byte, p)
-	for dest := 0; dest < p; dest++ {
-		base := dest * j.partSize
-		send[dest] = j.sendBuf.Buf[base : base+j.partOff[dest]]
-		j.stats.ShuffledBytes += int64(j.partOff[dest])
-	}
-	recv, err := j.comm.Alltoallv(send)
+	recv, err := j.comm.Alltoallv(j.buildSend())
 	if err != nil {
 		return false, err
 	}
-	for i := range j.partOff {
-		j.partOff[i] = 0
+	if err := j.consumeRound(recv); err != nil {
+		return false, err
 	}
-	j.stats.Rounds++
-
-	var recvBytes int
-	for _, chunk := range recv {
-		recvBytes += len(chunk)
-		if err := j.consumeChunk(chunk); err != nil {
-			return false, err
-		}
-	}
-	j.charge(float64(recvBytes)*j.cfg.Costs.KVPerByte, simtime.Compute)
 
 	flag := int64(0)
 	if done {
@@ -353,7 +391,111 @@ func (j *Job) exchange(done bool) (allDone bool, err error) {
 	if err != nil {
 		return false, err
 	}
-	return sum[0] == int64(p), nil
+	return sum[0] == int64(j.comm.Size()), nil
+}
+
+// buildSend assembles the per-destination send slices from the active
+// partition set, accounts the shuffled bytes, then resets the set's offsets
+// and counts the round. The slices stay valid until the set is overwritten,
+// which both exchange paths guarantee happens only after every rank has
+// read them (the rendezvous copies at post time).
+func (j *Job) buildSend() [][]byte {
+	p := j.comm.Size()
+	send := make([][]byte, p)
+	off := j.partOffs[j.active]
+	for dest := 0; dest < p; dest++ {
+		base := (j.active*p + dest) * j.partSize
+		send[dest] = j.sendBuf.Buf[base : base+off[dest]]
+		j.stats.ShuffledBytes += int64(off[dest])
+	}
+	for i := range off {
+		off[i] = 0
+	}
+	j.stats.Rounds++
+	return send
+}
+
+// consumeRound folds one round's received chunks into the KV container or
+// partial-reduction bucket and charges the receive-side compute cost.
+func (j *Job) consumeRound(recv [][]byte) error {
+	var recvBytes int
+	for _, chunk := range recv {
+		recvBytes += len(chunk)
+		if err := j.consumeChunk(chunk); err != nil {
+			return err
+		}
+	}
+	j.charge(float64(recvBytes)*j.cfg.Costs.KVPerByte, simtime.Compute)
+	return nil
+}
+
+// postRound starts a nonblocking exchange of the active partition set and
+// swaps the map onto the spare set. No simulated time is charged here; the
+// communication runs in the background until completeRound.
+func (j *Job) postRound() error {
+	send := j.buildSend()
+	j.pending = j.comm.Ialltoallv(send)
+	j.active = (j.active + 1) % j.nbuf
+	return nil
+}
+
+// completeRound waits for the pending exchange, folds its KVs in, and runs
+// the collective done vote. The done flag is raised only once this rank has
+// read all its input and its active set holds nothing unsent, so data can
+// never be stranded; every rank sees the same vote, so all ranks stop after
+// the same round.
+func (j *Job) completeRound() (allDone bool, err error) {
+	tStart := j.comm.Clock().Now()
+	defer func() {
+		j.stats.Phases.Aggregate += j.comm.Clock().Now() - tStart
+	}()
+	req := j.pending
+	j.pending = nil
+	recv, err := req.Wait()
+	if err != nil {
+		return false, err
+	}
+	if saved := req.OverlapSaved(); saved > 0 {
+		j.stats.OverlapRounds++
+		j.stats.OverlapSavedSec += saved
+	}
+	if err := j.consumeRound(recv); err != nil {
+		return false, err
+	}
+
+	flag := int64(0)
+	if j.inputDone && j.activeEmpty() {
+		flag = 1
+	}
+	sum, err := j.comm.AllreduceInt64([]int64{flag}, mpi.OpSum)
+	if err != nil {
+		return false, err
+	}
+	return sum[0] == int64(j.comm.Size()), nil
+}
+
+// rotateRound is the overlapped aggregate's buffer swap on the map path:
+// retire the in-flight round if there is one, then post the now-full active
+// set and continue mapping into the freed set. Every rank's collective
+// sequence is therefore strictly alternating post, vote, post, vote — the
+// SPMD ordering the rendezvous runtime requires.
+func (j *Job) rotateRound() error {
+	if j.pending != nil {
+		if _, err := j.completeRound(); err != nil {
+			return err
+		}
+	}
+	return j.postRound()
+}
+
+// activeEmpty reports whether the active partition set holds no data.
+func (j *Job) activeEmpty() bool {
+	for _, o := range j.partOffs[j.active] {
+		if o != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 func (j *Job) consumeChunk(chunk []byte) error {

@@ -91,6 +91,10 @@ type Result struct {
 	PeakPerProc int64
 	// SpilledBytes counts MR-MPI out-of-core traffic (0 for Mimir).
 	SpilledBytes int64
+	// OverlapSavedSec sums, over all ranks, the simulated seconds the
+	// overlapped aggregate saved by hiding exchange rounds behind the map
+	// (0 for MR-MPI and for SerialAggregate runs).
+	OverlapSavedSec float64
 	// Err is non-nil if the run failed (typically out of memory).
 	Err error
 }
@@ -177,6 +181,7 @@ func Run(spec Spec) Result {
 		}
 		mu.Lock()
 		res.SpilledBytes += stats.SpilledBytes
+		res.OverlapSavedSec += stats.OverlapSavedSec
 		mu.Unlock()
 		return nil
 	})

@@ -1,0 +1,98 @@
+package mpi
+
+import (
+	"fmt"
+
+	"mimir/internal/simtime"
+)
+
+// AlltoallvRequest tracks an in-flight nonblocking all-to-all exchange
+// started with Ialltoallv. The data transfer itself happens at post time
+// (ranks rendezvous exactly as in the blocking Alltoallv, so send buffers
+// may be reused as soon as Ialltoallv returns), but no simulated time is
+// charged until Wait: the communication window runs in the background while
+// the rank keeps computing, and Wait settles the clock at
+// max(compute, comm) for the overlapped window instead of their sum.
+type AlltoallvRequest struct {
+	clock *simtime.Clock
+	// postedAt is the rank's simulated time at the Ialltoallv call;
+	// completeAt is when the exchange finishes in the background
+	// (max participant post time plus the alpha-beta network cost).
+	postedAt   float64
+	completeAt float64
+	recv       [][]byte
+	saved      float64
+	done       bool
+	err        error
+}
+
+// Ialltoallv starts a nonblocking variable-sized all-to-all exchange:
+// send[i] goes to rank i, and the request's Wait returns recv with recv[i]
+// received from rank i. send must have length Size. Like the blocking
+// Alltoallv, the returned buffers are copies and send buffers may be reused
+// as soon as Ialltoallv returns. All ranks must post matching collectives
+// in the same order; the rank blocks (in real time, not simulated time)
+// until every rank has posted.
+//
+// Errors are deferred to Wait so callers can treat post+wait as one
+// fallible operation.
+func (c *Comm) Ialltoallv(send [][]byte) *AlltoallvRequest {
+	req := &AlltoallvRequest{clock: c.Clock()}
+	if len(send) != c.world.size {
+		req.done = true
+		req.err = fmt.Errorf("mpi: Ialltoallv send has %d entries, world size is %d", len(send), c.world.size)
+		return req
+	}
+	recv := make([][]byte, c.world.size)
+	var sendBytes, recvBytes int
+	for _, b := range send {
+		sendBytes += len(b)
+	}
+	tmax, err := c.world.rv.exchange(c.rank, c.Clock().Now(), send, func(slots []contribution) {
+		for src := 0; src < c.world.size; src++ {
+			theirs := slots[src].data.([][]byte)
+			buf := theirs[c.rank]
+			recv[src] = append([]byte(nil), buf...)
+			recvBytes += len(buf)
+		}
+	})
+	if err != nil {
+		req.done = true
+		req.err = err
+		return req
+	}
+	req.postedAt = c.Clock().Now()
+	// The exchange cannot start before the last participant posts, and then
+	// occupies the network for the usual alpha-beta cost — but in the
+	// background, concurrent with whatever this rank computes next.
+	req.completeAt = tmax + c.world.net.Alltoallv(c.world.size, sendBytes, recvBytes)
+	req.recv = recv
+	c.world.trace(c.rank, "ialltoallv", sendBytes)
+	return req
+}
+
+// Wait completes the exchange and returns the received buffers. The rank's
+// clock jumps to the background completion time if computation did not
+// already cover it; calling Wait again returns the same result without
+// charging more time.
+func (r *AlltoallvRequest) Wait() ([][]byte, error) {
+	if !r.done {
+		r.done = true
+		if r.err == nil {
+			r.saved = r.clock.FinishOverlap(r.postedAt, r.completeAt)
+		}
+	}
+	return r.recv, r.err
+}
+
+// Test reports whether the exchange has completed in simulated time, i.e.
+// whether a Wait now would not advance the clock. It does not complete the
+// request.
+func (r *AlltoallvRequest) Test() bool {
+	return r.done || r.clock.Now() >= r.completeAt
+}
+
+// OverlapSaved returns the simulated seconds that overlapping saved
+// relative to a blocking exchange at the post point. It is zero until Wait
+// and zero when no computation overlapped the communication window.
+func (r *AlltoallvRequest) OverlapSaved() float64 { return r.saved }

@@ -70,6 +70,26 @@ func (c *Clock) SyncTo(t float64) {
 	}
 }
 
+// FinishOverlap completes a compute/communication overlap window: a
+// background operation was posted at time start (the clock's Now at the
+// post), the clock has since advanced by local computation, and the
+// operation completes at completeAt in the background. The clock is moved
+// to max(Now, completeAt) — the overlapped window costs max(compute, comm)
+// instead of their sum — with any residual wait attributed to Comm.
+//
+// The return value is the simulated seconds saved relative to the serial
+// schedule, in which the operation would have blocked at start for
+// completeAt-start seconds before the same computation ran: the saving is
+// the portion of the communication window that computation covered.
+func (c *Clock) FinishOverlap(start, completeAt float64) (saved float64) {
+	serial := completeAt + (c.now - start)
+	c.SyncTo(completeAt)
+	if serial > c.now {
+		return serial - c.now
+	}
+	return 0
+}
+
 // Spent returns the accumulated seconds attributed to kind.
 func (c *Clock) Spent(kind Kind) float64 { return c.spent[kind] }
 

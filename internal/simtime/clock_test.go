@@ -53,6 +53,58 @@ func TestClockSyncTo(t *testing.T) {
 	}
 }
 
+func TestFinishOverlapComputeCoversComm(t *testing.T) {
+	// Post at t=1, background completion at t=3, then 5s of compute: the
+	// communication is fully hidden, so the clock stays at the compute
+	// frontier and the whole 2s window is saved vs. the serial schedule.
+	c := NewClock()
+	c.Advance(1, Compute)
+	start, completeAt := c.Now(), c.Now()+2
+	c.Advance(5, Compute)
+	saved := c.FinishOverlap(start, completeAt)
+	if c.Now() != 6 {
+		t.Errorf("Now() = %v, want 6 (compute frontier)", c.Now())
+	}
+	if saved != 2 {
+		t.Errorf("saved = %v, want 2 (full comm window hidden)", saved)
+	}
+	if c.Spent(Comm) != 0 {
+		t.Errorf("Spent(Comm) = %v, want 0 (nothing waited)", c.Spent(Comm))
+	}
+}
+
+func TestFinishOverlapCommCoversCompute(t *testing.T) {
+	// Post at t=0, completion at t=10, only 3s of compute: the clock waits
+	// out the rest of the window as Comm and the 3s of compute are saved.
+	c := NewClock()
+	start, completeAt := c.Now(), c.Now()+10
+	c.Advance(3, Compute)
+	saved := c.FinishOverlap(start, completeAt)
+	if c.Now() != 10 {
+		t.Errorf("Now() = %v, want 10 (comm completion)", c.Now())
+	}
+	if saved != 3 {
+		t.Errorf("saved = %v, want 3 (compute hidden inside the window)", saved)
+	}
+	if c.Spent(Comm) != 7 {
+		t.Errorf("Spent(Comm) = %v, want 7 (residual wait)", c.Spent(Comm))
+	}
+}
+
+func TestFinishOverlapNoCompute(t *testing.T) {
+	// With no compute in the window, FinishOverlap degenerates to a
+	// blocking wait: clock at completeAt, nothing saved.
+	c := NewClock()
+	c.Advance(2, Compute)
+	saved := c.FinishOverlap(c.Now(), c.Now()+4)
+	if c.Now() != 6 {
+		t.Errorf("Now() = %v, want 6", c.Now())
+	}
+	if saved != 0 {
+		t.Errorf("saved = %v, want 0 (nothing overlapped)", saved)
+	}
+}
+
 func TestClockReset(t *testing.T) {
 	c := NewClock()
 	c.Advance(5, IO)

@@ -29,6 +29,11 @@ type StageStats struct {
 	MapOutKVs     int64
 	MapOutBytes   int64
 	OutputKVs     int64
+	// OverlapRounds / OverlapSavedSec report how often the overlapped
+	// aggregate hid communication behind the map and how much simulated
+	// time that saved (Mimir only; zero with SerialAggregate).
+	OverlapRounds   int64
+	OverlapSavedSec float64
 	// Phase times in simulated seconds (map / aggregate / convert+reduce).
 	MapTime, AggrTime, ConvertTime, ReduceTime float64
 }
@@ -40,6 +45,8 @@ func (s *StageStats) accumulate(o StageStats) {
 	s.MapOutKVs += o.MapOutKVs
 	s.MapOutBytes += o.MapOutBytes
 	s.OutputKVs += o.OutputKVs
+	s.OverlapRounds += o.OverlapRounds
+	s.OverlapSavedSec += o.OverlapSavedSec
 	s.MapTime += o.MapTime
 	s.AggrTime += o.AggrTime
 	s.ConvertTime += o.ConvertTime
@@ -68,7 +75,9 @@ type MimirEngine struct {
 	// PageSize and CommBuf default to the paper's 64 MB (scaled).
 	PageSize int
 	CommBuf  int
-	Costs    core.Costs
+	// SerialAggregate disables the overlapped aggregate (ablation knob).
+	SerialAggregate bool
+	Costs           core.Costs
 }
 
 // NewMimirEngine creates a Mimir-backed engine for this rank.
@@ -86,13 +95,14 @@ func (e *MimirEngine) Name() string { return "Mimir" }
 func (e *MimirEngine) RunStage(opts StageOpts, input core.Input, mapFn core.MapFunc,
 	reduceFn core.ReduceFunc, sink func(k, v []byte) error) (StageStats, error) {
 	job := core.NewJob(e.comm, core.Config{
-		Arena:         e.arena,
-		PageSize:      e.PageSize,
-		CommBuf:       e.CommBuf,
-		Hint:          opts.Hint,
-		Combiner:      opts.Combiner,
-		PartialReduce: opts.PartialReduce,
-		Costs:         e.Costs,
+		Arena:           e.arena,
+		PageSize:        e.PageSize,
+		CommBuf:         e.CommBuf,
+		Hint:            opts.Hint,
+		Combiner:        opts.Combiner,
+		PartialReduce:   opts.PartialReduce,
+		SerialAggregate: e.SerialAggregate,
+		Costs:           e.Costs,
 	})
 	out, err := job.Run(input, mapFn, reduceFn)
 	if err != nil {
@@ -106,14 +116,16 @@ func (e *MimirEngine) RunStage(opts StageOpts, input core.Input, mapFn core.MapF
 	}
 	s := out.Stats
 	return StageStats{
-		ShuffledBytes: s.ShuffledBytes,
-		MapOutKVs:     s.MapOutKVs,
-		MapOutBytes:   s.MapOutBytes,
-		OutputKVs:     s.OutputKVs,
-		MapTime:       s.Phases.Map,
-		AggrTime:      s.Phases.Aggregate,
-		ConvertTime:   s.Phases.Convert,
-		ReduceTime:    s.Phases.Reduce,
+		ShuffledBytes:   s.ShuffledBytes,
+		MapOutKVs:       s.MapOutKVs,
+		MapOutBytes:     s.MapOutBytes,
+		OutputKVs:       s.OutputKVs,
+		OverlapRounds:   int64(s.OverlapRounds),
+		OverlapSavedSec: s.OverlapSavedSec,
+		MapTime:         s.Phases.Map,
+		AggrTime:        s.Phases.Aggregate,
+		ConvertTime:     s.Phases.Convert,
+		ReduceTime:      s.Phases.Reduce,
 	}, nil
 }
 

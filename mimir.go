@@ -59,6 +59,9 @@ type (
 	Checkpoint = core.Checkpoint
 	// PhaseTimes is the per-phase simulated time breakdown in Output.Stats.
 	PhaseTimes = core.PhaseTimes
+	// Stats is the per-rank counter block in Output.Stats (rounds, bytes,
+	// overlap savings).
+	Stats = core.Stats
 )
 
 // Message passing (see internal/mpi).

@@ -1,10 +1,12 @@
 // Command mimir-bench regenerates the tables behind every figure of the
-// paper's evaluation (Section IV).
+// paper's evaluation (Section IV), plus this implementation's extensions
+// (the out-of-core spill ladder, "figspill").
 //
 // Usage:
 //
 //	mimir-bench            # run every figure (takes a while)
 //	mimir-bench -fig 8     # run only Figure 8
+//	mimir-bench -fig spill # the out-of-core ladder: spill policies vs MR-MPI modes
 //	mimir-bench -list      # list available figures
 package main
 

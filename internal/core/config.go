@@ -12,6 +12,8 @@ package core
 import (
 	"mimir/internal/kvbuf"
 	"mimir/internal/mem"
+	"mimir/internal/pfs"
+	"mimir/internal/spill"
 )
 
 // Default buffer sizes: the paper's 64 MB page and 64 MB communication
@@ -26,6 +28,36 @@ const (
 	// benchmark KVs fit in 128 bytes (words are capped at ~20 characters).
 	MinPartition = 128
 )
+
+// OutOfCore selects the engine's response to node memory pressure.
+type OutOfCore int
+
+const (
+	// Error is the paper's Mimir: when the containers cannot grow, the job
+	// fails with mem.ErrNoMemory (the missing data points in the paper's
+	// figures). The default.
+	Error OutOfCore = iota
+	// SpillWhenNeeded evicts cold sealed container pages to Config.SpillFS
+	// once arena usage passes the watermark, keeping the dynamic-paged
+	// design but surviving datasets larger than memory — the analogue of
+	// MR-MPI's spill-when-needed out-of-core mode.
+	SpillWhenNeeded
+	// SpillAlways additionally writes every container page out the moment
+	// it is sealed, minimizing the resident footprint at maximal I/O cost —
+	// the analogue of MR-MPI's spill-always mode.
+	SpillAlways
+)
+
+// String returns the conventional name of the policy.
+func (o OutOfCore) String() string {
+	switch o {
+	case SpillWhenNeeded:
+		return "spill-when-needed"
+	case SpillAlways:
+		return "spill-always"
+	}
+	return "error"
+}
 
 // Emitter receives KVs produced by map and reduce callbacks.
 type Emitter interface {
@@ -115,6 +147,29 @@ type Config struct {
 	// max(compute, comm) instead of their sum. Setting SerialAggregate
 	// restores the paper's blocking single-buffer exchange.
 	SerialAggregate bool
+	// OutOfCore selects the response to memory pressure (see OutOfCore).
+	// The non-default policies require SpillFS and register every KV/KMV
+	// container page with a per-rank spill.Store; communication buffers and
+	// hash buckets never spill and live in the arena headroom above the
+	// watermark.
+	OutOfCore OutOfCore
+	// SpillFS is the parallel file system that receives evicted pages.
+	// Required when OutOfCore is not Error.
+	SpillFS *pfs.FS
+	// SpillWatermark overrides the eviction watermark as a fraction of
+	// arena capacity (default spill.DefaultWatermark).
+	SpillWatermark float64
+	// SpillPrefetch overrides the sequential readahead depth of container
+	// scans over spilled pages (default spill.DefaultPrefetch; negative
+	// disables).
+	SpillPrefetch int
+	// SpillGroup coordinates eviction across the ranks that share this
+	// rank's Arena: a rank under memory pressure may then evict another
+	// rank's cold pages, resolving pressure node-wide instead of failing
+	// while peers sit on cold data. All ranks sharing an Arena should pass
+	// the same group. Optional; nil confines eviction to the rank's own
+	// pages.
+	SpillGroup *spill.Group
 	// Partitioner overrides the hash function that assigns keys to ranks
 	// ("Users can provide alternative hash functions that suit their
 	// needs"). It must return a destination in [0, nranks) and be identical

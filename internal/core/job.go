@@ -8,6 +8,7 @@ import (
 	"mimir/internal/mem"
 	"mimir/internal/mpi"
 	"mimir/internal/simtime"
+	"mimir/internal/spill"
 )
 
 // Job is one Mimir MapReduce execution on one rank. Create it with NewJob
@@ -22,7 +23,7 @@ type Job struct {
 	// full set nonblocking while the map keeps filling the other.
 	sendBuf  *mem.Page
 	nbuf     int
-	active   int     // index of the set the map is filling
+	active   int // index of the set the map is filling
 	partSize int
 	partOffs [][]int // per-set write offset within each partition
 	// pending is the in-flight exchange of the inactive set (overlap only).
@@ -35,6 +36,12 @@ type Job struct {
 	prBkt   *kvbuf.Bucket
 	// cpsBkt is the KV compression bucket, when enabled.
 	cpsBkt *kvbuf.Bucket
+
+	// store is the rank's out-of-core page store (nil under OutOfCore:
+	// Error). All KV/KMV container pages of this job register with it; it
+	// outlives the job as long as the Output holds spilled pages, removing
+	// its spill file when the last page is freed.
+	store *spill.Store
 
 	stats Stats
 }
@@ -76,6 +83,10 @@ type Stats struct {
 	// RestoredFromCheckpoint reports that the map and aggregate phases were
 	// skipped by resuming from a checkpoint.
 	RestoredFromCheckpoint bool
+	// Spill reports the rank's out-of-core activity (zero under OutOfCore:
+	// Error, and whenever the data fit under the watermark). Snapshot at
+	// job end; pages the Output spills later are not included.
+	Spill spill.Stats
 }
 
 // NewJob creates a job for this rank with the given configuration.
@@ -92,6 +103,25 @@ func NewJob(comm *mpi.Comm, cfg Config) *Job {
 // map-only jobs, whose output is the post-shuffle KV set. All ranks must
 // call Run collectively.
 func (j *Job) Run(input Input, mapFn MapFunc, reduceFn ReduceFunc) (*Output, error) {
+	if j.cfg.OutOfCore != Error {
+		if j.cfg.SpillFS == nil {
+			return nil, fmt.Errorf("core: OutOfCore %v requires Config.SpillFS", j.cfg.OutOfCore)
+		}
+		policy := spill.WhenNeeded
+		if j.cfg.OutOfCore == SpillAlways {
+			policy = spill.Always
+		}
+		j.store = spill.NewStore(spill.Config{
+			Arena:     j.cfg.Arena,
+			FS:        j.cfg.SpillFS,
+			Clock:     j.comm.Clock(),
+			Name:      fmt.Sprintf("mimir/rank%d", j.comm.Rank()),
+			Policy:    policy,
+			Watermark: j.cfg.SpillWatermark,
+			Prefetch:  j.cfg.SpillPrefetch,
+			Group:     j.cfg.SpillGroup,
+		})
+	}
 	if err := j.comm.Barrier(); err != nil {
 		return nil, err
 	}
@@ -139,6 +169,9 @@ func (j *Job) Run(input Input, mapFn MapFunc, reduceFn ReduceFunc) (*Output, err
 	if err := j.comm.Barrier(); err != nil {
 		out.Free()
 		return nil, err
+	}
+	if j.store != nil {
+		j.stats.Spill = j.store.Stats()
 	}
 	out.Stats = j.stats
 	return out, nil
@@ -221,7 +254,7 @@ func (j *Job) mapAggregate(input Input, mapFn MapFunc) error {
 	// here first; the aggregate is delayed until the map completes (or, with
 	// a CombinerBudget, until the bucket outgrows its budget).
 	if j.cfg.Combiner != nil {
-		j.cpsBkt, err = kvbuf.NewBucket(j.cfg.Arena, j.cfg.PageSize)
+		j.cpsBkt, err = newBucketForJob(j)
 		if err != nil {
 			return err
 		}
@@ -310,7 +343,7 @@ func (e *mapEmitter) Emit(k, v []byte) error {
 				return err
 			}
 			j.cpsBkt.Free()
-			j.cpsBkt, err = kvbuf.NewBucket(j.cfg.Arena, j.cfg.PageSize)
+			j.cpsBkt, err = newBucketForJob(j)
 			return err
 		}
 		return nil
@@ -531,7 +564,7 @@ func (j *Job) finish(reduceFn ReduceFunc) (*Output, error) {
 		defer func() {
 			j.stats.Phases.Reduce = j.comm.Clock().Now() - tReduce
 		}()
-		out := kvbuf.NewKVC(j.cfg.Arena, j.cfg.PageSize, j.cfg.Hint)
+		out := kvbuf.NewKVCOn(j.pageStore(), j.cfg.Arena, j.cfg.PageSize, j.cfg.Hint)
 		err := j.prBkt.Scan(func(k, v []byte) error {
 			j.charge(j.cfg.Costs.PerRecord+float64(len(k)+len(v))*j.cfg.Costs.ReducePerByte, simtime.Compute)
 			return out.Append(k, v)
@@ -557,7 +590,7 @@ func (j *Job) finish(reduceFn ReduceFunc) (*Output, error) {
 	// Convert (two passes, drains the input KVC) ...
 	tConvert := j.comm.Clock().Now()
 	j.charge(float64(j.recvKVC.Bytes())*j.cfg.Costs.ReducePerByte, simtime.Compute)
-	kmv, err := kvbuf.Convert(j.recvKVC, j.cfg.Arena, j.cfg.PageSize, j.cfg.Hint)
+	kmv, err := kvbuf.ConvertOn(j.pageStore(), j.recvKVC, j.cfg.Arena, j.cfg.PageSize, j.cfg.Hint)
 	if err != nil {
 		return nil, err
 	}
@@ -570,7 +603,7 @@ func (j *Job) finish(reduceFn ReduceFunc) (*Output, error) {
 	defer func() {
 		j.stats.Phases.Reduce = j.comm.Clock().Now() - tReduce
 	}()
-	out := kvbuf.NewKVC(j.cfg.Arena, j.cfg.PageSize, j.cfg.Hint)
+	out := kvbuf.NewKVCOn(j.pageStore(), j.cfg.Arena, j.cfg.PageSize, j.cfg.Hint)
 	red := &outputEmitter{job: j, kvc: out}
 	err = kmv.Scan(func(key []byte, vals *kvbuf.ValueIter) error {
 		j.charge(j.cfg.Costs.PerRecord, simtime.Compute)
@@ -599,11 +632,20 @@ func (j *Job) charge(seconds float64, kind simtime.Kind) {
 }
 
 func newKVCForJob(j *Job) *kvbuf.KVC {
-	return kvbuf.NewKVC(j.cfg.Arena, j.cfg.PageSize, j.cfg.Hint)
+	return kvbuf.NewKVCOn(j.pageStore(), j.cfg.Arena, j.cfg.PageSize, j.cfg.Hint)
+}
+
+// pageStore adapts the job's spill store to the kvbuf interface, keeping
+// the interface value nil (not a typed nil) when spilling is off.
+func (j *Job) pageStore() kvbuf.PageStore {
+	if j.store == nil {
+		return nil
+	}
+	return j.store
 }
 
 func newBucketForJob(j *Job) (*kvbuf.Bucket, error) {
-	return kvbuf.NewBucket(j.cfg.Arena, j.cfg.PageSize)
+	return kvbuf.NewBucketOn(j.pageStore(), j.cfg.Arena, j.cfg.PageSize)
 }
 
 // Uint64Bytes and BytesUint64 are small helpers for the ubiquitous 8-byte

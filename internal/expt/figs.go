@@ -5,6 +5,7 @@ import (
 
 	"mimir/internal/core"
 	"mimir/internal/kvbuf"
+	"mimir/internal/mrmpi"
 	"mimir/internal/platform"
 	"mimir/internal/workloads"
 )
@@ -30,6 +31,7 @@ var All = []struct {
 	{"fig12", Fig12, "KV compression on Mira"},
 	{"fig13", Fig13, "Optimization ladder on Mira"},
 	{"fig14", Fig14, "Weak scalability of the ladder on Mira"},
+	{"figspill", FigSpill, "Out-of-core: Mimir spill vs MR-MPI modes"},
 }
 
 // Fig1 reproduces Figure 1: single-node execution time of WordCount with
@@ -341,6 +343,40 @@ func Fig13() []*Figure {
 			ocSweep(24, 29), ladder(OC)),
 		runComparison("fig13d", "Optimizations: BFS, one Mira node", "number of vertices", plat,
 			bfsSweep(18, 23), ladder(BFS)),
+	}
+}
+
+// FigSpill extends the paper: WordCount ladders on one Mira node crossing
+// its 16 GB memory, comparing Mimir's three out-of-core policies (the
+// paper's fail-fast default plus the new spill subsystem) against MR-MPI's
+// three out-of-core modes at its largest feasible page. Past the memory
+// wall the error policies go OOM while the spill policies trade execution
+// time for completion; Mimir's page-granular eviction keeps both its peak
+// memory and its out-of-core traffic below MR-MPI's whole-page spills.
+func FigSpill() []*Figure {
+	plat := platform.Mira()
+	variants := []variant{
+		{"Mimir (error)", func(s *Spec) { s.Engine = Mimir }},
+		{"Mimir (spill)", func(s *Spec) { s.Engine = Mimir; s.OutOfCore = core.SpillWhenNeeded }},
+		{"Mimir (spill-always)", func(s *Spec) { s.Engine = Mimir; s.OutOfCore = core.SpillAlways }},
+		{"MR-MPI (error)", func(s *Spec) {
+			s.Engine = MRMPI
+			s.MRMPIPage = plat.MaxPageSize
+			s.MRMPIMode = mrmpi.ErrorIfExceeds
+		}},
+		mrmpiV("MR-MPI (spill)", plat.MaxPageSize), // spill-when-needed, the library default
+		{"MR-MPI (spill-always)", func(s *Spec) {
+			s.Engine = MRMPI
+			s.MRMPIPage = plat.MaxPageSize
+			s.MRMPIMode = mrmpi.SpillAlways
+		}},
+	}
+	wcLabels := []string{"1G", "2G", "4G", "8G", "16G", "32G"}
+	return []*Figure{
+		runComparison("figspilla", "Out-of-core: WC (Uniform), one Mira node", "dataset size", plat,
+			wcSweep(WCUniform, wcLabels), variants),
+		runComparison("figspillb", "Out-of-core: WC (Wikipedia), one Mira node", "dataset size", plat,
+			wcSweep(WCWikipedia, wcLabels), variants),
 	}
 }
 

@@ -1,0 +1,7 @@
+//go:build race
+
+package expt
+
+// raceEnabled reports whether the race detector is on; the minutes-long
+// out-of-core scenarios skip under it (see outofcore_test.go).
+const raceEnabled = true

@@ -15,11 +15,13 @@ import (
 	"math"
 	"sync"
 
+	"mimir/internal/core"
 	"mimir/internal/mem"
 	"mimir/internal/mpi"
 	"mimir/internal/mrmpi"
 	"mimir/internal/pfs"
 	"mimir/internal/platform"
+	"mimir/internal/spill"
 	"mimir/internal/workloads"
 )
 
@@ -69,6 +71,13 @@ type Spec struct {
 	Engine       EngineKind
 	// MRMPIPage sets the MR-MPI page size (default: the platform page size).
 	MRMPIPage int
+	// MRMPIMode selects MR-MPI's out-of-core mode (zero value:
+	// spill-when-needed, the library default).
+	MRMPIMode mrmpi.Mode
+	// OutOfCore selects Mimir's out-of-core policy (zero value: Error — the
+	// paper's fail-on-ErrNoMemory behavior). The spill policies evict
+	// container pages to the platform's spill file system.
+	OutOfCore core.OutOfCore
 	// Optimizations (Mimir honors all three; MR-MPI only CPS).
 	Hint, PR, CPS bool
 
@@ -89,8 +98,13 @@ type Result struct {
 	// busiest node's arena high-water mark divided by its ranks (how the
 	// paper reports "peak memory usage").
 	PeakPerProc int64
-	// SpilledBytes counts MR-MPI out-of-core traffic (0 for Mimir).
+	// SpilledBytes counts out-of-core write traffic: MR-MPI page spills, or
+	// Mimir container evictions under a Spec.OutOfCore spill policy (0 for
+	// Mimir's default Error policy).
 	SpilledBytes int64
+	// SpillIOSec sums, over all ranks, the simulated seconds spent on
+	// Mimir's spill I/O (0 for MR-MPI, whose spill time is inside Time).
+	SpillIOSec float64
 	// OverlapSavedSec sums, over all ranks, the simulated seconds the
 	// overlapped aggregate saved by hiding exchange rounds behind the map
 	// (0 for MR-MPI and for SerialAggregate runs).
@@ -121,8 +135,12 @@ func Run(spec Spec) Result {
 	// rank count (for tractability) does not inflate per-node memory.
 	nodeMem := plat.NodeMemory
 	arenas := make([]*mem.Arena, spec.Nodes)
+	groups := make([]*spill.Group, spec.Nodes)
 	for i := range arenas {
 		arenas[i] = mem.NewArena(nodeMem)
+		// One eviction group per node: ranks sharing the node arena also
+		// share memory pressure, so any of them may evict any cold page.
+		groups[i] = spill.NewGroup()
 	}
 	inputFS := plat.InputFSFor(spec.Nodes)
 	spillFS := plat.SpillFSFor(spec.Nodes)
@@ -163,6 +181,9 @@ func Run(spec Spec) Result {
 			me := workloads.NewMimirEngine(c, arena)
 			me.PageSize = plat.PageSize
 			me.CommBuf = plat.PageSize
+			me.OutOfCore = spec.OutOfCore
+			me.SpillFS = spillFS
+			me.SpillGroup = groups[c.Rank()/rpn]
 			me.Costs = costs
 			eng = me
 		case MRMPI:
@@ -171,7 +192,7 @@ func Run(spec Spec) Result {
 			if mre.PageSize <= 0 {
 				mre.PageSize = plat.PageSize
 			}
-			mre.Mode = mrmpi.SpillWhenNeeded
+			mre.Mode = spec.MRMPIMode
 			mre.Costs = costs
 			eng = mre
 		}
@@ -181,6 +202,7 @@ func Run(spec Spec) Result {
 		}
 		mu.Lock()
 		res.SpilledBytes += stats.SpilledBytes
+		res.SpillIOSec += stats.SpillIOSec
 		res.OverlapSavedSec += stats.OverlapSavedSec
 		mu.Unlock()
 		return nil

@@ -20,9 +20,21 @@ import (
 // max(input, output) + index during pass 2 — never input + output + slack
 // as in MR-MPI's static page model.
 func Convert(in *KVC, arena *mem.Arena, pageSize int, hint Hint) (*KMVC, error) {
+	return ConvertOn(nil, in, arena, pageSize, hint)
+}
+
+// ConvertOn is Convert with the output KMVC's pages registered on a
+// PageStore for out-of-core eviction. Both passes stream: pass 1 pins the
+// (possibly spilled) input pages one at a time while reserving records,
+// pass 2 drains the input while scattering values into pinned output
+// pages, so residency never doubles even when both containers exceed the
+// watermark. The per-key index bucket stays purely in-memory — it is
+// random-access on every KV and must live in the arena headroom above the
+// watermark.
+func ConvertOn(store PageStore, in *KVC, arena *mem.Arena, pageSize int, hint Hint) (*KMVC, error) {
 	// Pass 1: per-key statistics in a hash bucket. Values are fixed 12-byte
 	// records: [count uint32][valBytes uint32][recID uint32].
-	idx, err := NewBucket(arena, pageSize)
+	idx, err := NewBucketOn(store, arena, pageSize)
 	if err != nil {
 		return nil, err
 	}
@@ -46,7 +58,7 @@ func Convert(in *KVC, arena *mem.Arena, pageSize int, hint Hint) (*KMVC, error) 
 	}
 
 	// Reserve all records in first-appearance order (deterministic output).
-	out := NewKMVC(arena, pageSize, hint)
+	out := NewKMVCOn(store, arena, pageSize, hint)
 	err = idx.Scan(func(k, v []byte) error {
 		count := int(binary.LittleEndian.Uint32(v[0:]))
 		valBytes := int(binary.LittleEndian.Uint32(v[4:]))

@@ -20,6 +20,7 @@ const bucketEntryBytes = 40
 // threshold — a trade-off the paper calls out explicitly.
 type Bucket struct {
 	arena   *mem.Arena
+	room    PageStore // optional eviction hook for arena charges
 	data    *pagedBuf
 	entries []bucketEntry
 	heads   []int32
@@ -42,16 +43,36 @@ const initialHeads = 64
 
 // NewBucket creates an empty bucket whose storage pages come from arena.
 func NewBucket(arena *mem.Arena, pageSize int) (*Bucket, error) {
-	b := &Bucket{arena: arena, data: newPagedBuf(arena, pageSize)}
+	return NewBucketOn(nil, arena, pageSize)
+}
+
+// NewBucketOn creates a bucket whose arena charges are routed through a
+// spill store's Reserve. The bucket itself never spills — it is
+// random-access on every operation — but its growth can evict spillable
+// container pages instead of failing, which keeps the out-of-core convert
+// and combiner paths alive under pressure. A nil room is NewBucket.
+func NewBucketOn(room PageStore, arena *mem.Arena, pageSize int) (*Bucket, error) {
+	pb := newPagedBuf(arena, pageSize)
+	pb.room = room
+	b := &Bucket{arena: arena, room: room, data: pb}
 	if err := b.setHeads(initialHeads); err != nil {
 		return nil, err
 	}
 	return b, nil
 }
 
+// alloc charges n non-page bytes, evicting through the room store when one
+// is attached. The matching release is always a plain Arena.Free.
+func (b *Bucket) alloc(n int64) error {
+	if b.room != nil {
+		return b.room.Reserve(n)
+	}
+	return b.arena.Alloc(n)
+}
+
 func (b *Bucket) setHeads(n int) error {
 	charge := int64(n) * 4
-	if err := b.arena.Alloc(charge); err != nil {
+	if err := b.alloc(charge); err != nil {
 		return err
 	}
 	if b.headCharged > 0 {
@@ -153,7 +174,7 @@ func (b *Bucket) insert(h uint64, k, v []byte) error {
 			return err
 		}
 	}
-	if err := b.arena.Alloc(bucketEntryBytes); err != nil {
+	if err := b.alloc(bucketEntryBytes); err != nil {
 		return err
 	}
 	kr, err := b.data.append(k)

@@ -36,7 +36,13 @@ type kmvRec struct {
 
 // NewKMVC creates an empty KMV container.
 func NewKMVC(arena *mem.Arena, pageSize int, hint Hint) *KMVC {
-	return &KMVC{arena: arena, buf: newPagedBuf(arena, pageSize), hint: hint}
+	return NewKMVCOn(nil, arena, pageSize, hint)
+}
+
+// NewKMVCOn creates a KMV container whose pages are registered with a
+// PageStore for out-of-core eviction. A nil store is NewKMVC.
+func NewKMVCOn(store PageStore, arena *mem.Arena, pageSize int, hint Hint) *KMVC {
+	return &KMVC{arena: arena, buf: newStorePagedBuf(store, arena, pageSize), hint: hint}
 }
 
 // recordSize returns the exact encoded size of a KMV record for a key of
@@ -64,7 +70,7 @@ func (c *KMVC) NewRecord(key []byte, nvals, valBytes int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := c.arena.Alloc(kmvMetaBytes); err != nil {
+	if err := c.buf.reserveMeta(kmvMetaBytes); err != nil {
 		return 0, err
 	}
 	buf := c.buf.at(r, size)
@@ -85,6 +91,9 @@ func (c *KMVC) NewRecord(key []byte, nvals, valBytes int) (int, error) {
 }
 
 // AppendValue writes the next value into record id (pass two of convert).
+// The write lands on whatever page holds the record — typically a sealed
+// one — so the page is pinned (restoring it if convert pass 2 finds it
+// spilled) and marked dirty for the duration of the scatter.
 func (c *KMVC) AppendValue(id int, v []byte) error {
 	if id < 0 || id >= len(c.recs) {
 		return fmt.Errorf("kvbuf: bad KMV record id %d", id)
@@ -96,6 +105,13 @@ func (c *KMVC) AppendValue(id int, v []byte) error {
 	if err := c.hint.Val.check("value", v); err != nil {
 		return err
 	}
+	if _, err := c.buf.pinPage(rec.r.page()); err != nil {
+		return err
+	}
+	defer func() {
+		c.buf.markDirty(rec.r.page())
+		c.buf.unpinPage(rec.r.page())
+	}()
 	buf := c.buf.at(rec.r, rec.size)
 	pos := rec.cursor
 	need := c.hint.Val.headerSize() + c.hint.Val.dataSize(len(v))
@@ -135,12 +151,20 @@ func (c *KMVC) Scan(fn func(key []byte, vals *ValueIter) error) error {
 		if rec.written != rec.nvals {
 			return fmt.Errorf("kvbuf: KMV record %d incomplete: %d of %d values", i, rec.written, rec.nvals)
 		}
+		// Records never straddle pages, so pinning the record's page keeps
+		// the key and every value resident for the callback. Reduce thereby
+		// streams spilled records back page by page.
+		if _, err := c.buf.pinPage(rec.r.page()); err != nil {
+			return err
+		}
 		buf := c.buf.at(rec.r, rec.size)
 		pos := c.hint.Key.headerSize() + 4
 		key := buf[pos : pos+rec.keyLen]
 		pos += c.hint.Key.dataSize(rec.keyLen)
 		it := &ValueIter{buf: buf[pos:], n: rec.nvals, mode: c.hint.Val}
-		if err := fn(key, it); err != nil {
+		err := fn(key, it)
+		c.buf.unpinPage(rec.r.page())
+		if err != nil {
 			return err
 		}
 	}

@@ -19,7 +19,13 @@ type KVC struct {
 // NewKVC creates an empty container whose pages come from arena. hint
 // selects the KV encoding (see Hint).
 func NewKVC(arena *mem.Arena, pageSize int, hint Hint) *KVC {
-	return &KVC{buf: newPagedBuf(arena, pageSize), hint: hint}
+	return NewKVCOn(nil, arena, pageSize, hint)
+}
+
+// NewKVCOn creates a container whose pages are registered with a PageStore
+// for out-of-core eviction (see PageStore). A nil store is NewKVC.
+func NewKVCOn(store PageStore, arena *mem.Arena, pageSize int, hint Hint) *KVC {
+	return &KVC{buf: newStorePagedBuf(store, arena, pageSize), hint: hint}
 }
 
 // Hint returns the container's encoding hint.
@@ -81,10 +87,18 @@ func (c *KVC) Bytes() int64 { return c.buf.usedBytes() }
 func (c *KVC) ReservedBytes() int64 { return c.buf.reservedBytes() }
 
 // Scan calls fn for every stored KV in insertion order. The key and value
-// slices alias container memory and are valid only during the call.
+// slices alias container memory and are valid only during the call. Each
+// page is pinned for the duration of its scan, so spilled pages stream
+// back one at a time (plus the store's prefetch window), never all at once.
 func (c *KVC) Scan(fn func(k, v []byte) error) error {
-	for _, p := range c.buf.pages {
-		if err := c.scanPage(p, fn); err != nil {
+	for i := 0; i < c.buf.numPages(); i++ {
+		p, err := c.buf.pinPage(i)
+		if err != nil {
+			return err
+		}
+		err = c.scanPage(p, fn)
+		c.buf.unpinPage(i)
+		if err != nil {
 			return err
 		}
 	}
@@ -93,22 +107,29 @@ func (c *KVC) Scan(fn func(k, v []byte) error) error {
 
 // Drain is Scan that releases each page back to the arena immediately after
 // its KVs are consumed — "when the data is read (consumed), the KVC frees
-// buffers that are no longer needed". The container is empty afterwards.
+// buffers that are no longer needed". The container is empty afterwards,
+// even on error.
 func (c *KVC) Drain(fn func(k, v []byte) error) error {
-	pages := c.buf.pages
-	c.buf.pages = nil
+	n := c.buf.numPages()
 	c.nkv = 0
-	for i, p := range pages {
-		err := c.scanPage(p, fn)
-		p.Release()
-		if err != nil {
-			for _, q := range pages[i+1:] {
-				q.Release()
+	var firstErr error
+	for i := 0; i < n; i++ {
+		if firstErr == nil {
+			p, err := c.buf.pinPage(i)
+			if err != nil {
+				firstErr = err
+			} else {
+				err = c.scanPage(p, fn)
+				c.buf.unpinPage(i)
+				if err != nil {
+					firstErr = err
+				}
 			}
-			return err
 		}
+		c.buf.freePage(i)
 	}
-	return nil
+	c.buf.clear()
+	return firstErr
 }
 
 func (c *KVC) scanPage(p *mem.Page, fn func(k, v []byte) error) error {

@@ -1,0 +1,54 @@
+package kvbuf
+
+import "mimir/internal/mem"
+
+// PageID identifies a page registered with a PageStore.
+type PageID int32
+
+// PageStore is the out-of-core hook the containers talk to. When a KVC or
+// KMVC is created "on" a store (NewKVCOn / NewKMVCOn), every data page is
+// registered with it and the store may evict sealed, unpinned pages to the
+// parallel file system to stay under a memory watermark, restoring them on
+// Pin. internal/spill provides the implementation; the interface lives
+// here so kvbuf has no dependency on the spill machinery (or the PFS) and
+// a nil store means today's purely in-memory behavior.
+//
+// The contract the containers rely on:
+//
+//   - NewPage returns a *mem.Page whose identity is stable for the life of
+//     the registration: eviction drops only Page.Buf, and Pin brings the
+//     same Page back resident. Page.Used survives eviction.
+//   - A page is evictable only once Seal is called on it and only while
+//     its pin count is zero. Containers seal a page when they open the
+//     next one, so the append head is always safe to write without a pin.
+//   - Pin restores the page if needed and increments its pin count; every
+//     Pin is paired with exactly one Unpin. Writes to a pinned page that
+//     already hit the file must be announced with MarkDirty, or eviction
+//     may drop them in favor of the stale spill copy.
+//   - Free releases the page (and any spill copy) permanently.
+//
+// All methods are called from the owning rank's goroutine only; stores
+// need no internal locking beyond what the arena and PFS already do.
+type PageStore interface {
+	// NewPage allocates and registers a page of the given size, evicting
+	// cold pages first if the arena is past its watermark.
+	NewPage(size int) (PageID, *mem.Page, error)
+	// Pin makes the page resident (restoring it from the spill file if
+	// evicted) and protects it from eviction until Unpin.
+	Pin(id PageID) (*mem.Page, error)
+	// Unpin releases one pin.
+	Unpin(id PageID)
+	// Seal marks the page complete: its Used bytes are final (in-place
+	// value scatter via MarkDirty aside) and it becomes an eviction
+	// candidate.
+	Seal(id PageID)
+	// MarkDirty records that a pinned page's bytes changed since they were
+	// last spilled, forcing a rewrite on the next eviction.
+	MarkDirty(id PageID)
+	// Free unregisters the page, releasing its memory and spill copy.
+	Free(id PageID)
+	// Reserve charges n non-page bytes (container metadata) to the arena,
+	// evicting pages to make room if necessary. Callers release the bytes
+	// with a plain Arena.Free.
+	Reserve(n int64) error
+}

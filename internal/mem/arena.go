@@ -14,9 +14,13 @@ import (
 )
 
 // ErrNoMemory is returned when an allocation would exceed the arena
-// capacity. Mimir treats it as job failure (the paper's missing data
-// points); MR-MPI treats a full page as a spill trigger instead and only
-// fails when even the page set itself cannot be allocated.
+// capacity. What happens next is a policy decision, not a law of the
+// engine: under Mimir's default OutOfCore policy (core.Error) the job
+// fails — the paper's missing data points — while the spill policies
+// (core.SpillWhenNeeded, core.SpillAlways) evict cold container pages to
+// the parallel file system through internal/spill and retry. MR-MPI
+// treats a full page as a spill trigger instead and only fails when even
+// the static page set itself cannot be allocated.
 var ErrNoMemory = errors.New("mem: node out of memory")
 
 // Arena is one compute node's memory pool. The zero value is unusable; use
@@ -82,6 +86,43 @@ func (a *Arena) Peak() int64 {
 
 // Capacity returns the arena capacity in bytes (0 or less = unlimited).
 func (a *Arena) Capacity() int64 { return a.capacity }
+
+// TryGrab attempts to reserve n bytes and reports whether it succeeded.
+// Unlike Alloc it never constructs an error value, so eviction retry
+// loops (internal/spill) can probe for room cheaply.
+func (a *Arena) TryGrab(n int64) bool {
+	if n < 0 {
+		panic(fmt.Sprintf("mem: negative allocation %d", n))
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.capacity > 0 && a.used+n > a.capacity {
+		return false
+	}
+	a.used += n
+	if a.used > a.peak {
+		a.peak = a.used
+	}
+	return true
+}
+
+// Watermark returns the byte threshold at the given fraction of capacity,
+// or 0 for an unlimited arena (no watermark). Out-of-core policies evict
+// pages once usage passes this line, keeping the headroom above it free
+// for buffers that cannot spill (send/receive sets, hash buckets).
+func (a *Arena) Watermark(frac float64) int64 {
+	if a.capacity <= 0 {
+		return 0
+	}
+	w := int64(float64(a.capacity) * frac)
+	if w < 0 {
+		w = 0
+	}
+	if w > a.capacity {
+		w = a.capacity
+	}
+	return w
+}
 
 // ResetPeak sets the high-water mark back to the current usage so a new
 // measurement interval can begin (used between experiment repetitions).

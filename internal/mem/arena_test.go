@@ -122,6 +122,173 @@ func TestArenaAccountingProperty(t *testing.T) {
 	}
 }
 
+// TestArenaTryGrab covers the non-erroring allocation path the spill
+// store's watermark logic is built on: a refused grab charges nothing and
+// moves neither Used nor Peak.
+func TestArenaTryGrab(t *testing.T) {
+	cases := []struct {
+		name     string
+		capacity int64
+		grabs    []int64
+		ok       []bool
+		used     int64
+		peak     int64
+	}{
+		{"fits", 100, []int64{40, 60}, []bool{true, true}, 100, 100},
+		{"exact-then-refused", 100, []int64{100, 1}, []bool{true, false}, 100, 100},
+		{"refused-then-fits", 50, []int64{60, 50}, []bool{false, true}, 50, 50},
+		{"unlimited", 0, []int64{1 << 40, 1 << 40}, []bool{true, true}, 2 << 40, 2 << 40},
+		{"zero-grab", 10, []int64{0, 10, 0}, []bool{true, true, true}, 10, 10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := NewArena(tc.capacity)
+			for i, n := range tc.grabs {
+				if got := a.TryGrab(n); got != tc.ok[i] {
+					t.Fatalf("TryGrab(%d) #%d = %v, want %v", n, i, got, tc.ok[i])
+				}
+			}
+			if a.Used() != tc.used {
+				t.Errorf("Used = %d, want %d", a.Used(), tc.used)
+			}
+			if a.Peak() != tc.peak {
+				t.Errorf("Peak = %d, want %d", a.Peak(), tc.peak)
+			}
+		})
+	}
+}
+
+func TestArenaWatermark(t *testing.T) {
+	cases := []struct {
+		name     string
+		capacity int64
+		frac     float64
+		want     int64
+	}{
+		{"default", 1000, 0.85, 850},
+		{"full", 1000, 1.0, 1000},
+		{"clamped-high", 1000, 1.5, 1000},
+		{"clamped-low", 1000, -0.5, 0},
+		{"unlimited", 0, 0.85, 0},
+		{"negative-capacity", -1, 0.85, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := NewArena(tc.capacity).Watermark(tc.frac); got != tc.want {
+				t.Errorf("NewArena(%d).Watermark(%v) = %d, want %d",
+					tc.capacity, tc.frac, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestArenaConcurrentTryGrab hammers a bounded arena from many goroutines:
+// capacity must never be exceeded (checked via Peak, which is monotone),
+// refused grabs must charge nothing, and a balanced grab/free sequence
+// must end at zero.
+func TestArenaConcurrentTryGrab(t *testing.T) {
+	const capacity = 1000
+	cases := []struct {
+		name    string
+		workers int
+		grab    int64
+	}{
+		{"small-grabs", 16, 7},
+		{"large-grabs", 8, 400},     // contended: at most 2 fit at once
+		{"oversized-grabs", 4, 600}, // at most 1 fits at once
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := NewArena(capacity)
+			var wg sync.WaitGroup
+			for i := 0; i < tc.workers; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := 0; j < 500; j++ {
+						if a.TryGrab(tc.grab) {
+							a.Free(tc.grab)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if got := a.Used(); got != 0 {
+				t.Errorf("Used = %d after balanced concurrent TryGrab/Free, want 0", got)
+			}
+			if got := a.Peak(); got > capacity {
+				t.Errorf("Peak = %d exceeds capacity %d", got, capacity)
+			}
+		})
+	}
+}
+
+// TestPageEvictRestore exercises the spill subsystem's page primitives:
+// Evict frees the reservation but keeps the logical length, Restore
+// re-reserves and hands back a zeroed buffer of the same size.
+func TestPageEvictRestore(t *testing.T) {
+	a := NewArena(1024)
+	p, err := a.NewPage(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Append([]byte("payload"))
+	if n := p.Evict(); n != 256 {
+		t.Errorf("Evict returned %d, want 256", n)
+	}
+	if p.Resident() {
+		t.Error("page still resident after Evict")
+	}
+	if got := a.Used(); got != 0 {
+		t.Errorf("Used = %d after Evict, want 0", got)
+	}
+	if got := p.Used; got != 7 {
+		t.Errorf("Used length = %d after Evict, want 7 (logical size must survive)", got)
+	}
+	if err := a.Alloc(1024); err != nil {
+		t.Fatalf("arena did not regain evicted capacity: %v", err)
+	}
+	if err := p.Restore(256); err == nil {
+		t.Error("Restore succeeded with the arena full")
+	}
+	a.Free(1024)
+	if err := p.Restore(256); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if !p.Resident() || len(p.Buf) != 256 {
+		t.Fatalf("page not resident at size 256 after Restore")
+	}
+	if err := p.Restore(256); err != nil {
+		t.Errorf("Restore of a resident page should be a no-op, got %v", err)
+	}
+	if got := a.Used(); got != 256 {
+		t.Errorf("Used = %d after Restore, want 256", got)
+	}
+	p.Release()
+	if got := a.Used(); got != 0 {
+		t.Errorf("Used = %d after Release, want 0", got)
+	}
+}
+
+// TestAdoptPage: a page wrapped around an existing reservation releases
+// that reservation exactly once.
+func TestAdoptPage(t *testing.T) {
+	a := NewArena(100)
+	if !a.TryGrab(64) {
+		t.Fatal("TryGrab(64) refused in an empty 100-byte arena")
+	}
+	p := a.AdoptPage(64)
+	if got := a.Used(); got != 64 {
+		t.Errorf("Used = %d after AdoptPage, want 64 (no double charge)", got)
+	}
+	p.Append([]byte("data"))
+	p.Release()
+	p.Release() // idempotent
+	if got := a.Used(); got != 0 {
+		t.Errorf("Used = %d after Release, want 0", got)
+	}
+}
+
 func TestPageLifecycle(t *testing.T) {
 	a := NewArena(1024)
 	p, err := a.NewPage(256)

@@ -20,6 +20,14 @@ func (a *Arena) NewPage(size int) (*Page, error) {
 	return &Page{arena: a, Buf: make([]byte, size)}, nil
 }
 
+// AdoptPage wraps size bytes the caller has already reserved on the arena
+// (via Alloc/TryGrab, or a spill store's Reserve, which can evict for
+// room) into a Page. The page owns the reservation from here on: its
+// Release returns the bytes as usual.
+func (a *Arena) AdoptPage(size int) *Page {
+	return &Page{arena: a, Buf: make([]byte, size)}
+}
+
 // Remaining returns the unused capacity of the page.
 func (p *Page) Remaining() int { return len(p.Buf) - p.Used }
 
@@ -37,7 +45,7 @@ func (p *Page) Append(b []byte) {
 func (p *Page) Data() []byte { return p.Buf[:p.Used] }
 
 // Release returns the page's reservation to the arena. Release is
-// idempotent.
+// idempotent, and safe on an evicted (non-resident) page.
 func (p *Page) Release() {
 	if p.arena != nil {
 		p.arena.Free(int64(len(p.Buf)))
@@ -45,4 +53,39 @@ func (p *Page) Release() {
 		p.Buf = nil
 		p.Used = 0
 	}
+}
+
+// Evict drops the page's buffer and returns its reservation to the arena
+// while keeping Used and the arena binding, so an out-of-core store can
+// bring the page back with Restore at the same identity (pointers to the
+// Page stay valid; only Buf goes away). It returns the bytes released;
+// evicting a non-resident page is a no-op.
+func (p *Page) Evict() int {
+	if p.arena == nil || p.Buf == nil {
+		return 0
+	}
+	n := len(p.Buf)
+	p.arena.Free(int64(n))
+	p.Buf = nil
+	return n
+}
+
+// Resident reports whether the page currently holds a buffer.
+func (p *Page) Resident() bool { return p.Buf != nil }
+
+// Restore re-reserves size bytes for an evicted page and installs a fresh
+// zeroed buffer; the caller refills it from the spill copy. It fails with
+// ErrNoMemory when the arena has no room (the store evicts and retries).
+func (p *Page) Restore(size int) error {
+	if p.arena == nil {
+		panic("mem: Restore on a released page")
+	}
+	if p.Buf != nil {
+		return nil
+	}
+	if err := p.arena.Alloc(int64(size)); err != nil {
+		return err
+	}
+	p.Buf = make([]byte, size)
+	return nil
 }

@@ -73,6 +73,31 @@ func (fs *FS) Append(clock *simtime.Clock, name string, data []byte) {
 	}
 }
 
+// WriteAt overwrites len(data) bytes at offset off of the named file,
+// charging the write cost to clock. The range must already exist: WriteAt
+// rewrites a previously appended region in place (the spill store's dirty
+// page rewrite), it does not extend the file.
+func (fs *FS) WriteAt(clock *simtime.Clock, name string, off int64, data []byte) error {
+	fs.mu.Lock()
+	file, ok := fs.files[name]
+	if ok && off >= 0 && off+int64(len(data)) <= int64(len(file)) {
+		copy(file[off:], data)
+		fs.bytesWritten += int64(len(data))
+		fs.ops++
+	}
+	fs.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("pfs: no such file %q", name)
+	}
+	if off < 0 || off+int64(len(data)) > int64(len(file)) {
+		return fmt.Errorf("pfs: write [%d,%d) out of range of %q (size %d)", off, off+int64(len(data)), name, len(file))
+	}
+	if clock != nil {
+		clock.Advance(fs.cfg.perClientSeconds(len(data)), simtime.IO)
+	}
+	return nil
+}
+
 // ReadAll returns a copy of the named file's contents, charging the read
 // cost to clock. Reading a missing file is an error.
 func (fs *FS) ReadAll(clock *simtime.Clock, name string) ([]byte, error) {

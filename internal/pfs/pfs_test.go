@@ -56,6 +56,31 @@ func TestReadAt(t *testing.T) {
 	}
 }
 
+func TestWriteAt(t *testing.T) {
+	fs := New(Config{Bandwidth: 1e9})
+	c := simtime.NewClock()
+	fs.Append(c, "f", []byte("0123456789"))
+	if err := fs.WriteAt(c, "f", 3, []byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadAll(c, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "012abcd789" {
+		t.Errorf("after WriteAt: %q", got)
+	}
+	if fs.Size("f") != 10 {
+		t.Errorf("WriteAt changed size: %d", fs.Size("f"))
+	}
+	if err := fs.WriteAt(c, "f", 8, []byte("xyz")); err == nil {
+		t.Error("out-of-range WriteAt succeeded")
+	}
+	if err := fs.WriteAt(c, "g", 0, []byte("x")); err == nil {
+		t.Error("WriteAt on missing file succeeded")
+	}
+}
+
 func TestTimeCharging(t *testing.T) {
 	fs := New(Config{Bandwidth: 1000, Latency: 0.5, Sharers: 4})
 	c := simtime.NewClock()

@@ -4,9 +4,11 @@ import (
 	"mimir/internal/core"
 	"mimir/internal/kvbuf"
 	"mimir/internal/mem"
+	"mimir/internal/metrics"
 	"mimir/internal/mpi"
 	"mimir/internal/mrmpi"
 	"mimir/internal/pfs"
+	"mimir/internal/spill"
 )
 
 // StageOpts selects the optimizations for one MapReduce stage. The Mimir
@@ -25,15 +27,25 @@ type StageOpts struct {
 // StageStats aggregates one rank's counters for one stage.
 type StageStats struct {
 	ShuffledBytes int64
-	SpilledBytes  int64
-	MapOutKVs     int64
-	MapOutBytes   int64
-	OutputKVs     int64
+	// SpilledBytes is the rank's out-of-core write traffic: MR-MPI page
+	// spills, or Mimir container pages evicted under an OutOfCore policy.
+	SpilledBytes int64
+	MapOutKVs    int64
+	MapOutBytes  int64
+	OutputKVs    int64
 	// OverlapRounds / OverlapSavedSec report how often the overlapped
 	// aggregate hid communication behind the map and how much simulated
 	// time that saved (Mimir only; zero with SerialAggregate).
 	OverlapRounds   int64
 	OverlapSavedSec float64
+	// Out-of-core detail (Mimir spill policies only): pages evicted and
+	// restored, scan-readahead hits, and the simulated seconds spent on
+	// spill I/O.
+	SpillEvictions    int64
+	SpillRestores     int64
+	SpillRestoredByte int64
+	SpillPrefetchHits int64
+	SpillIOSec        float64
 	// Phase times in simulated seconds (map / aggregate / convert+reduce).
 	MapTime, AggrTime, ConvertTime, ReduceTime float64
 }
@@ -47,10 +59,31 @@ func (s *StageStats) accumulate(o StageStats) {
 	s.OutputKVs += o.OutputKVs
 	s.OverlapRounds += o.OverlapRounds
 	s.OverlapSavedSec += o.OverlapSavedSec
+	s.SpillEvictions += o.SpillEvictions
+	s.SpillRestores += o.SpillRestores
+	s.SpillRestoredByte += o.SpillRestoredByte
+	s.SpillPrefetchHits += o.SpillPrefetchHits
+	s.SpillIOSec += o.SpillIOSec
 	s.MapTime += o.MapTime
 	s.AggrTime += o.AggrTime
 	s.ConvertTime += o.ConvertTime
 	s.ReduceTime += o.ReduceTime
+}
+
+// Record adds the stage's counters as one rank's samples to a metrics
+// summary, so the min/mean/max view exposes rank imbalance in shuffle and
+// spill traffic the same way it does for phase times.
+func (s StageStats) Record(m *metrics.Summary) {
+	m.Add("map-sec", s.MapTime)
+	m.Add("aggregate-sec", s.AggrTime)
+	m.Add("convert-sec", s.ConvertTime)
+	m.Add("reduce-sec", s.ReduceTime)
+	m.Add("shuffled-bytes", float64(s.ShuffledBytes))
+	m.Add("spilled-bytes", float64(s.SpilledBytes))
+	m.Add("spill-evictions", float64(s.SpillEvictions))
+	m.Add("spill-restores", float64(s.SpillRestores))
+	m.Add("spill-prefetch-hits", float64(s.SpillPrefetchHits))
+	m.Add("spill-io-sec", s.SpillIOSec)
 }
 
 // Engine runs MapReduce stages on one rank. It abstracts over the Mimir and
@@ -77,7 +110,17 @@ type MimirEngine struct {
 	CommBuf  int
 	// SerialAggregate disables the overlapped aggregate (ablation knob).
 	SerialAggregate bool
-	Costs           core.Costs
+	// OutOfCore selects Mimir's memory-pressure policy; the spill policies
+	// require SpillFS (see core.OutOfCore).
+	OutOfCore core.OutOfCore
+	SpillFS   *pfs.FS
+	// SpillWatermark / SpillPrefetch tune the spill store (0 = defaults).
+	SpillWatermark float64
+	SpillPrefetch  int
+	// SpillGroup coordinates eviction across ranks sharing the arena
+	// (see core.Config.SpillGroup).
+	SpillGroup *spill.Group
+	Costs      core.Costs
 }
 
 // NewMimirEngine creates a Mimir-backed engine for this rank.
@@ -102,6 +145,11 @@ func (e *MimirEngine) RunStage(opts StageOpts, input core.Input, mapFn core.MapF
 		Combiner:        opts.Combiner,
 		PartialReduce:   opts.PartialReduce,
 		SerialAggregate: e.SerialAggregate,
+		OutOfCore:       e.OutOfCore,
+		SpillFS:         e.SpillFS,
+		SpillWatermark:  e.SpillWatermark,
+		SpillPrefetch:   e.SpillPrefetch,
+		SpillGroup:      e.SpillGroup,
 		Costs:           e.Costs,
 	})
 	out, err := job.Run(input, mapFn, reduceFn)
@@ -116,16 +164,22 @@ func (e *MimirEngine) RunStage(opts StageOpts, input core.Input, mapFn core.MapF
 	}
 	s := out.Stats
 	return StageStats{
-		ShuffledBytes:   s.ShuffledBytes,
-		MapOutKVs:       s.MapOutKVs,
-		MapOutBytes:     s.MapOutBytes,
-		OutputKVs:       s.OutputKVs,
-		OverlapRounds:   int64(s.OverlapRounds),
-		OverlapSavedSec: s.OverlapSavedSec,
-		MapTime:         s.Phases.Map,
-		AggrTime:        s.Phases.Aggregate,
-		ConvertTime:     s.Phases.Convert,
-		ReduceTime:      s.Phases.Reduce,
+		ShuffledBytes:     s.ShuffledBytes,
+		SpilledBytes:      s.Spill.SpilledBytes,
+		MapOutKVs:         s.MapOutKVs,
+		MapOutBytes:       s.MapOutBytes,
+		OutputKVs:         s.OutputKVs,
+		OverlapRounds:     int64(s.OverlapRounds),
+		OverlapSavedSec:   s.OverlapSavedSec,
+		SpillEvictions:    s.Spill.Evictions,
+		SpillRestores:     s.Spill.Restores,
+		SpillRestoredByte: s.Spill.RestoredBytes,
+		SpillPrefetchHits: s.Spill.PrefetchHits,
+		SpillIOSec:        s.Spill.IOSec,
+		MapTime:           s.Phases.Map,
+		AggrTime:          s.Phases.Aggregate,
+		ConvertTime:       s.Phases.Convert,
+		ReduceTime:        s.Phases.Reduce,
 	}, nil
 }
 

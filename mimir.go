@@ -27,8 +27,10 @@ import (
 	"mimir/internal/kvbuf"
 	"mimir/internal/mem"
 	"mimir/internal/mpi"
+	"mimir/internal/pfs"
 	"mimir/internal/platform"
 	"mimir/internal/simtime"
+	"mimir/internal/spill"
 )
 
 // Core MapReduce API (see internal/core).
@@ -62,7 +64,30 @@ type (
 	// Stats is the per-rank counter block in Output.Stats (rounds, bytes,
 	// overlap savings).
 	Stats = core.Stats
+	// OutOfCore selects the job's memory-pressure policy (see Config).
+	OutOfCore = core.OutOfCore
+	// SpillGroup coordinates page eviction across the ranks that share one
+	// node arena (see Config.SpillGroup).
+	SpillGroup = spill.Group
+	// SpillStats counts a job's out-of-core activity (Output.Stats.Spill).
+	SpillStats = spill.Stats
 )
+
+// Out-of-core policies (Config.OutOfCore).
+const (
+	// Error fails the job with mem.ErrNoMemory when the arena runs out —
+	// the paper's behavior.
+	Error = core.Error
+	// SpillWhenNeeded evicts cold container pages to Config.SpillFS under
+	// memory pressure.
+	SpillWhenNeeded = core.SpillWhenNeeded
+	// SpillAlways additionally writes every page out as soon as it is
+	// sealed (write-behind, lowest resident footprint).
+	SpillAlways = core.SpillAlways
+)
+
+// NewSpillGroup creates an eviction group for the ranks sharing one arena.
+func NewSpillGroup() *SpillGroup { return spill.NewGroup() }
 
 // Message passing (see internal/mpi).
 type (
@@ -87,6 +112,23 @@ type (
 	// Arena is one compute node's accounted memory pool.
 	Arena = mem.Arena
 )
+
+// ErrNoMemory is the sentinel wrapped by every out-of-memory failure: a job
+// on a full arena under the Error policy fails with an error satisfying
+// errors.Is(err, ErrNoMemory).
+var ErrNoMemory = mem.ErrNoMemory
+
+// Simulated parallel file system (see internal/pfs): job inputs and the
+// spill target for the out-of-core policies.
+type (
+	// FS is a simulated parallel file system.
+	FS = pfs.FS
+	// FSConfig sets its bandwidth, latency, and contention model.
+	FSConfig = pfs.Config
+)
+
+// NewFS creates a simulated parallel file system.
+func NewFS(cfg FSConfig) *FS { return pfs.New(cfg) }
 
 // Platform models (see internal/platform).
 type (

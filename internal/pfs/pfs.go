@@ -79,18 +79,21 @@ func (fs *FS) Append(clock *simtime.Clock, name string, data []byte) {
 // page rewrite), it does not extend the file.
 func (fs *FS) WriteAt(clock *simtime.Clock, name string, off int64, data []byte) error {
 	fs.mu.Lock()
+	var err error
 	file, ok := fs.files[name]
-	if ok && off >= 0 && off+int64(len(data)) <= int64(len(file)) {
+	switch {
+	case !ok:
+		err = fmt.Errorf("pfs: no such file %q", name)
+	case off < 0 || off+int64(len(data)) > int64(len(file)):
+		err = fmt.Errorf("pfs: write [%d,%d) out of range of %q (size %d)", off, off+int64(len(data)), name, len(file))
+	default:
 		copy(file[off:], data)
 		fs.bytesWritten += int64(len(data))
 		fs.ops++
 	}
 	fs.mu.Unlock()
-	if !ok {
-		return fmt.Errorf("pfs: no such file %q", name)
-	}
-	if off < 0 || off+int64(len(data)) > int64(len(file)) {
-		return fmt.Errorf("pfs: write [%d,%d) out of range of %q (size %d)", off, off+int64(len(data)), name, len(file))
+	if err != nil {
+		return err
 	}
 	if clock != nil {
 		clock.Advance(fs.cfg.perClientSeconds(len(data)), simtime.IO)

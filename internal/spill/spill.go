@@ -77,12 +77,13 @@ func (p Policy) String() string {
 // holds pinned pages (it is mid-scan and will unpin), the allocating rank
 // blocks until a peer releases memory rather than failing on a transient
 // all-ranks-pinned spike. Only when waiting cannot help — no peer holds a
-// pin, or every other member is already waiting (mutual hold-and-wait) —
-// does ErrNoMemory escape.
+// pin, or every other member is asleep with no wake-up pending (mutual
+// hold-and-wait) — does ErrNoMemory escape.
 type Group struct {
 	mu      sync.Mutex
 	cond    *sync.Cond // signaled on Unpin/Seal/Free (memory may be available)
 	tick    int64      // shared LRU clock, so lastUse is comparable across members
+	seq     int64      // release-event counter; see waitForRoom
 	waiters int
 	stores  []*Store
 }
@@ -92,6 +93,30 @@ func NewGroup() *Group {
 	g := &Group{}
 	g.cond = sync.NewCond(&g.mu)
 	return g
+}
+
+// join adds s to the group's member list; idempotent. Callers hold g.mu.
+func (g *Group) join(s *Store) {
+	for _, m := range g.stores {
+		if m == s {
+			return
+		}
+	}
+	g.stores = append(g.stores, s)
+}
+
+// remove drops s from the group's member list. Callers hold g.mu. A store
+// leaves when its last page is freed: iterative workloads create one store
+// per stage against a long-lived group, and dead members would both leak
+// and — worse — inflate the peer count in waitForRoom until the mutual
+// hold-and-wait detection could never fire.
+func (g *Group) remove(s *Store) {
+	for i, m := range g.stores {
+		if m == s {
+			g.stores = append(g.stores[:i], g.stores[i+1:]...)
+			return
+		}
+	}
 }
 
 // Config configures a Store.
@@ -179,13 +204,15 @@ type pstate struct {
 // every registered page has been freed — including pages owned by a Job's
 // Output, which can outlive the job — the spill file is removed.
 type Store struct {
-	cfg     Config
-	name    string
-	pages   []pstate
-	live    int   // registered, not yet freed
-	fileEnd int64 // next append offset in the spill file
-	tick    int64 // LRU clock
-	stats   Stats
+	cfg      Config
+	name     string
+	pages    []pstate
+	live     int   // registered, not yet freed
+	fileEnd  int64 // next append offset in the spill file
+	tick     int64 // LRU clock
+	waiting  bool  // parked in waitForRoom (grouped stores only)
+	sleepSeq int64 // Group.seq observed when the store went to sleep
+	stats    Stats
 }
 
 // NewStore creates a store over the given arena and file system.
@@ -205,7 +232,7 @@ func NewStore(cfg Config) *Store {
 	}
 	if g := cfg.Group; g != nil {
 		g.mu.Lock()
-		g.stores = append(g.stores, s)
+		g.join(s)
 		g.mu.Unlock()
 	}
 	return s
@@ -233,9 +260,16 @@ func (s *Store) nextTick() int64 {
 }
 
 // released wakes grouped waiters after an event that may have freed
-// memory or made a page evictable. Callers hold the group mutex.
+// memory or made a page evictable. Every release advances the group's
+// event counter, so waitForRoom can tell a waiter with a wake-up pending
+// from one that will sleep forever. Callers hold the group mutex.
 func (s *Store) released() {
-	if g := s.cfg.Group; g != nil && g.waiters > 0 {
+	g := s.cfg.Group
+	if g == nil {
+		return
+	}
+	g.seq++
+	if g.waiters > 0 {
 		g.cond.Broadcast()
 	}
 }
@@ -244,19 +278,37 @@ func (s *Store) released() {
 // waits when some peer currently holds a pinned page: pins are transient
 // (a scan iteration, a record scatter), so a future Unpin or Free is
 // guaranteed to broadcast. It reports false when waiting is futile — the
-// store is ungrouped, no peer holds a pin, or every other member is
-// already waiting (mutual hold-and-wait: each rank pins its record while
+// store is ungrouped, no peer holds a pin, or every peer is hopelessly
+// asleep (mutual hold-and-wait: each rank pins its record while
 // allocating, so none will ever unpin) — in which case the node really is
-// out of memory. Callers hold the group mutex, which Wait releases, so
-// peer ranks keep running while this one sleeps.
+// out of memory.
+//
+// "Hopelessly asleep" is exact, not a count: a peer parked in Wait with a
+// release event pending (Group.seq advanced since it slept) will wake and
+// make progress, so it is safe to sleep alongside it; only a peer whose
+// sleepSeq still equals Group.seq can never be woken by anyone currently
+// running. A bare waiter count would race with wake-ups in flight and
+// declare OOM spuriously. The peer scan covers only the current member
+// list — stores with registered pages (fully freed stores leave the
+// group) — so dead generations of an iterative workload cannot mask the
+// deadlock. Callers hold the group mutex, which Wait releases, so peer
+// ranks keep running while this one sleeps.
 func (s *Store) waitForRoom() bool {
 	g := s.cfg.Group
-	if g == nil || g.waiters >= len(g.stores)-1 {
+	if g == nil {
 		return false
 	}
+	peers, hopeless := 0, 0
 	pinned := false
 	for _, m := range g.stores {
 		if m == s {
+			continue
+		}
+		peers++
+		if m.waiting && m.sleepSeq == g.seq {
+			hopeless++
+		}
+		if pinned {
 			continue
 		}
 		for i := range m.pages {
@@ -265,15 +317,15 @@ func (s *Store) waitForRoom() bool {
 				break
 			}
 		}
-		if pinned {
-			break
-		}
 	}
-	if !pinned {
+	if !pinned || hopeless >= peers {
 		return false
 	}
 	g.waiters++
+	s.waiting = true
+	s.sleepSeq = g.seq
 	g.cond.Wait()
+	s.waiting = false
 	g.waiters--
 	return true
 }
@@ -318,6 +370,9 @@ func (s *Store) NewPage(size int) (kvbuf.PageID, *mem.Page, error) {
 	}
 	s.pages = append(s.pages, pstate{page: p, size: size, lastUse: s.nextTick(), dirty: true})
 	s.live++
+	if g := s.cfg.Group; g != nil && s.live == 1 {
+		g.join(s) // re-enroll a store that left when its last page was freed
+	}
 	return kvbuf.PageID(len(s.pages) - 1), p, nil
 }
 
@@ -371,7 +426,8 @@ func (s *Store) MarkDirty(id kvbuf.PageID) {
 }
 
 // Free unregisters the page. When the last registered page is freed the
-// spill file is removed.
+// spill file is removed and the store leaves its group (it re-joins on its
+// next allocation), so iterative workloads don't accumulate dead members.
 func (s *Store) Free(id kvbuf.PageID) {
 	defer s.lock()()
 	st := s.state(id)
@@ -387,6 +443,9 @@ func (s *Store) Free(id kvbuf.PageID) {
 		s.cfg.FS.Remove(s.name)
 		s.pages = nil
 		s.fileEnd = 0
+		if g := s.cfg.Group; g != nil {
+			g.remove(s)
+		}
 	}
 }
 
@@ -500,7 +559,16 @@ func (s *Store) evictBy(st *pstate, by *Store) {
 			// slot in place — convert's pass-2 scatter redirties sealed KMV
 			// pages constantly, and appending a fresh copy each time would
 			// grow the spill file without bound.
-			by.charged(func() { s.cfg.FS.WriteAt(by.cfg.Clock, s.name, st.off, data) })
+			by.charged(func() {
+				if err := s.cfg.FS.WriteAt(by.cfg.Clock, s.name, st.off, data); err != nil {
+					// The slot was appended when the page first spilled and the
+					// file lives until the last page is freed, so this cannot
+					// fail unless the store's bookkeeping is broken — and
+					// marking the page clean anyway would serve stale bytes on
+					// the next restore.
+					panic(fmt.Sprintf("spill: in-place rewrite of spilled page: %v", err))
+				}
+			})
 		} else {
 			by.charged(func() { s.cfg.FS.Append(by.cfg.Clock, s.name, data) })
 			st.off = s.fileEnd

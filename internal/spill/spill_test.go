@@ -413,6 +413,114 @@ func TestGroupWaitsForUnpin(t *testing.T) {
 	}
 }
 
+// TestGroupDeadStoresLeave: stores from earlier stages of an iterative
+// workload (all pages freed) must leave the group. Regression test: dead
+// members used to linger in Group.stores, inflating the peer count so the
+// mutual hold-and-wait check could never fire and every live rank hung in
+// cond.Wait instead of getting ErrNoMemory.
+func TestGroupDeadStoresLeave(t *testing.T) {
+	const pageSize = 256
+	arena := mem.NewArena(2 * pageSize)
+	fs := pfs.New(pfs.Config{})
+	g := NewGroup()
+
+	// Three finished "stages": each store joins, allocates, and frees all
+	// its pages.
+	for i := 0; i < 3; i++ {
+		s := NewStore(Config{Arena: arena, FS: fs, Name: "old", Group: g, Watermark: 1})
+		id, _, err := s.NewPage(pageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Free(id)
+	}
+	g.mu.Lock()
+	n := len(g.stores)
+	g.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("group holds %d members after all their pages were freed, want 0", n)
+	}
+
+	// Current stage: replay the mutual hold-and-wait of TestGroupWaitsForUnpin.
+	sa := NewStore(Config{Arena: arena, FS: fs, Name: "a", Group: g, Watermark: 1})
+	sb := NewStore(Config{Arena: arena, FS: fs, Name: "b", Group: g, Watermark: 1})
+	a0, _, err := sa.NewPage(pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa.Seal(a0)
+	if _, err := sa.Pin(a0); err != nil {
+		t.Fatal(err)
+	}
+	b0, _, err := sb.NewPage(pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sb.Pin(b0); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := sb.NewPage(pageSize)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let B reach the wait
+	// Every live peer is now waiting; with dead stores still counted this
+	// allocation would join the wait forever instead of failing.
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := sa.NewPage(pageSize)
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, mem.ErrNoMemory) {
+			t.Fatalf("all-live-members-waiting allocation: %v, want ErrNoMemory", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("allocation deadlocked: dead group members masked the mutual hold-and-wait")
+	}
+	sa.Unpin(a0)
+	if err := <-done; err != nil {
+		t.Fatalf("allocation after peer unpin: %v", err)
+	}
+}
+
+// TestGroupRejoinAfterFree: a store that left the group on its last Free
+// re-enrolls when it allocates again, so peers can once more evict its
+// cold pages.
+func TestGroupRejoinAfterFree(t *testing.T) {
+	const pageSize = 256
+	arena := mem.NewArena(2 * pageSize)
+	fs := pfs.New(pfs.Config{})
+	g := NewGroup()
+	sa := NewStore(Config{Arena: arena, FS: fs, Name: "a", Group: g, Watermark: 1})
+	sb := NewStore(Config{Arena: arena, FS: fs, Name: "b", Group: g, Watermark: 1})
+
+	id, _, err := sa.NewPage(pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa.Free(id) // sa leaves the group
+
+	// sa comes back with a cold sealed page...
+	a0, _, err := sa.NewPage(pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa.Seal(a0)
+	// ...which sb's allocations must be able to evict cross-store.
+	if _, _, err := sb.NewPage(pageSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sb.NewPage(pageSize); err != nil {
+		t.Fatalf("grouped NewPage with a re-joined peer's cold page available: %v", err)
+	}
+	if got := sb.Stats(); got.Evictions != 1 {
+		t.Fatalf("initiator stats = %+v, want the re-joined peer's page evicted", got)
+	}
+}
+
 // TestGroupNoPinFailsFast: with nothing evictable and no peer pin in
 // flight there is no release to wait for (the peer may be blocked in a
 // collective), so the allocation fails immediately.

@@ -8,6 +8,11 @@
 //	mimir-bench -fig 8     # run only Figure 8
 //	mimir-bench -fig spill # the out-of-core ladder: spill policies vs MR-MPI modes
 //	mimir-bench -list      # list available figures
+//
+// A single run with the per-rank distribution view (machine-readable, one
+// sample per rank for each phase time and traffic counter):
+//
+//	mimir-bench -single wcu -nodes 4 -bytes 1048576 -perrank -
 package main
 
 import (
@@ -18,13 +23,26 @@ import (
 	"time"
 
 	"mimir/internal/expt"
+	"mimir/internal/metrics"
+	"mimir/internal/platform"
 )
 
 func main() {
 	fig := flag.String("fig", "", "figure to run (e.g. 1, 8, fig10); empty = all")
 	list := flag.Bool("list", false, "list available figures")
 	asJSON := flag.Bool("json", false, "emit JSON instead of tables")
+	single := flag.String("single", "", "run one benchmark instead of figures: wcu, wcw, oc, or bfs")
+	nodes := flag.Int("nodes", 4, "simulated nodes for -single")
+	rpn := flag.Int("rpn", 4, "ranks per node for -single")
+	sizeBytes := flag.Int64("bytes", 1<<20, "dataset bytes (wcu/wcw), points (oc), or scale (bfs) for -single")
+	engineArg := flag.String("engine", "mimir", "engine for -single: mimir or mrmpi")
+	perrank := flag.String("perrank", "", "with -single: write the per-rank distribution JSON to this file (- = stdout)")
 	flag.Parse()
+
+	if *single != "" {
+		runSingle(*single, *nodes, *rpn, *sizeBytes, *engineArg, *perrank)
+		return
+	}
 
 	if *list {
 		for _, e := range expt.All {
@@ -63,5 +81,68 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown figure %q; use -list\n", *fig)
 		os.Exit(2)
+	}
+}
+
+// runSingle executes one spec and reports its result plus, optionally, the
+// per-rank distribution summary as JSON (satisfying harnesses that want
+// machine-readable load-imbalance data without re-running a whole figure).
+func runSingle(bench string, nodes, rpn int, size int64, engineArg, perrank string) {
+	spec := expt.Spec{
+		Plat:         platform.Comet(),
+		Nodes:        nodes,
+		RanksPerNode: rpn,
+		Hint:         true,
+		PR:           true,
+		Seed:         42,
+	}
+	switch engineArg {
+	case "mimir":
+		spec.Engine = expt.Mimir
+	case "mrmpi":
+		spec.Engine = expt.MRMPI
+		spec.Hint, spec.PR = false, false
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q (want mimir or mrmpi)\n", engineArg)
+		os.Exit(2)
+	}
+	switch bench {
+	case "wcu":
+		spec.Bench, spec.SizeBytes = expt.WCUniform, size
+	case "wcw":
+		spec.Bench, spec.SizeBytes = expt.WCWikipedia, size
+	case "oc":
+		spec.Bench, spec.Points = expt.OC, size
+	case "bfs":
+		spec.Bench, spec.Scale = expt.BFS, int(size)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q (want wcu, wcw, oc, or bfs)\n", bench)
+		os.Exit(2)
+	}
+	if perrank != "" {
+		spec.PerRank = metrics.NewSummary()
+	}
+	res := expt.Run(spec)
+	if res.Err != nil {
+		fmt.Fprintln(os.Stderr, res.Err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "time=%.4gs peak/proc=%d spilled=%d\n", res.Time, res.PeakPerProc, res.SpilledBytes)
+	if spec.PerRank == nil {
+		return
+	}
+	out := os.Stdout
+	if perrank != "-" {
+		f, err := os.Create(perrank)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := spec.PerRank.WriteJSON(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

@@ -1,9 +1,12 @@
 // Command mimir-wc counts words in real files with the Mimir engine,
-// spreading the work over in-process ranks.
+// spreading the work over MPI ranks.
 //
-//	mimir-wc [-ranks 8] [-top 20] [-hint] [-pr] [-cps] file...
+//	mimir-wc [-ranks 8] [-transport inproc|tcp] [-top 20] [-hint] [-pr] [-cps] file...
 //
-// With no files it reads standard input.
+// With no files it reads standard input. The default transport runs the
+// ranks as goroutines in this process; -transport=tcp runs each rank as its
+// own OS process (this process becomes rank 0 and forks the others), which
+// requires file arguments — the forked workers cannot re-read stdin.
 package main
 
 import (
@@ -15,42 +18,127 @@ import (
 	"os"
 	"sort"
 	"strings"
-	"sync"
+	"time"
 
 	"mimir"
 )
 
+type wcOpts struct {
+	hint, pr, cps bool
+}
+
 func main() {
-	ranks := flag.Int("ranks", 8, "number of in-process ranks")
+	log.SetFlags(0)
+	log.SetPrefix("mimir-wc: ")
+	ranks := flag.Int("ranks", 8, "number of ranks")
+	transportArg := flag.String("transport", "inproc", "rank placement: inproc (goroutines) or tcp (one OS process per rank)")
 	top := flag.Int("top", 20, "how many of the most frequent words to print")
 	hint := flag.Bool("hint", true, "use the KV-hint (strz keys, fixed 8-byte counts)")
 	pr := flag.Bool("pr", true, "use partial reduction instead of convert+reduce")
 	cps := flag.Bool("cps", false, "use KV compression before the shuffle")
 	flag.Parse()
+	opts := wcOpts{hint: *hint, pr: *pr, cps: *cps}
+
+	// A copy of this binary forked by -transport=tcp joins the parent's
+	// world via the environment; it reads the same files and exits quietly
+	// (rank 0 holds the gathered result).
+	if world, ok, err := mimir.TCPWorldFromEnv(); ok {
+		if err != nil {
+			log.Fatal(err)
+		}
+		lines, err := readLines(flag.Args())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := runWC(world, lines, opts); err != nil {
+			log.Fatal(err)
+		}
+		if err := world.Close(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	lines, err := readLines(flag.Args())
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	world := mimir.NewWorld(*ranks)
-	arena := mimir.NewArena(0)
+	var world *mimir.World
+	var children *mimir.TCPChildren
+	switch *transportArg {
+	case "inproc":
+		world = mimir.NewWorld(*ranks)
+	case "tcp":
+		if len(flag.Args()) == 0 {
+			log.Fatal("-transport=tcp requires file arguments (forked workers cannot re-read stdin)")
+		}
+		world, children, err = mimir.SpawnTCPWorld(*ranks)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown -transport %q (want inproc or tcp)", *transportArg)
+	}
 
+	start := time.Now()
+	counts, err := runWC(world, lines, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	world.Close()
+	if children != nil {
+		if err := children.Wait(); err != nil {
+			log.Fatalf("worker failed: %v", err)
+		}
+	}
+
+	type wc struct {
+		w string
+		n uint64
+	}
+	list := make([]wc, 0, len(counts))
+	var total uint64
+	for w, n := range counts {
+		list = append(list, wc{w, n})
+		total += n
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].n != list[j].n {
+			return list[i].n > list[j].n
+		}
+		return list[i].w < list[j].w
+	})
+	fmt.Printf("%d words, %d unique\n", total, len(list))
+	for i, e := range list {
+		if i == *top {
+			break
+		}
+		fmt.Printf("%8d  %s\n", e.n, e.w)
+	}
+	if *transportArg == "tcp" {
+		fmt.Fprintf(os.Stderr, "[%d ranks over tcp in %v]\n", *ranks, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// runWC counts words across all ranks of world and gathers the totals at
+// rank 0. The returned map is non-nil only on the process hosting rank 0.
+func runWC(world *mimir.World, lines [][]byte, opts wcOpts) (map[string]uint64, error) {
+	arena := mimir.NewArena(0)
 	combine := func(_ []byte, existing, incoming []byte) ([]byte, error) {
 		return mimir.Uint64Bytes(mimir.BytesUint64(existing) + mimir.BytesUint64(incoming)), nil
 	}
-
-	var mu sync.Mutex
 	counts := map[string]uint64{}
-	err = world.Run(func(c *mimir.Comm) error {
+	gotRankZero := false
+	err := world.Run(func(c *mimir.Comm) error {
 		cfg := mimir.Config{Arena: arena}
-		if *hint {
+		if opts.hint {
 			cfg.Hint = mimir.Hint{Key: mimir.StrZ(), Val: mimir.Fixed(8)}
 		}
-		if *pr {
+		if opts.pr {
 			cfg.PartialReduce = combine
 		}
-		if *cps {
+		if opts.cps {
 			cfg.Combiner = combine
 		}
 		var mine []mimir.Record
@@ -81,40 +169,46 @@ func main() {
 			return err
 		}
 		defer out.Free()
-		mu.Lock()
-		defer mu.Unlock()
-		return out.Scan(func(k, v []byte) error {
-			counts[string(k)] += mimir.BytesUint64(v)
+		// Serialize this rank's totals (ranks hold disjoint hash-partitioned
+		// key sets) and gather them at rank 0, so the merge works whether
+		// the other ranks share this process or not. Words cannot contain
+		// whitespace, so "word count" lines are unambiguous.
+		var sb strings.Builder
+		err = out.Scan(func(k, v []byte) error {
+			fmt.Fprintf(&sb, "%s %d\n", k, mimir.BytesUint64(v))
 			return nil
 		})
+		if err != nil {
+			return err
+		}
+		gathered, err := c.Gatherv([]byte(sb.String()), 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 0 {
+			return nil
+		}
+		gotRankZero = true
+		for _, buf := range gathered {
+			sc := bufio.NewScanner(strings.NewReader(string(buf)))
+			sc.Buffer(make([]byte, 1<<20), 1<<20)
+			for sc.Scan() {
+				var w string
+				var n uint64
+				if _, err := fmt.Sscanf(sc.Text(), "%s %d", &w, &n); err == nil {
+					counts[w] += n
+				}
+			}
+		}
+		return nil
 	})
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
-
-	type wc struct {
-		w string
-		n uint64
+	if !gotRankZero {
+		return nil, nil
 	}
-	list := make([]wc, 0, len(counts))
-	var total uint64
-	for w, n := range counts {
-		list = append(list, wc{w, n})
-		total += n
-	}
-	sort.Slice(list, func(i, j int) bool {
-		if list[i].n != list[j].n {
-			return list[i].n > list[j].n
-		}
-		return list[i].w < list[j].w
-	})
-	fmt.Printf("%d words, %d unique\n", total, len(list))
-	for i, e := range list {
-		if i == *top {
-			break
-		}
-		fmt.Printf("%8d  %s\n", e.n, e.w)
-	}
+	return counts, nil
 }
 
 func readLines(files []string) ([][]byte, error) {

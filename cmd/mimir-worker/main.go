@@ -1,0 +1,164 @@
+// Command mimir-worker runs a distributed WordCount over the deterministic
+// synthetic corpus, with each MPI rank in its own OS process connected by
+// the TCP transport — the multi-process counterpart of the in-process
+// worlds every other command uses.
+//
+// Launch modes:
+//
+//	mimir-worker -spawn 4              # become rank 0, fork 3 local workers
+//	mimir-worker -join H:P -rank R -size N   # join an explicit rendezvous
+//	mimir-worker -listen :9000 -size N       # be rank 0 of that rendezvous
+//	mimir-worker -inproc 4             # in-process reference run (no TCP)
+//
+// Processes re-executed by -spawn find their world through the MIMIR_TCP_*
+// environment automatically. The counted output (one "word count" line per
+// distinct word, sorted) goes to rank 0's stdout and is byte-identical
+// across launch modes for the same -size/-bytes/-dist/-seed, which is what
+// the CI smoke test asserts.
+//
+// -metrics FILE writes the per-rank distribution summary (phase times,
+// shuffle bytes, total time) as JSON; "-" means stdout. Worker processes
+// append ".rankN" to the file name.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mimir"
+	"mimir/internal/driver"
+	"mimir/internal/metrics"
+	"mimir/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mimir-worker: ")
+	var (
+		spawn   = flag.Int("spawn", 0, "become rank 0 of an n-process world, forking n-1 local workers")
+		join    = flag.String("join", "", "address of rank 0's bootstrap listener to join")
+		listen  = flag.String("listen", "", "listen address for rank 0 of an explicit rendezvous")
+		rank    = flag.Int("rank", 0, "this process's rank (with -join)")
+		size    = flag.Int("size", 0, "world size (with -join / -listen)")
+		inproc  = flag.Int("inproc", 0, "run n in-process ranks instead of TCP (reference mode)")
+		timeout = flag.Duration("timeout", 30*time.Second, "bootstrap rendezvous timeout")
+
+		bytes   = flag.Int64("bytes", 1<<20, "total corpus bytes across all ranks")
+		distArg = flag.String("dist", "uniform", "corpus distribution: uniform or wikipedia")
+		seed    = flag.Uint64("seed", 42, "corpus seed")
+		hint    = flag.Bool("hint", true, "use the KV-hint")
+		pr      = flag.Bool("pr", true, "use partial reduction")
+		cps     = flag.Bool("cps", false, "use KV compression")
+		mpath   = flag.String("metrics", "", "write per-rank distribution JSON to this file (- = stdout)")
+	)
+	flag.Parse()
+
+	cfg := driver.WordCountConfig{
+		TotalBytes: *bytes,
+		Seed:       *seed,
+		Hint:       *hint,
+		PR:         *pr,
+		CPS:        *cps,
+	}
+	switch *distArg {
+	case "uniform":
+		cfg.Dist = workloads.Uniform
+	case "wikipedia":
+		cfg.Dist = workloads.Wikipedia
+	default:
+		log.Fatalf("unknown -dist %q (want uniform or wikipedia)", *distArg)
+	}
+
+	// A process re-executed by -spawn joins the parent's world via the
+	// environment, whatever flags it was copied with.
+	if world, ok, err := mimir.TCPWorldFromEnv(); ok {
+		if err != nil {
+			log.Fatal(err)
+		}
+		runJob(world, cfg, *mpath)
+		return
+	}
+
+	switch {
+	case *spawn > 0:
+		world, children, err := mimir.SpawnTCPWorld(*spawn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runJob(world, cfg, *mpath)
+		if err := children.Wait(); err != nil {
+			log.Fatalf("worker failed: %v", err)
+		}
+	case *listen != "":
+		if *size < 2 {
+			log.Fatal("-listen needs -size >= 2")
+		}
+		world, err := mimir.NewTCPWorld(*listen, 0, *size, *timeout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runJob(world, cfg, *mpath)
+	case *join != "":
+		if *size < 2 || *rank < 1 {
+			log.Fatal("-join needs -rank >= 1 and -size >= 2")
+		}
+		world, err := mimir.NewTCPWorld(*join, *rank, *size, *timeout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runJob(world, cfg, *mpath)
+	case *inproc > 0:
+		runJob(mimir.NewWorld(*inproc), cfg, *mpath)
+	default:
+		fmt.Fprintln(os.Stderr, "one of -spawn, -join, -listen, or -inproc is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// runJob executes the WordCount on world, prints the gathered result on the
+// process hosting rank 0, and closes the world.
+func runJob(world *mimir.World, cfg driver.WordCountConfig, mpath string) {
+	sum := metrics.NewSummary()
+	out, err := driver.WordCount(world, cfg, sum)
+	if err != nil {
+		world.Close()
+		log.Fatal(err)
+	}
+	if out != nil {
+		os.Stdout.Write(out)
+	}
+	if mpath != "" {
+		writeMetrics(world, sum, mpath)
+	}
+	if err := world.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func writeMetrics(world *mimir.World, sum *metrics.Summary, mpath string) {
+	if mpath == "-" {
+		if err := sum.WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	// One file per process: workers suffix their rank so a shared working
+	// directory (the -spawn case) is not a write race.
+	if r := world.LocalRanks(); len(r) == 1 && r[0] != 0 {
+		mpath = fmt.Sprintf("%s.rank%d", mpath, r[0])
+	}
+	f, err := os.Create(mpath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sum.WriteJSON(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+// Package driver runs complete distributed jobs against a world, whatever
+// transport backs it — the same code path serves the in-process world and
+// the multi-process TCP world, which is what makes the two directly
+// comparable: one job definition, one deterministic corpus, byte-identical
+// output.
+package driver
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"mimir/internal/core"
+	"mimir/internal/mem"
+	"mimir/internal/metrics"
+	"mimir/internal/mpi"
+	"mimir/internal/workloads"
+)
+
+// WordCountConfig describes one distributed WordCount run over the
+// deterministic synthetic corpus (workloads.TextInput): every rank
+// regenerates its own share from (seed, rank, size), so no input
+// distribution step is needed and any two worlds of the same size and seed
+// process the same bytes.
+type WordCountConfig struct {
+	Dist       workloads.Distribution
+	TotalBytes int64
+	Seed       uint64
+	// Optimizations (see workloads.StageOpts).
+	Hint, PR, CPS bool
+}
+
+// WordCount runs cfg on every rank of world and gathers the result at rank
+// 0: one "word count\n" line per distinct word, sorted by word. The returned
+// buffer is non-nil only on the process hosting rank 0 and is byte-identical
+// for a given (cfg, world size) regardless of transport or process layout.
+// When sum is non-nil, every local rank records its stage stats and total
+// time into it (the per-rank distribution view).
+func WordCount(world *mpi.World, cfg WordCountConfig, sum *metrics.Summary) ([]byte, error) {
+	var out []byte
+	err := world.Run(func(c *mpi.Comm) error {
+		eng := workloads.NewMimirEngine(c, mem.NewArena(0))
+		opts := workloads.StageOpts{}
+		if cfg.Hint {
+			opts.Hint = workloads.WCHint()
+		}
+		if cfg.PR {
+			opts.PartialReduce = workloads.WordCountCombine
+		}
+		if cfg.CPS {
+			opts.Combiner = workloads.WordCountCombine
+		}
+		input := workloads.TextInput(nil, c.Clock(), cfg.Dist, cfg.Seed, cfg.TotalBytes, c.Rank(), c.Size())
+		var mine bytes.Buffer
+		stats, err := eng.RunStage(opts, input, workloads.WordCountMap, workloads.WordCountReduce,
+			func(k, v []byte) error {
+				fmt.Fprintf(&mine, "%s %d\n", k, core.BytesUint64(v))
+				return nil
+			})
+		if err != nil {
+			return err
+		}
+		if sum != nil {
+			stats.Record(sum)
+			sum.Add("rank-sec", c.Clock().Now())
+		}
+		gathered, err := c.Gatherv(mine.Bytes(), 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 0 {
+			return nil
+		}
+		// Ranks hold disjoint (hash-partitioned) key sets in engine order;
+		// one global sort by word makes the output canonical.
+		var lines []string
+		for _, buf := range gathered {
+			for _, l := range bytes.Split(buf, []byte{'\n'}) {
+				if len(l) > 0 {
+					lines = append(lines, string(l))
+				}
+			}
+		}
+		sort.Strings(lines)
+		var all bytes.Buffer
+		for _, l := range lines {
+			all.WriteString(l)
+			all.WriteByte('\n')
+		}
+		out = all.Bytes()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if out == nil && len(world.LocalRanks()) > 0 && world.LocalRanks()[0] == 0 {
+		out = []byte{}
+	}
+	return out, nil
+}

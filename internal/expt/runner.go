@@ -17,6 +17,7 @@ import (
 
 	"mimir/internal/core"
 	"mimir/internal/mem"
+	"mimir/internal/metrics"
 	"mimir/internal/mpi"
 	"mimir/internal/mrmpi"
 	"mimir/internal/pfs"
@@ -87,6 +88,11 @@ type Spec struct {
 	Points    int64
 	Scale     int
 	Seed      uint64
+
+	// PerRank optionally collects per-rank distribution samples (phase
+	// times, shuffle and spill traffic, total rank time) for the ranks this
+	// process hosts; render or serialize it with metrics.Summary.
+	PerRank *metrics.Summary
 }
 
 // Result is the outcome of one run.
@@ -120,7 +126,7 @@ func (r Result) InMemory() bool { return r.Err == nil && r.SpilledBytes == 0 }
 // Failed reports whether the run could not complete at all.
 func (r Result) Failed() bool { return r.Err != nil }
 
-// Run executes one spec and gathers metrics.
+// Run executes one spec on a fresh in-process world and gathers metrics.
 func Run(spec Spec) Result {
 	plat := spec.Plat
 	rpn := spec.RanksPerNode
@@ -128,7 +134,23 @@ func Run(spec Spec) Result {
 		rpn = plat.CoresPerNode
 	}
 	p := spec.Nodes * rpn
-	world := mpi.NewWorld(mpi.Config{Size: p, Net: plat.Net})
+	return RunWorld(mpi.NewWorld(mpi.Config{Size: p, Net: plat.Net}), spec)
+}
+
+// RunWorld executes one spec on an existing world, which may be in-process
+// or a multi-process TCP world (each process then contributes its local
+// ranks and sees its local view of the result). The world size must equal
+// Nodes x RanksPerNode.
+func RunWorld(world *mpi.World, spec Spec) Result {
+	plat := spec.Plat
+	rpn := spec.RanksPerNode
+	if rpn <= 0 {
+		rpn = plat.CoresPerNode
+	}
+	if world.Size() != spec.Nodes*rpn {
+		return Result{Err: fmt.Errorf("expt: world size %d does not match %d nodes x %d ranks",
+			world.Size(), spec.Nodes, rpn)}
+	}
 
 	// One memory arena per node; the node's memory is shared by its ranks.
 	// Per-process budget scales with ranks per node so that reducing the
@@ -199,6 +221,10 @@ func Run(spec Spec) Result {
 		stats, err := runBench(eng, inputFS, spec, opts)
 		if err != nil {
 			return err
+		}
+		if spec.PerRank != nil {
+			stats.Record(spec.PerRank)
+			spec.PerRank.Add("rank-sec", c.Clock().Now())
 		}
 		mu.Lock()
 		res.SpilledBytes += stats.SpilledBytes

@@ -4,6 +4,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -99,6 +100,44 @@ func (m *Summary) Render(w io.Writer) {
 		fmt.Fprintf(w, "%-24s %8d %12.4g %12.4g %12.4g %8.2f\n",
 			s.Name, s.Count, s.Min, s.Mean(), s.Max, s.Imbalance())
 	}
+}
+
+// seriesJSON is the wire form of one Series: the stored aggregate plus the
+// derived mean and imbalance, so consumers need no recomputation.
+type seriesJSON struct {
+	Name      string  `json:"name"`
+	Count     int     `json:"count"`
+	Sum       float64 `json:"sum"`
+	Min       float64 `json:"min"`
+	Mean      float64 `json:"mean"`
+	Max       float64 `json:"max"`
+	Imbalance float64 `json:"imbalance"`
+}
+
+// WriteJSON emits the summary as one JSON object, {"series": [...]}, with
+// series in first-Add order — the machine-readable counterpart of Render for
+// harnesses that collect per-rank distributions from many runs or processes.
+func (m *Summary) WriteJSON(w io.Writer) error {
+	m.mu.Lock()
+	names := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	out := struct {
+		Series []seriesJSON `json:"series"`
+	}{Series: make([]seriesJSON, 0, len(names))}
+	for _, n := range names {
+		s := m.Get(n)
+		out.Series = append(out.Series, seriesJSON{
+			Name:      s.Name,
+			Count:     s.Count,
+			Sum:       s.Sum,
+			Min:       s.Min,
+			Mean:      s.Mean(),
+			Max:       s.Max,
+			Imbalance: s.Imbalance(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
 }
 
 // Sorted returns all series ordered by name (stable output for tests).

@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
 	"strings"
 	"sync"
@@ -104,5 +106,50 @@ func TestSummaryInvariantsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	m := NewSummary()
+	m.Add("map-sec", 1.5)
+	m.Add("map-sec", 2.5)
+	m.Add("shuffled-bytes", 100)
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Series []struct {
+			Name      string  `json:"name"`
+			Count     int     `json:"count"`
+			Sum       float64 `json:"sum"`
+			Min       float64 `json:"min"`
+			Mean      float64 `json:"mean"`
+			Max       float64 `json:"max"`
+			Imbalance float64 `json:"imbalance"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if len(got.Series) != 2 {
+		t.Fatalf("got %d series, want 2", len(got.Series))
+	}
+	// First-Add order is preserved.
+	s := got.Series[0]
+	if s.Name != "map-sec" || s.Count != 2 || s.Sum != 4 || s.Min != 1.5 || s.Mean != 2 || s.Max != 2.5 || s.Imbalance != 1.25 {
+		t.Fatalf("map-sec series wrong: %+v", s)
+	}
+	if got.Series[1].Name != "shuffled-bytes" || got.Series[1].Count != 1 {
+		t.Fatalf("second series wrong: %+v", got.Series[1])
+	}
+
+	// An empty summary emits an empty (but valid, non-null) series list.
+	buf.Reset()
+	if err := NewSummary().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != `{"series":[]}` {
+		t.Fatalf("empty summary: %s", buf.String())
 	}
 }

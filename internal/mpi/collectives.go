@@ -1,20 +1,47 @@
 package mpi
 
 import (
+	"encoding/binary"
 	"fmt"
-
-	"mimir/internal/simtime"
 )
+
+// exchange runs one collective byte exchange on this rank's endpoint and
+// settles the clock: a simulated clock synchronizes to the slowest
+// participant and charges simCost(recv), a wall clock records the measured
+// blocking span. send[i] is delivered to rank i (nil send contributes
+// nothing, a pure barrier); the returned buffers are owned by the caller.
+func (c *Comm) exchange(send [][]byte, simCost func(recv [][]byte) float64) ([][]byte, error) {
+	t0 := c.Clock().Now()
+	recv, tmax, err := c.ep.Exchange(send, t0)
+	if err != nil {
+		return nil, err
+	}
+	var cost float64
+	if !c.world.wall {
+		cost = simCost(recv)
+	}
+	c.settle(t0, tmax, cost)
+	return recv, nil
+}
+
+// fanOut builds a send array delivering the same buffer to every rank.
+func (c *Comm) fanOut(b []byte) [][]byte {
+	send := make([][]byte, c.world.size)
+	for i := range send {
+		send[i] = b
+	}
+	return send
+}
 
 // Barrier blocks until all ranks have entered it and synchronizes simulated
 // clocks to the latest participant plus the barrier cost.
 func (c *Comm) Barrier() error {
-	tmax, err := c.world.rv.exchange(c.rank, c.Clock().Now(), nil, nil)
+	_, err := c.exchange(nil, func([][]byte) float64 {
+		return c.world.net.Barrier(c.world.size)
+	})
 	if err != nil {
 		return err
 	}
-	c.Clock().SyncTo(tmax)
-	c.Clock().Advance(c.world.net.Barrier(c.world.size), simtime.Comm)
 	c.world.trace(c.rank, "barrier", 0)
 	return nil
 }
@@ -28,24 +55,20 @@ func (c *Comm) Alltoallv(send [][]byte) ([][]byte, error) {
 	if len(send) != c.world.size {
 		return nil, fmt.Errorf("mpi: Alltoallv send has %d entries, world size is %d", len(send), c.world.size)
 	}
-	recv := make([][]byte, c.world.size)
-	var sendBytes, recvBytes int
+	var sendBytes int
 	for _, b := range send {
 		sendBytes += len(b)
 	}
-	tmax, err := c.world.rv.exchange(c.rank, c.Clock().Now(), send, func(slots []contribution) {
-		for src := 0; src < c.world.size; src++ {
-			theirs := slots[src].data.([][]byte)
-			buf := theirs[c.rank]
-			recv[src] = append([]byte(nil), buf...)
-			recvBytes += len(buf)
+	recv, err := c.exchange(send, func(recv [][]byte) float64 {
+		var recvBytes int
+		for _, b := range recv {
+			recvBytes += len(b)
 		}
+		return c.world.net.Alltoallv(c.world.size, sendBytes, recvBytes)
 	})
 	if err != nil {
 		return nil, err
 	}
-	c.Clock().SyncTo(tmax)
-	c.Clock().Advance(c.world.net.Alltoallv(c.world.size, sendBytes, recvBytes), simtime.Comm)
 	c.world.trace(c.rank, "alltoallv", sendBytes)
 	return recv, nil
 }
@@ -91,31 +114,47 @@ func (o Op) apply(a, b int64) int64 {
 	panic("mpi: unknown op")
 }
 
+// encodeInt64s packs a vector as big-endian bytes for the wire.
+func encodeInt64s(vals []int64) []byte {
+	buf := make([]byte, 0, 8*len(vals))
+	for _, v := range vals {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(v))
+	}
+	return buf
+}
+
+func decodeInt64s(b []byte) []int64 {
+	vals := make([]int64, len(b)/8)
+	for i := range vals {
+		vals[i] = int64(binary.BigEndian.Uint64(b[8*i:]))
+	}
+	return vals
+}
+
 // AllreduceInt64 element-wise reduces vals across all ranks with op and
 // returns the reduced vector on every rank. All ranks must pass vectors of
 // the same length.
 func (c *Comm) AllreduceInt64(vals []int64, op Op) ([]int64, error) {
-	out := append([]int64(nil), vals...)
-	tmax, err := c.world.rv.exchange(c.rank, c.Clock().Now(), vals, func(slots []contribution) {
-		for src, s := range slots {
-			if src == c.rank {
-				continue
-			}
-			theirs := s.data.([]int64)
-			if len(theirs) != len(out) {
-				panic(fmt.Sprintf("mpi: Allreduce length mismatch: rank %d has %d, rank %d has %d",
-					c.rank, len(out), src, len(theirs)))
-			}
-			for i, v := range theirs {
-				out[i] = op.apply(out[i], v)
-			}
-		}
+	recv, err := c.exchange(c.fanOut(encodeInt64s(vals)), func([][]byte) float64 {
+		return c.world.net.Reduction(c.world.size, 8*len(vals))
 	})
 	if err != nil {
 		return nil, err
 	}
-	c.Clock().SyncTo(tmax)
-	c.Clock().Advance(c.world.net.Reduction(c.world.size, 8*len(vals)), simtime.Comm)
+	out := append([]int64(nil), vals...)
+	for src, b := range recv {
+		if src == c.rank {
+			continue
+		}
+		theirs := decodeInt64s(b)
+		if len(theirs) != len(out) {
+			panic(fmt.Sprintf("mpi: Allreduce length mismatch: rank %d has %d, rank %d has %d",
+				c.rank, len(out), src, len(theirs)))
+		}
+		for i, v := range theirs {
+			out[i] = op.apply(out[i], v)
+		}
+	}
 	c.world.trace(c.rank, "allreduce", 8*len(vals))
 	return out, nil
 }
@@ -123,17 +162,16 @@ func (c *Comm) AllreduceInt64(vals []int64, op Op) ([]int64, error) {
 // AllgatherInt64 gathers one int64 from every rank; result[i] is rank i's
 // value, identical on all ranks.
 func (c *Comm) AllgatherInt64(v int64) ([]int64, error) {
-	out := make([]int64, c.world.size)
-	tmax, err := c.world.rv.exchange(c.rank, c.Clock().Now(), v, func(slots []contribution) {
-		for src, s := range slots {
-			out[src] = s.data.(int64)
-		}
+	recv, err := c.exchange(c.fanOut(encodeInt64s([]int64{v})), func([][]byte) float64 {
+		return c.world.net.Reduction(c.world.size, 8*c.world.size)
 	})
 	if err != nil {
 		return nil, err
 	}
-	c.Clock().SyncTo(tmax)
-	c.Clock().Advance(c.world.net.Reduction(c.world.size, 8*c.world.size), simtime.Comm)
+	out := make([]int64, c.world.size)
+	for src, b := range recv {
+		out[src] = int64(binary.BigEndian.Uint64(b))
+	}
 	c.world.trace(c.rank, "allgather", 8)
 	return out, nil
 }
@@ -141,20 +179,16 @@ func (c *Comm) AllgatherInt64(v int64) ([]int64, error) {
 // Allgatherv gathers a byte buffer from every rank; result[i] is a copy of
 // rank i's buffer, identical on all ranks.
 func (c *Comm) Allgatherv(b []byte) ([][]byte, error) {
-	out := make([][]byte, c.world.size)
-	var total int
-	tmax, err := c.world.rv.exchange(c.rank, c.Clock().Now(), b, func(slots []contribution) {
-		for src, s := range slots {
-			theirs := s.data.([]byte)
-			out[src] = append([]byte(nil), theirs...)
-			total += len(theirs)
+	out, err := c.exchange(c.fanOut(b), func(recv [][]byte) float64 {
+		var total int
+		for _, r := range recv {
+			total += len(r)
 		}
+		return c.world.net.Reduction(c.world.size, total)
 	})
 	if err != nil {
 		return nil, err
 	}
-	c.Clock().SyncTo(tmax)
-	c.Clock().Advance(c.world.net.Reduction(c.world.size, total), simtime.Comm)
 	c.world.trace(c.rank, "allgatherv", len(b))
 	return out, nil
 }
@@ -165,19 +199,21 @@ func (c *Comm) Bcast(b []byte, root int) ([]byte, error) {
 	if root < 0 || root >= c.world.size {
 		return nil, fmt.Errorf("mpi: Bcast root %d out of range", root)
 	}
-	var out []byte
-	var n int
-	tmax, err := c.world.rv.exchange(c.rank, c.Clock().Now(), b, func(slots []contribution) {
-		theirs := slots[root].data.([]byte)
-		out = append([]byte(nil), theirs...)
-		n = len(theirs)
+	var send [][]byte
+	if c.rank == root {
+		send = c.fanOut(b)
+	}
+	recv, err := c.exchange(send, func(recv [][]byte) float64 {
+		return c.world.net.Reduction(c.world.size, len(recv[root]))
 	})
 	if err != nil {
 		return nil, err
 	}
-	c.Clock().SyncTo(tmax)
-	c.Clock().Advance(c.world.net.Reduction(c.world.size, n), simtime.Comm)
-	c.world.trace(c.rank, "bcast", n)
+	out := recv[root]
+	if out == nil {
+		out = []byte{}
+	}
+	c.world.trace(c.rank, "bcast", len(out))
 	return out, nil
 }
 
@@ -187,23 +223,27 @@ func (c *Comm) Gatherv(b []byte, root int) ([][]byte, error) {
 	if root < 0 || root >= c.world.size {
 		return nil, fmt.Errorf("mpi: Gatherv root %d out of range", root)
 	}
-	var out [][]byte
-	var total int
-	tmax, err := c.world.rv.exchange(c.rank, c.Clock().Now(), b, func(slots []contribution) {
+	send := make([][]byte, c.world.size)
+	if b == nil {
+		b = []byte{}
+	}
+	send[root] = b
+	recv, err := c.exchange(send, func(recv [][]byte) float64 {
 		if c.rank != root {
-			return
+			// Non-root ranks receive nothing; they only pay the latency term.
+			return c.world.net.Reduction(c.world.size, 0)
 		}
-		out = make([][]byte, c.world.size)
-		for src, s := range slots {
-			theirs := s.data.([]byte)
-			out[src] = append([]byte(nil), theirs...)
-			total += len(theirs)
+		var total int
+		for _, r := range recv {
+			total += len(r)
 		}
+		return c.world.net.Reduction(c.world.size, total)
 	})
 	if err != nil {
 		return nil, err
 	}
-	c.Clock().SyncTo(tmax)
-	c.Clock().Advance(c.world.net.Reduction(c.world.size, total), simtime.Comm)
-	return out, nil
+	if c.rank != root {
+		return nil, nil
+	}
+	return recv, nil
 }

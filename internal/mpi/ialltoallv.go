@@ -13,6 +13,11 @@ import (
 // charged until Wait: the communication window runs in the background while
 // the rank keeps computing, and Wait settles the clock at
 // max(compute, comm) for the overlapped window instead of their sum.
+//
+// On a wall-clock (TCP) transport the exchange blocks for real at post time
+// and Wait charges nothing further: whatever overlap the hardware achieved
+// is already in the clock, so OverlapSaved reports zero rather than a
+// modeled saving.
 type AlltoallvRequest struct {
 	clock *simtime.Clock
 	// postedAt is the rank's simulated time at the Ialltoallv call;
@@ -43,29 +48,34 @@ func (c *Comm) Ialltoallv(send [][]byte) *AlltoallvRequest {
 		req.err = fmt.Errorf("mpi: Ialltoallv send has %d entries, world size is %d", len(send), c.world.size)
 		return req
 	}
-	recv := make([][]byte, c.world.size)
-	var sendBytes, recvBytes int
+	var sendBytes int
 	for _, b := range send {
 		sendBytes += len(b)
 	}
-	tmax, err := c.world.rv.exchange(c.rank, c.Clock().Now(), send, func(slots []contribution) {
-		for src := 0; src < c.world.size; src++ {
-			theirs := slots[src].data.([][]byte)
-			buf := theirs[c.rank]
-			recv[src] = append([]byte(nil), buf...)
-			recvBytes += len(buf)
-		}
-	})
+	t0 := c.Clock().Now()
+	recv, tmax, err := c.ep.Exchange(send, t0)
 	if err != nil {
 		req.done = true
 		req.err = err
 		return req
 	}
-	req.postedAt = c.Clock().Now()
-	// The exchange cannot start before the last participant posts, and then
-	// occupies the network for the usual alpha-beta cost — but in the
-	// background, concurrent with whatever this rank computes next.
-	req.completeAt = tmax + c.world.net.Alltoallv(c.world.size, sendBytes, recvBytes)
+	if c.world.wall {
+		// The bytes moved while we blocked just now; the span is Comm time
+		// and there is no background window left to overlap.
+		c.Clock().ObserveSpan(c.Clock().Now()-t0, simtime.Comm)
+		req.postedAt = c.Clock().Now()
+		req.completeAt = req.postedAt
+	} else {
+		var recvBytes int
+		for _, b := range recv {
+			recvBytes += len(b)
+		}
+		req.postedAt = t0
+		// The exchange cannot start before the last participant posts, and
+		// then occupies the network for the usual alpha-beta cost — but in
+		// the background, concurrent with whatever this rank computes next.
+		req.completeAt = tmax + c.world.net.Alltoallv(c.world.size, sendBytes, recvBytes)
+	}
 	req.recv = recv
 	c.world.trace(c.rank, "ialltoallv", sendBytes)
 	return req

@@ -1,10 +1,6 @@
 package mpi
 
-import (
-	"fmt"
-
-	"mimir/internal/simtime"
-)
+import "fmt"
 
 // Request is a handle to a pending nonblocking operation, in the spirit of
 // MPI_Request. Complete it with Wait (blocking) or poll it with Test.
@@ -54,7 +50,7 @@ func (r *Request) Test() (completed bool, err error) {
 	if r.done {
 		return true, r.err
 	}
-	m, ok, err := r.comm.world.boxes[r.comm.rank].tryGet(r.src, r.tag)
+	m, ok, err := r.comm.ep.TryRecv(r.src, r.tag)
 	if err != nil {
 		r.done = true
 		r.err = err
@@ -63,26 +59,12 @@ func (r *Request) Test() (completed bool, err error) {
 	if !ok {
 		return false, nil
 	}
-	r.comm.Clock().SyncTo(m.t)
-	r.data, r.actualSrc, r.actualTag = m.data, m.src, m.tag
+	if !r.comm.world.wall {
+		r.comm.Clock().SyncTo(m.Time)
+	}
+	r.data, r.actualSrc, r.actualTag = m.Data, m.Src, m.Tag
 	r.done = true
 	return true, nil
-}
-
-// tryGet is the non-blocking variant of mailbox.get.
-func (b *mailbox) tryGet(src, tag int) (message, bool, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.aborted {
-		return message{}, false, b.abortEr
-	}
-	for i, m := range b.queue {
-		if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
-			b.queue = append(b.queue[:i], b.queue[i+1:]...)
-			return m, true, nil
-		}
-	}
-	return message{}, false, nil
 }
 
 // WaitAll completes every request, returning the first error encountered.
@@ -105,19 +87,17 @@ func (c *Comm) Scatterv(bufs [][]byte, root int) ([]byte, error) {
 	if c.rank == root && len(bufs) != c.world.size {
 		return nil, fmt.Errorf("mpi: Scatterv root has %d buffers, world size is %d", len(bufs), c.world.size)
 	}
-	var out []byte
-	var n int
-	tmax, err := c.world.rv.exchange(c.rank, c.Clock().Now(), bufs, func(slots []contribution) {
-		rootBufs := slots[root].data.([][]byte)
-		out = append([]byte(nil), rootBufs[c.rank]...)
-		n = len(out)
+	var send [][]byte
+	if c.rank == root {
+		send = bufs
+	}
+	recv, err := c.exchange(send, func(recv [][]byte) float64 {
+		return c.world.net.Reduction(c.world.size, len(recv[root]))
 	})
 	if err != nil {
 		return nil, err
 	}
-	c.Clock().SyncTo(tmax)
-	c.Clock().Advance(c.world.net.Reduction(c.world.size, n), simtime.Comm)
-	return out, nil
+	return recv[root], nil
 }
 
 // ReduceScatterInt64 element-wise reduces a vector of length Size across all

@@ -1,105 +1,55 @@
 package mpi
 
 import (
-	"sync"
-
 	"mimir/internal/simtime"
+	"mimir/internal/transport"
 )
 
 // AnySource and AnyTag are wildcards for Recv, mirroring MPI_ANY_SOURCE and
 // MPI_ANY_TAG.
 const (
-	AnySource = -1
-	AnyTag    = -1
+	AnySource = transport.AnySource
+	AnyTag    = transport.AnyTag
 )
-
-type message struct {
-	src, tag int
-	data     []byte
-	// t is the sender's simulated completion time; the receiver's clock
-	// cannot observe the message before it.
-	t float64
-}
-
-// mailbox is one rank's unbounded incoming-message queue with (src, tag)
-// matching in arrival order.
-type mailbox struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []message
-	aborted bool
-	abortEr error
-}
-
-func newMailbox() *mailbox {
-	b := &mailbox{}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-func (b *mailbox) abort(err error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if !b.aborted {
-		b.aborted = true
-		b.abortEr = err
-		b.cond.Broadcast()
-	}
-}
-
-func (b *mailbox) put(m message) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.aborted {
-		return b.abortEr
-	}
-	b.queue = append(b.queue, m)
-	b.cond.Broadcast()
-	return nil
-}
-
-func (b *mailbox) get(src, tag int) (message, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for {
-		if b.aborted {
-			return message{}, b.abortEr
-		}
-		for i, m := range b.queue {
-			if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
-				b.queue = append(b.queue[:i], b.queue[i+1:]...)
-				return m, nil
-			}
-		}
-		b.cond.Wait()
-	}
-}
 
 // Send delivers a copy of data to rank dst with the given tag. Send is
 // buffered (it does not wait for a matching Recv), like an eager-protocol
 // MPI_Send.
 func (c *Comm) Send(dst, tag int, data []byte) error {
-	cost := c.world.net.PointToPoint(len(data))
-	c.Clock().Advance(cost, simtime.Comm)
+	ck := c.Clock()
+	if c.world.wall {
+		t0 := ck.Now()
+		if err := c.ep.Send(dst, tag, data, t0); err != nil {
+			return err
+		}
+		ck.ObserveSpan(ck.Now()-t0, simtime.Comm)
+	} else {
+		ck.Advance(c.world.net.PointToPoint(len(data)), simtime.Comm)
+		if err := c.ep.Send(dst, tag, data, ck.Now()); err != nil {
+			return err
+		}
+	}
 	c.world.trace(c.rank, "send", len(data))
-	return c.world.boxes[dst].put(message{
-		src:  c.rank,
-		tag:  tag,
-		data: append([]byte(nil), data...),
-		t:    c.Clock().Now(),
-	})
+	return nil
 }
 
 // Recv blocks until a message matching (src, tag) arrives and returns its
 // payload together with the actual source and tag. Use AnySource / AnyTag as
 // wildcards. The receiver's simulated clock is advanced to at least the
-// message's network arrival time.
+// message's network arrival time; a wall clock records the blocking span as
+// Comm time.
 func (c *Comm) Recv(src, tag int) (data []byte, actualSrc, actualTag int, err error) {
-	m, err := c.world.boxes[c.rank].get(src, tag)
+	ck := c.Clock()
+	t0 := ck.Now()
+	m, err := c.ep.Recv(src, tag)
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	c.Clock().SyncTo(m.t)
-	c.world.trace(c.rank, "recv", len(m.data))
-	return m.data, m.src, m.tag, nil
+	if c.world.wall {
+		ck.ObserveSpan(ck.Now()-t0, simtime.Comm)
+	} else {
+		ck.SyncTo(m.Time)
+	}
+	c.world.trace(c.rank, "recv", len(m.Data))
+	return m.Data, m.Src, m.Tag, nil
 }

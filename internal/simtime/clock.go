@@ -7,7 +7,10 @@
 // imbalance and barrier waiting visible in the weak-scaling figures.
 package simtime
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Kind classifies where simulated time is spent. The breakdown is reported
 // by the experiment harness next to total execution time.
@@ -37,37 +40,73 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
-// Clock tracks simulated elapsed seconds for a single MPI rank. A Clock is
-// not safe for concurrent use; each rank owns exactly one.
+// Clock tracks elapsed seconds for a single MPI rank. A Clock is not safe
+// for concurrent use; each rank owns exactly one.
+//
+// A clock runs in one of two modes. A simulated clock (NewClock) only moves
+// when costs are charged with Advance or SyncTo — the in-process runtime's
+// deterministic time. A wall clock (NewWallClock) reads real elapsed time:
+// simulated charges are ignored (real time passes by itself), and blocking
+// runtime operations record their measured duration with ObserveSpan so the
+// comm/IO breakdown still exists. The multi-process TCP transport runs on
+// wall clocks, which is what feeds real time into the existing metrics.
 type Clock struct {
-	now   float64
-	spent [numKinds]float64
+	now       float64
+	spent     [numKinds]float64
+	wallStart time.Time // zero for simulated clocks
 }
 
-// NewClock returns a clock at time zero.
+// NewClock returns a simulated clock at time zero.
 func NewClock() *Clock { return &Clock{} }
 
-// Now returns the current simulated time in seconds.
-func (c *Clock) Now() float64 { return c.now }
+// NewWallClock returns a wall clock whose Now is the real time elapsed
+// since this call.
+func NewWallClock() *Clock { return &Clock{wallStart: time.Now()} }
 
-// Advance moves the clock forward by d seconds, attributing the interval to
-// the given kind. Negative durations are ignored.
+// IsWall reports whether this is a wall clock.
+func (c *Clock) IsWall() bool { return !c.wallStart.IsZero() }
+
+// Now returns the current time in seconds: simulated elapsed time, or real
+// elapsed time for a wall clock.
+func (c *Clock) Now() float64 {
+	if c.IsWall() {
+		return time.Since(c.wallStart).Seconds()
+	}
+	return c.now
+}
+
+// Advance moves a simulated clock forward by d seconds, attributing the
+// interval to the given kind. Negative durations are ignored, and so are
+// simulated charges on a wall clock (real time passes by itself).
 func (c *Clock) Advance(d float64, kind Kind) {
-	if d <= 0 {
+	if d <= 0 || c.IsWall() {
 		return
 	}
 	c.now += d
 	c.spent[kind] += d
 }
 
-// SyncTo jumps the clock forward to time t if t is in the future,
+// SyncTo jumps a simulated clock forward to time t if t is in the future,
 // attributing the waiting interval to Comm (barrier wait). It never moves
-// the clock backward.
+// the clock backward and is a no-op on a wall clock, where blocking in the
+// transport already took real time.
 func (c *Clock) SyncTo(t float64) {
+	if c.IsWall() {
+		return
+	}
 	if t > c.now {
 		c.spent[Comm] += t - c.now
 		c.now = t
 	}
+}
+
+// ObserveSpan attributes d real seconds to kind on a wall clock. Simulated
+// clocks ignore it (Advance is their accounting path).
+func (c *Clock) ObserveSpan(d float64, kind Kind) {
+	if !c.IsWall() || d <= 0 {
+		return
+	}
+	c.spent[kind] += d
 }
 
 // FinishOverlap completes a compute/communication overlap window: a
@@ -82,6 +121,11 @@ func (c *Clock) SyncTo(t float64) {
 // completeAt-start seconds before the same computation ran: the saving is
 // the portion of the communication window that computation covered.
 func (c *Clock) FinishOverlap(start, completeAt float64) (saved float64) {
+	if c.IsWall() {
+		// Real communication cannot be replayed against a serial schedule;
+		// the wall clock already contains whatever overlap happened.
+		return 0
+	}
 	serial := completeAt + (c.now - start)
 	c.SyncTo(completeAt)
 	if serial > c.now {
@@ -90,8 +134,26 @@ func (c *Clock) FinishOverlap(start, completeAt float64) (saved float64) {
 	return 0
 }
 
-// Spent returns the accumulated seconds attributed to kind.
-func (c *Clock) Spent(kind Kind) float64 { return c.spent[kind] }
+// Spent returns the accumulated seconds attributed to kind. On a wall clock
+// Comm and IO are the observed blocking spans and Compute is the remainder
+// of the elapsed time (the rank's own work between runtime calls).
+func (c *Clock) Spent(kind Kind) float64 {
+	if c.IsWall() && kind == Compute {
+		rest := c.Now() - c.spent[Comm] - c.spent[IO]
+		if rest < 0 {
+			return 0
+		}
+		return rest
+	}
+	return c.spent[kind]
+}
 
-// Reset returns the clock to time zero and clears the breakdown.
-func (c *Clock) Reset() { *c = Clock{} }
+// Reset returns the clock to time zero (for a wall clock: to the present)
+// and clears the breakdown.
+func (c *Clock) Reset() {
+	if c.IsWall() {
+		*c = Clock{wallStart: time.Now()}
+		return
+	}
+	*c = Clock{}
+}

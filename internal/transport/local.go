@@ -1,0 +1,222 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Local is the in-process transport: every rank is a goroutine in this
+// process and byte movement is memory copying. Collective exchanges go
+// through a generation-counted rendezvous, which is also what synchronizes
+// the ranks' simulated clocks (the runtime reads tmax from Exchange).
+type Local struct {
+	size  int
+	rv    *rendezvous
+	boxes []*mailbox
+
+	abortOnce sync.Once
+}
+
+// NewLocal creates an in-process transport for size ranks.
+func NewLocal(size int) *Local {
+	if size < 1 {
+		panic(fmt.Sprintf("transport: invalid world size %d", size))
+	}
+	l := &Local{
+		size:  size,
+		rv:    newRendezvous(size),
+		boxes: make([]*mailbox, size),
+	}
+	for i := range l.boxes {
+		l.boxes[i] = newMailbox()
+	}
+	return l
+}
+
+// Size returns the number of ranks.
+func (l *Local) Size() int { return l.size }
+
+// LocalRanks returns all ranks: the local transport hosts the whole world.
+func (l *Local) LocalRanks() []int {
+	ranks := make([]int, l.size)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return ranks
+}
+
+// Endpoint returns the endpoint of the given rank.
+func (l *Local) Endpoint(rank int) Endpoint {
+	if rank < 0 || rank >= l.size {
+		panic(fmt.Sprintf("transport: rank %d out of range [0,%d)", rank, l.size))
+	}
+	return &localEndpoint{l: l, rank: rank}
+}
+
+// Abort poisons all pending and subsequent operations with err.
+func (l *Local) Abort(err error) {
+	l.abortOnce.Do(func() {
+		l.rv.abort(err)
+		for _, b := range l.boxes {
+			b.abort(err)
+		}
+	})
+}
+
+// Wall reports false: the local transport runs in simulated time.
+func (l *Local) Wall() bool { return false }
+
+// Close is a no-op for the in-process transport.
+func (l *Local) Close() error { return nil }
+
+type localEndpoint struct {
+	l    *Local
+	rank int
+}
+
+func (e *localEndpoint) Rank() int { return e.rank }
+
+func (e *localEndpoint) Send(dst, tag int, data []byte, now float64) error {
+	if dst < 0 || dst >= e.l.size {
+		return fmt.Errorf("transport: send to rank %d of %d", dst, e.l.size)
+	}
+	return e.l.boxes[dst].put(Message{
+		Src:  e.rank,
+		Tag:  tag,
+		Data: append([]byte(nil), data...),
+		Time: now,
+	})
+}
+
+func (e *localEndpoint) Recv(src, tag int) (Message, error) {
+	return e.l.boxes[e.rank].get(src, tag)
+}
+
+func (e *localEndpoint) TryRecv(src, tag int) (Message, bool, error) {
+	return e.l.boxes[e.rank].tryGet(src, tag)
+}
+
+func (e *localEndpoint) Exchange(send [][]byte, now float64) ([][]byte, float64, error) {
+	if send != nil && len(send) != e.l.size {
+		return nil, 0, fmt.Errorf("transport: exchange send has %d entries, world size is %d", len(send), e.l.size)
+	}
+	recv := make([][]byte, e.l.size)
+	tmax, err := e.l.rv.exchange(e.rank, now, send, func(slots []contribution) {
+		for src := 0; src < e.l.size; src++ {
+			theirs := slots[src].send
+			if theirs == nil {
+				continue
+			}
+			recv[src] = append([]byte(nil), theirs[e.rank]...)
+		}
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return recv, tmax, nil
+}
+
+// contribution is what a rank deposits at a collective rendezvous: its
+// clock time (for synchronization) and its per-destination send buffers.
+type contribution struct {
+	t    float64
+	send [][]byte
+}
+
+// rendezvous implements a reusable, generation-counted barrier with a
+// per-rank slot array for data exchange. All ranks call exchange in the same
+// order (the SPMD contract), so a single slot array double-gated by two
+// barrier phases is sufficient:
+//
+//	phase A: every rank deposits its contribution, then waits;
+//	         (all slots are now complete and frozen)
+//	read:    every rank reads whatever slots it needs;
+//	phase B: every rank waits again, after which slots may be overwritten.
+//
+// The second phase is what lets callers reuse their send buffers as soon as
+// exchange returns: nobody leaves before every rank has copied what it needs.
+type rendezvous struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	size    int
+	arrived int
+	gen     uint64
+	slots   []contribution
+	aborted bool
+	abortEr error
+}
+
+func newRendezvous(size int) *rendezvous {
+	r := &rendezvous{size: size, slots: make([]contribution, size)}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+func (r *rendezvous) abort(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.aborted {
+		r.aborted = true
+		r.abortEr = err
+		r.cond.Broadcast()
+	}
+}
+
+// arrive blocks until all ranks have arrived (one barrier phase).
+func (r *rendezvous) arrive() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.aborted {
+		return r.abortEr
+	}
+	gen := r.gen
+	r.arrived++
+	if r.arrived == r.size {
+		r.arrived = 0
+		r.gen++
+		r.cond.Broadcast()
+		return nil
+	}
+	for r.gen == gen && !r.aborted {
+		r.cond.Wait()
+	}
+	// A generation advance means every rank arrived and this phase
+	// completed — even if another rank aborted the world immediately
+	// afterwards. Only report the abort when the phase itself can no
+	// longer complete.
+	if r.gen == gen && r.aborted {
+		return r.abortEr
+	}
+	return nil
+}
+
+// exchange deposits this rank's contribution, waits for everyone, invokes
+// read with the complete frozen slot array, then waits again so slots can be
+// reused. It returns the maximum clock time across all contributions, which
+// the runtime uses to synchronize simulated clocks.
+func (r *rendezvous) exchange(rank int, now float64, send [][]byte, read func(slots []contribution)) (tmax float64, err error) {
+	r.mu.Lock()
+	if r.aborted {
+		err := r.abortEr
+		r.mu.Unlock()
+		return 0, err
+	}
+	r.slots[rank] = contribution{t: now, send: send}
+	r.mu.Unlock()
+
+	if err := r.arrive(); err != nil {
+		return 0, err
+	}
+	for _, s := range r.slots {
+		if s.t > tmax {
+			tmax = s.t
+		}
+	}
+	if read != nil {
+		read(r.slots)
+	}
+	if err := r.arrive(); err != nil {
+		return 0, err
+	}
+	return tmax, nil
+}

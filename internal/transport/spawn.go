@@ -1,0 +1,109 @@
+package transport
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"time"
+)
+
+// Environment variables a spawned worker process reads to join its world.
+// SpawnLocal sets them on the children it launches; any launcher (a cluster
+// scheduler, a shell script) can set them instead of flags.
+const (
+	EnvJoin = "MIMIR_TCP_JOIN"
+	EnvRank = "MIMIR_TCP_RANK"
+	EnvSize = "MIMIR_TCP_SIZE"
+)
+
+// FromEnv reads a worker's TCP configuration from the environment. The
+// second return is false when the process was not launched as a worker
+// (EnvJoin unset).
+func FromEnv() (TCPConfig, bool, error) {
+	addr := os.Getenv(EnvJoin)
+	if addr == "" {
+		return TCPConfig{}, false, nil
+	}
+	rank, err := strconv.Atoi(os.Getenv(EnvRank))
+	if err != nil {
+		return TCPConfig{}, true, fmt.Errorf("transport: bad %s=%q: %v", EnvRank, os.Getenv(EnvRank), err)
+	}
+	size, err := strconv.Atoi(os.Getenv(EnvSize))
+	if err != nil {
+		return TCPConfig{}, true, fmt.Errorf("transport: bad %s=%q: %v", EnvSize, os.Getenv(EnvSize), err)
+	}
+	return TCPConfig{Addr: addr, Rank: rank, Size: size}, true, nil
+}
+
+// Children tracks the worker processes SpawnLocal launched.
+type Children struct {
+	procs []*exec.Cmd
+}
+
+// Wait reaps every child and returns the first failure (by rank order).
+func (c *Children) Wait() error {
+	var first error
+	for _, p := range c.procs {
+		if err := p.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Kill terminates every child still running.
+func (c *Children) Kill() {
+	for _, p := range c.procs {
+		if p.Process != nil {
+			p.Process.Kill()
+		}
+	}
+}
+
+// SpawnLocal turns this process into rank 0 of a size-rank world on the
+// loopback interface and launches size-1 copies of this binary (same
+// arguments) as the worker ranks, joining them via the MIMIR_TCP_*
+// environment. The re-executed copies must detect the environment (FromEnv)
+// before doing anything else and run as workers.
+//
+// Children write their stdout to stderr so rank 0's stdout stays the only
+// place job output appears.
+func SpawnLocal(size int, deadline time.Duration) (*TCP, *Children, error) {
+	if size < 1 {
+		return nil, nil, fmt.Errorf("transport: invalid world size %d", size)
+	}
+	b, err := ListenTCP(TCPConfig{Addr: "127.0.0.1:0", Rank: 0, Size: size, Deadline: deadline})
+	if err != nil {
+		return nil, nil, err
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		exe = os.Args[0]
+	}
+	children := &Children{}
+	for rank := 1; rank < size; rank++ {
+		cmd := exec.Command(exe, os.Args[1:]...)
+		cmd.Env = append(os.Environ(),
+			EnvJoin+"="+b.Addr(),
+			fmt.Sprintf("%s=%d", EnvRank, rank),
+			fmt.Sprintf("%s=%d", EnvSize, size),
+		)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			children.Kill()
+			children.Wait()
+			b.ln.Close()
+			return nil, nil, fmt.Errorf("transport: spawning worker rank %d: %w", rank, err)
+		}
+		children.procs = append(children.procs, cmd)
+	}
+	t, err := b.Accept()
+	if err != nil {
+		children.Kill()
+		children.Wait()
+		return nil, nil, err
+	}
+	return t, children, nil
+}

@@ -1,0 +1,685 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPConfig describes one rank's attachment to a multi-process world.
+type TCPConfig struct {
+	// Addr is rank 0's bootstrap address: rank 0 listens on it, every other
+	// rank dials it. For rank 0 a port of 0 picks a free port (read it back
+	// with Bootstrap.Addr before starting the workers).
+	Addr string
+	// Rank is this process's rank in [0, Size).
+	Rank int
+	// Size is the world size (total processes).
+	Size int
+	// Deadline bounds every connection write (and the per-connection
+	// handshake): a peer that cannot make progress for this long is treated
+	// as dead and the world aborts. 0 means 10 seconds.
+	Deadline time.Duration
+	// BootstrapTimeout bounds mesh establishment (dial retries, accepts,
+	// the address table). 0 means 30 seconds.
+	BootstrapTimeout time.Duration
+}
+
+func (c TCPConfig) withDefaults() TCPConfig {
+	if c.Deadline <= 0 {
+		c.Deadline = 10 * time.Second
+	}
+	if c.BootstrapTimeout <= 0 {
+		c.BootstrapTimeout = 30 * time.Second
+	}
+	return c
+}
+
+func (c TCPConfig) validate() error {
+	if c.Size < 1 {
+		return fmt.Errorf("transport: invalid world size %d", c.Size)
+	}
+	if c.Rank < 0 || c.Rank >= c.Size {
+		return fmt.Errorf("transport: rank %d out of range [0,%d)", c.Rank, c.Size)
+	}
+	if c.Addr == "" {
+		return fmt.Errorf("transport: TCPConfig.Addr is required")
+	}
+	return nil
+}
+
+// TCP is the multi-process transport: this process hosts exactly one rank
+// and a full mesh of TCP connections carries frames to every peer. Create
+// it with NewTCP (or ListenTCP + Bootstrap.Accept on rank 0 when the
+// bootstrap port is dynamic).
+type TCP struct {
+	cfg   TCPConfig
+	rank  int
+	size  int
+	peers []*tcpPeer // peers[rank] == nil
+
+	mbox *mailbox     // incoming point-to-point messages
+	exq  []*exchQueue // per-source collective contributions; exq[rank] == nil
+	seq  uint64       // this rank's collective call counter (owning goroutine only)
+
+	mu       sync.Mutex
+	abortErr error
+	closing  bool
+
+	readers sync.WaitGroup
+}
+
+// tcpPeer is one mesh connection with serialized, deadline-bounded writes.
+type tcpPeer struct {
+	rank int
+	conn net.Conn
+
+	wmu      sync.Mutex
+	bw       *bufio.Writer
+	deadline time.Duration
+
+	mu  sync.Mutex
+	bye bool // peer announced clean shutdown; EOF is not a death
+}
+
+func (p *tcpPeer) writeFrame(f *Frame) error {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	if err := p.conn.SetWriteDeadline(time.Now().Add(p.deadline)); err != nil {
+		return err
+	}
+	if err := WriteFrame(p.bw, f); err != nil {
+		return err
+	}
+	return p.bw.Flush()
+}
+
+func (p *tcpPeer) sawBye() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bye
+}
+
+func (p *tcpPeer) markBye() {
+	p.mu.Lock()
+	p.bye = true
+	p.mu.Unlock()
+}
+
+// exchQueue buffers one peer's collective contributions in arrival order.
+// TCP preserves per-connection ordering and both sides follow the SPMD
+// contract, so the head frame's sequence number must match the local call
+// counter — a mismatch is a protocol violation.
+type exchQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	q       []*Frame
+	aborted bool
+	abortEr error
+}
+
+func newExchQueue() *exchQueue {
+	e := &exchQueue{}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+func (e *exchQueue) push(f *Frame) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.aborted {
+		return
+	}
+	e.q = append(e.q, f)
+	e.cond.Broadcast()
+}
+
+func (e *exchQueue) pop(wantSeq uint64) (*Frame, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.q) == 0 && !e.aborted {
+		e.cond.Wait()
+	}
+	if e.aborted {
+		return nil, e.abortEr
+	}
+	f := e.q[0]
+	e.q = e.q[1:]
+	if f.Seq != wantSeq {
+		return nil, fmt.Errorf("%w: rank %d sent collective #%d where #%d was expected (SPMD order violated)",
+			ErrAborted, f.Src, f.Seq, wantSeq)
+	}
+	return f, nil
+}
+
+func (e *exchQueue) abort(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.aborted {
+		e.aborted = true
+		e.abortEr = err
+		e.q = nil
+		e.cond.Broadcast()
+	}
+}
+
+// NewTCP attaches this process to a multi-process world: rank 0 listens on
+// cfg.Addr and completes the bootstrap, every other rank dials it. NewTCP
+// returns only once the full mesh is established and all ranks have passed
+// an initial barrier, so a successful return means the whole world is up.
+func NewTCP(cfg TCPConfig) (*TCP, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Rank == 0 {
+		b, err := ListenTCP(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return b.Accept()
+	}
+	return dialTCP(cfg)
+}
+
+func newTCPBase(cfg TCPConfig) *TCP {
+	t := &TCP{
+		cfg:   cfg,
+		rank:  cfg.Rank,
+		size:  cfg.Size,
+		peers: make([]*tcpPeer, cfg.Size),
+		mbox:  newMailbox(),
+		exq:   make([]*exchQueue, cfg.Size),
+	}
+	for i := range t.exq {
+		if i != t.rank {
+			t.exq[i] = newExchQueue()
+		}
+	}
+	return t
+}
+
+func (t *TCP) addPeer(rank int, conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	t.peers[rank] = &tcpPeer{
+		rank:     rank,
+		conn:     conn,
+		bw:       bufio.NewWriterSize(conn, 64<<10),
+		deadline: t.cfg.Deadline,
+	}
+}
+
+// start launches the per-connection reader goroutines and runs the initial
+// barrier that confirms every rank's mesh is complete.
+func (t *TCP) start() (*TCP, error) {
+	for _, p := range t.peers {
+		if p != nil {
+			t.readers.Add(1)
+			go t.readLoop(p)
+		}
+	}
+	if _, _, err := t.Exchange(nil, 0); err != nil {
+		t.Close()
+		return nil, fmt.Errorf("transport: initial barrier: %w", err)
+	}
+	return t, nil
+}
+
+// Bootstrap is rank 0's half-open world: the listener is bound (so the
+// bootstrap address, including a dynamically chosen port, is known) but the
+// workers have not joined yet. Complete it with Accept.
+type Bootstrap struct {
+	cfg TCPConfig
+	ln  net.Listener
+}
+
+// ListenTCP binds rank 0's bootstrap listener. cfg.Rank must be 0.
+func ListenTCP(cfg TCPConfig) (*Bootstrap, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Rank != 0 {
+		return nil, fmt.Errorf("transport: ListenTCP on rank %d (only rank 0 listens)", cfg.Rank)
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: bootstrap listen on %s: %w", cfg.Addr, err)
+	}
+	return &Bootstrap{cfg: cfg, ln: ln}, nil
+}
+
+// Addr returns the bound bootstrap address workers must dial.
+func (b *Bootstrap) Addr() string { return b.ln.Addr().String() }
+
+// Accept waits for every worker to register, distributes the address table,
+// and returns rank 0's transport once the whole world is up.
+func (b *Bootstrap) Accept() (*TCP, error) {
+	defer b.ln.Close()
+	t := newTCPBase(b.cfg)
+	deadline := time.Now().Add(b.cfg.BootstrapTimeout)
+	if tl, ok := b.ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+	addrs := make([]string, b.cfg.Size)
+	addrs[0] = b.Addr()
+	for joined := 1; joined < b.cfg.Size; {
+		conn, err := b.ln.Accept()
+		if err != nil {
+			t.closeConns()
+			return nil, fmt.Errorf("transport: bootstrap accept (%d of %d ranks joined): %w", joined, b.cfg.Size, err)
+		}
+		rank, err := b.admit(t, conn, addrs)
+		if err != nil {
+			conn.Close()
+			t.closeConns()
+			return nil, err
+		}
+		if rank > 0 {
+			joined++
+		}
+	}
+	// Everyone registered; hand each worker the full table so workers can
+	// mesh among themselves.
+	table := encodeTable(addrs)
+	for rank, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		if err := p.writeFrame(&Frame{Op: OpTable, Src: 0, Data: table}); err != nil {
+			t.closeConns()
+			return nil, fmt.Errorf("transport: sending address table to rank %d: %w", rank, err)
+		}
+	}
+	return t.start()
+}
+
+// admit validates one bootstrap connection and registers the worker. It
+// returns the worker's rank, or 0 for a connection that was rejected softly.
+func (b *Bootstrap) admit(t *TCP, conn net.Conn, addrs []string) (int, error) {
+	conn.SetDeadline(time.Now().Add(b.cfg.Deadline))
+	h, err := readHello(conn)
+	if err != nil {
+		return 0, fmt.Errorf("transport: bootstrap handshake: %w", err)
+	}
+	if h.Size != b.cfg.Size {
+		return 0, fmt.Errorf("transport: rank %d joined with world size %d, want %d", h.Rank, h.Size, b.cfg.Size)
+	}
+	if h.Rank <= 0 || h.Rank >= b.cfg.Size {
+		return 0, fmt.Errorf("transport: bootstrap join from invalid rank %d", h.Rank)
+	}
+	if t.peers[h.Rank] != nil {
+		return 0, fmt.Errorf("transport: rank %d joined twice", h.Rank)
+	}
+	if h.Addr == "" {
+		return 0, fmt.Errorf("transport: rank %d advertised no mesh address", h.Rank)
+	}
+	if err := writeHello(conn, hello{Rank: 0, Size: b.cfg.Size}); err != nil {
+		return 0, fmt.Errorf("transport: bootstrap handshake reply to rank %d: %w", h.Rank, err)
+	}
+	conn.SetDeadline(time.Time{})
+	t.addPeer(h.Rank, conn)
+	addrs[h.Rank] = h.Addr
+	return h.Rank, nil
+}
+
+// dialTCP is the worker side: dial rank 0, advertise a mesh listener, wait
+// for the address table, then complete the mesh (dial every lower worker
+// rank, accept every higher one).
+func dialTCP(cfg TCPConfig) (*TCP, error) {
+	t := newTCPBase(cfg)
+	deadline := time.Now().Add(cfg.BootstrapTimeout)
+
+	conn0, err := dialRetry(cfg.Addr, deadline)
+	if err != nil {
+		return nil, fmt.Errorf("transport: rank %d dialing bootstrap %s: %w", cfg.Rank, cfg.Addr, err)
+	}
+
+	// The mesh listener binds the interface that reaches rank 0, so the
+	// advertised address is routable for every peer that can reach rank 0.
+	host, _, err := net.SplitHostPort(conn0.LocalAddr().String())
+	if err != nil {
+		conn0.Close()
+		return nil, fmt.Errorf("transport: rank %d local address: %w", cfg.Rank, err)
+	}
+	ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+	if err != nil {
+		conn0.Close()
+		return nil, fmt.Errorf("transport: rank %d mesh listen: %w", cfg.Rank, err)
+	}
+	defer ln.Close()
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+
+	conn0.SetDeadline(time.Now().Add(cfg.Deadline))
+	if err := writeHello(conn0, hello{Rank: cfg.Rank, Size: cfg.Size, Addr: ln.Addr().String()}); err != nil {
+		conn0.Close()
+		return nil, fmt.Errorf("transport: rank %d bootstrap handshake: %w", cfg.Rank, err)
+	}
+	h, err := readHello(conn0)
+	if err != nil {
+		conn0.Close()
+		return nil, fmt.Errorf("transport: rank %d bootstrap handshake reply: %w", cfg.Rank, err)
+	}
+	if h.Rank != 0 || h.Size != cfg.Size {
+		conn0.Close()
+		return nil, fmt.Errorf("transport: rank %d bootstrap reply from rank %d size %d, want rank 0 size %d",
+			cfg.Rank, h.Rank, h.Size, cfg.Size)
+	}
+	// The table may take as long as the slowest rank's join, not one
+	// write: bound it by the bootstrap deadline.
+	conn0.SetDeadline(deadline)
+	tf, err := ReadFrame(conn0)
+	if err != nil {
+		conn0.Close()
+		return nil, fmt.Errorf("transport: rank %d reading address table: %w", cfg.Rank, err)
+	}
+	if tf.Op != OpTable {
+		conn0.Close()
+		return nil, fmt.Errorf("transport: rank %d expected address table, got op %d", cfg.Rank, tf.Op)
+	}
+	addrs, err := decodeTable(tf.Data)
+	if err != nil || len(addrs) != cfg.Size {
+		conn0.Close()
+		return nil, fmt.Errorf("transport: rank %d bad address table (%d entries): %v", cfg.Rank, len(addrs), err)
+	}
+	conn0.SetDeadline(time.Time{})
+	t.addPeer(0, conn0)
+
+	// Mesh: dial workers below, accept workers above.
+	for r := 1; r < cfg.Rank; r++ {
+		conn, err := dialRetry(addrs[r], deadline)
+		if err != nil {
+			t.closeConns()
+			return nil, fmt.Errorf("transport: rank %d dialing rank %d at %s: %w", cfg.Rank, r, addrs[r], err)
+		}
+		conn.SetDeadline(time.Now().Add(cfg.Deadline))
+		if err := writeHello(conn, hello{Rank: cfg.Rank, Size: cfg.Size}); err == nil {
+			h, err = readHello(conn)
+			if err == nil && (h.Rank != r || h.Size != cfg.Size) {
+				err = fmt.Errorf("transport: mesh reply from rank %d size %d, want rank %d", h.Rank, h.Size, r)
+			}
+		}
+		if err != nil {
+			conn.Close()
+			t.closeConns()
+			return nil, fmt.Errorf("transport: rank %d mesh handshake with rank %d: %w", cfg.Rank, r, err)
+		}
+		conn.SetDeadline(time.Time{})
+		t.addPeer(r, conn)
+	}
+	for accepted := cfg.Rank + 1; accepted < cfg.Size; accepted++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			t.closeConns()
+			return nil, fmt.Errorf("transport: rank %d mesh accept: %w", cfg.Rank, err)
+		}
+		conn.SetDeadline(time.Now().Add(cfg.Deadline))
+		h, err := readHello(conn)
+		if err == nil {
+			switch {
+			case h.Size != cfg.Size:
+				err = fmt.Errorf("world size %d, want %d", h.Size, cfg.Size)
+			case h.Rank <= cfg.Rank || h.Rank >= cfg.Size:
+				err = fmt.Errorf("unexpected mesh dial from rank %d", h.Rank)
+			case t.peers[h.Rank] != nil:
+				err = fmt.Errorf("rank %d connected twice", h.Rank)
+			default:
+				err = writeHello(conn, hello{Rank: cfg.Rank, Size: cfg.Size})
+			}
+		}
+		if err != nil {
+			conn.Close()
+			t.closeConns()
+			return nil, fmt.Errorf("transport: rank %d mesh handshake: %w", cfg.Rank, err)
+		}
+		conn.SetDeadline(time.Time{})
+		t.addPeer(h.Rank, conn)
+	}
+	return t.start()
+}
+
+// dialRetry dials addr until it succeeds or the deadline passes, retrying
+// while the listener may not be up yet.
+func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
+	var lastErr error
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("timed out")
+			}
+			return nil, lastErr
+		}
+		d := net.Dialer{Timeout: remain}
+		conn, err := d.Dial("tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// Size returns the world size.
+func (t *TCP) Size() int { return t.size }
+
+// LocalRanks returns this process's single rank.
+func (t *TCP) LocalRanks() []int { return []int{t.rank} }
+
+// Endpoint returns the local rank's endpoint.
+func (t *TCP) Endpoint(rank int) Endpoint {
+	if rank != t.rank {
+		panic(fmt.Sprintf("transport: rank %d is not local to this process (hosting %d)", rank, t.rank))
+	}
+	return t
+}
+
+// Wall reports true: TCP operations take real time.
+func (t *TCP) Wall() bool { return true }
+
+// Rank returns the local rank.
+func (t *TCP) Rank() int { return t.rank }
+
+func (t *TCP) abortError() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.abortErr
+}
+
+// poison fails all local pending and subsequent operations with err,
+// without notifying peers.
+func (t *TCP) poison(err error) bool {
+	t.mu.Lock()
+	if t.abortErr != nil {
+		t.mu.Unlock()
+		return false
+	}
+	t.abortErr = err
+	t.mu.Unlock()
+	t.mbox.abort(err)
+	for _, q := range t.exq {
+		if q != nil {
+			q.abort(err)
+		}
+	}
+	return true
+}
+
+// Abort poisons the local rank and broadcasts the cause to every peer, so
+// their pending operations fail with ErrAborted instead of hanging.
+func (t *TCP) Abort(err error) {
+	if !t.poison(err) {
+		return
+	}
+	f := &Frame{Op: OpAbort, Src: uint32(t.rank), Data: []byte(err.Error())}
+	for _, p := range t.peers {
+		if p != nil {
+			p.writeFrame(f) // best effort; the peer also sees EOF when we close
+		}
+	}
+}
+
+// readLoop dispatches one connection's incoming frames until EOF or abort.
+// A connection failing before the peer announced a clean shutdown means the
+// peer died: the whole local world aborts (and Abort tells the remaining
+// peers), which is what turns a killed worker into ErrAborted everywhere
+// instead of a hang.
+func (t *TCP) readLoop(p *tcpPeer) {
+	defer t.readers.Done()
+	br := bufio.NewReaderSize(p.conn, 64<<10)
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			if p.sawBye() || t.isClosing() {
+				return
+			}
+			t.Abort(fmt.Errorf("%w: connection to rank %d lost: %v", ErrAborted, p.rank, err))
+			return
+		}
+		switch f.Op {
+		case OpP2P:
+			t.mbox.put(Message{Src: p.rank, Tag: int(f.Tag), Data: f.Data, Time: f.Time})
+		case OpExchange:
+			t.exq[p.rank].push(f)
+		case OpAbort:
+			t.poison(fmt.Errorf("%w: rank %d: %s", ErrAborted, p.rank, f.Data))
+		case OpBye:
+			p.markBye()
+		default:
+			t.Abort(fmt.Errorf("%w: rank %d sent unexpected op %d", ErrAborted, p.rank, f.Op))
+			return
+		}
+	}
+}
+
+func (t *TCP) isClosing() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closing
+}
+
+// Send implements Endpoint. A write that cannot complete within the
+// connection deadline aborts the world.
+func (t *TCP) Send(dst, tag int, data []byte, now float64) error {
+	if err := t.abortError(); err != nil {
+		return err
+	}
+	if dst < 0 || dst >= t.size {
+		return fmt.Errorf("transport: send to rank %d of %d", dst, t.size)
+	}
+	if dst == t.rank {
+		return t.mbox.put(Message{Src: t.rank, Tag: tag, Data: append([]byte(nil), data...), Time: now})
+	}
+	f := &Frame{Op: OpP2P, Src: uint32(t.rank), Tag: int32(tag), Time: now, Data: data}
+	if err := t.peers[dst].writeFrame(f); err != nil {
+		err = fmt.Errorf("%w: write to rank %d: %v", ErrAborted, dst, err)
+		t.Abort(err)
+		return err
+	}
+	return nil
+}
+
+// Recv implements Endpoint.
+func (t *TCP) Recv(src, tag int) (Message, error) {
+	return t.mbox.get(src, tag)
+}
+
+// TryRecv implements Endpoint.
+func (t *TCP) TryRecv(src, tag int) (Message, bool, error) {
+	return t.mbox.tryGet(src, tag)
+}
+
+// Exchange implements Endpoint: scatter this rank's contributions over the
+// mesh, then gather one contribution per peer for the same collective call.
+func (t *TCP) Exchange(send [][]byte, now float64) ([][]byte, float64, error) {
+	if err := t.abortError(); err != nil {
+		return nil, 0, err
+	}
+	if send != nil && len(send) != t.size {
+		return nil, 0, fmt.Errorf("transport: exchange send has %d entries, world size is %d", len(send), t.size)
+	}
+	seq := t.seq
+	t.seq++
+	for dst := 0; dst < t.size; dst++ {
+		if dst == t.rank {
+			continue
+		}
+		var payload []byte
+		if send != nil {
+			payload = send[dst]
+		}
+		f := &Frame{Op: OpExchange, Src: uint32(t.rank), Seq: seq, Time: now, Data: payload}
+		if err := t.peers[dst].writeFrame(f); err != nil {
+			err = fmt.Errorf("%w: exchange write to rank %d: %v", ErrAborted, dst, err)
+			t.Abort(err)
+			return nil, 0, err
+		}
+	}
+	recv := make([][]byte, t.size)
+	if send != nil {
+		recv[t.rank] = append([]byte(nil), send[t.rank]...)
+	}
+	tmax := now
+	for src := 0; src < t.size; src++ {
+		if src == t.rank {
+			continue
+		}
+		f, err := t.exq[src].pop(seq)
+		if err != nil {
+			// A protocol violation is ours to announce; a poisoned queue
+			// already carries the abort cause.
+			if t.abortError() == nil {
+				t.Abort(err)
+			}
+			return nil, 0, err
+		}
+		recv[src] = f.Data
+		if f.Time > tmax {
+			tmax = f.Time
+		}
+	}
+	return recv, tmax, nil
+}
+
+// Close announces a clean shutdown to every peer and tears the mesh down.
+// Call it only after the local rank has finished communicating (after
+// World.Run); peers that are still mid-operation with this rank would
+// otherwise see the close as a death.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closing {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closing = true
+	aborted := t.abortErr != nil
+	t.mu.Unlock()
+
+	bye := &Frame{Op: OpBye, Src: uint32(t.rank)}
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		if !aborted {
+			p.writeFrame(bye) // best effort
+		}
+		p.conn.Close()
+	}
+	t.readers.Wait()
+	return nil
+}
+
+// closeConns tears down whatever connections a failed bootstrap left.
+func (t *TCP) closeConns() {
+	for _, p := range t.peers {
+		if p != nil {
+			p.conn.Close()
+		}
+	}
+}

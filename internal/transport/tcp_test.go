@@ -1,0 +1,295 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startMesh brings up a size-rank TCP world inside this one test process:
+// rank 0 listens on loopback, the other ranks dial concurrently. Transports
+// are closed at test cleanup.
+func startMesh(t *testing.T, size int) []*TCP {
+	t.Helper()
+	b, err := ListenTCP(TCPConfig{Addr: "127.0.0.1:0", Rank: 0, Size: size, BootstrapTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs := make([]*TCP, size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 1; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			trs[r], errs[r] = NewTCP(TCPConfig{Addr: b.Addr(), Rank: r, Size: size, BootstrapTimeout: 30 * time.Second})
+		}(r)
+	}
+	trs[0], errs[0] = b.Accept()
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d bootstrap: %v", r, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, tr := range trs {
+			if tr != nil {
+				tr.Close()
+			}
+		}
+	})
+	return trs
+}
+
+func TestTCPBootstrapAndProperties(t *testing.T) {
+	const size = 4
+	trs := startMesh(t, size)
+	for r, tr := range trs {
+		if tr.Size() != size {
+			t.Fatalf("rank %d: size %d", r, tr.Size())
+		}
+		if !tr.Wall() {
+			t.Fatalf("rank %d: TCP transport must be wall-clock", r)
+		}
+		locals := tr.LocalRanks()
+		if len(locals) != 1 || locals[0] != r {
+			t.Fatalf("rank %d: local ranks %v", r, locals)
+		}
+		if got := tr.Endpoint(r).Rank(); got != r {
+			t.Fatalf("endpoint rank %d, want %d", got, r)
+		}
+	}
+}
+
+func TestTCPExchange(t *testing.T) {
+	const size = 3
+	trs := startMesh(t, size)
+	var wg sync.WaitGroup
+	fail := make(chan string, size)
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ep := trs[r].Endpoint(r)
+			for round := 0; round < 10; round++ {
+				send := make([][]byte, size)
+				for dst := range send {
+					send[dst] = []byte(fmt.Sprintf("r%d->%d#%d", r, dst, round))
+				}
+				recv, _, err := ep.Exchange(send, float64(round))
+				if err != nil {
+					fail <- fmt.Sprintf("rank %d round %d: %v", r, round, err)
+					return
+				}
+				for src := range recv {
+					want := fmt.Sprintf("r%d->%d#%d", src, r, round)
+					if string(recv[src]) != want {
+						fail <- fmt.Sprintf("rank %d round %d src %d: got %q want %q", r, round, src, recv[src], want)
+						return
+					}
+				}
+			}
+			// A nil send is a pure barrier.
+			if _, _, err := ep.Exchange(nil, 99); err != nil {
+				fail <- fmt.Sprintf("rank %d barrier: %v", r, err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+func TestTCPExchangeReportsTmax(t *testing.T) {
+	const size = 3
+	trs := startMesh(t, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ep := trs[r].Endpoint(r)
+			_, tmax, err := ep.Exchange(nil, float64(10+r))
+			if err != nil {
+				t.Errorf("rank %d: %v", r, err)
+				return
+			}
+			if tmax != float64(10+size-1) {
+				t.Errorf("rank %d: tmax %v, want %v", r, tmax, float64(10+size-1))
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestTCPP2P(t *testing.T) {
+	const size = 3
+	trs := startMesh(t, size)
+	payload := bytes.Repeat([]byte("abc"), 1000)
+	// rank 1 -> rank 0 (remote), rank 2 -> rank 2 (self).
+	if err := trs[1].Endpoint(1).Send(0, 7, payload, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	m, err := trs[0].Endpoint(0).Recv(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Src != 1 || m.Tag != 7 || !bytes.Equal(m.Data, payload) || m.Time != 1.0 {
+		t.Fatalf("got %+v", m)
+	}
+	if err := trs[2].Endpoint(2).Send(2, 9, []byte("self"), 2.0); err != nil {
+		t.Fatal(err)
+	}
+	m2, ok, err := trs[2].Endpoint(2).TryRecv(AnySource, AnyTag)
+	if err != nil || !ok {
+		t.Fatalf("TryRecv: %v %v", ok, err)
+	}
+	if m2.Src != 2 || m2.Tag != 9 || string(m2.Data) != "self" {
+		t.Fatalf("got %+v", m2)
+	}
+	// Nothing else pending.
+	if _, ok, _ := trs[0].Endpoint(0).TryRecv(AnySource, AnyTag); ok {
+		t.Fatal("unexpected pending message")
+	}
+}
+
+func TestTCPAbortPropagatesToPeers(t *testing.T) {
+	const size = 3
+	trs := startMesh(t, size)
+	// Ranks 0 and 2 park in blocking operations that can never complete.
+	results := make(chan error, 2)
+	go func() {
+		_, err := trs[0].Endpoint(0).Recv(1, 5)
+		results <- err
+	}()
+	go func() {
+		_, _, err := trs[2].Endpoint(2).Exchange(nil, 0)
+		results <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cause := fmt.Errorf("%w: rank 1 gave up", ErrAborted)
+	trs[1].Abort(cause)
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-results:
+			if !errors.Is(err, ErrAborted) {
+				t.Fatalf("parked op returned %v, want ErrAborted", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("parked operation not released by remote abort")
+		}
+	}
+	// Subsequent operations fail too, on every rank.
+	for r, tr := range trs {
+		if _, _, err := tr.Endpoint(r).Exchange(nil, 0); !errors.Is(err, ErrAborted) {
+			t.Fatalf("rank %d post-abort exchange: %v", r, err)
+		}
+	}
+}
+
+func TestTCPPeerDeathSurfacesErrAborted(t *testing.T) {
+	const size = 3
+	trs := startMesh(t, size)
+	// Rank 0 parks in a recv that will never be matched.
+	done := make(chan error, 1)
+	go func() {
+		_, err := trs[0].Endpoint(0).Recv(2, 1)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	// Rank 2 dies abruptly: connections drop with no Bye. In-process stand-in
+	// for a killed worker process.
+	for _, p := range trs[2].peers {
+		if p != nil {
+			p.conn.Close()
+		}
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("recv returned %v, want ErrAborted", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer death did not release parked recv")
+	}
+	trs[2] = nil // already dead; Cleanup must not double-close
+}
+
+func TestTCPSPMDSeqMismatch(t *testing.T) {
+	const size = 2
+	trs := startMesh(t, size)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var err0, err1 error
+	go func() {
+		defer wg.Done()
+		ep := trs[0].Endpoint(0)
+		// Rank 0 runs two exchanges; rank 1 only one: the second must not
+		// silently mismatch.
+		_, _, err0 = ep.Exchange(nil, 0)
+		if err0 == nil {
+			_, _, err0 = ep.Exchange(nil, 1)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		ep := trs[1].Endpoint(1)
+		_, _, err1 = ep.Exchange(nil, 0)
+		if err1 == nil {
+			// Desynchronize: a p2p send consumed where a collective is due is
+			// the classic SPMD violation.
+			err1 = ep.Send(0, 3, []byte("oops"), 2)
+		}
+	}()
+	// Give the mismatch a moment to surface, then abort so nothing hangs.
+	time.Sleep(200 * time.Millisecond)
+	trs[0].Abort(fmt.Errorf("%w: test cleanup", ErrAborted))
+	wg.Wait()
+	// The first exchange must have succeeded on both ranks.
+	if err1 != nil {
+		t.Fatalf("rank 1: %v", err1)
+	}
+}
+
+func TestTCPConfigValidation(t *testing.T) {
+	bad := []TCPConfig{
+		{Addr: "", Rank: 0, Size: 2},
+		{Addr: "x:1", Rank: -1, Size: 2},
+		{Addr: "x:1", Rank: 2, Size: 2},
+		{Addr: "x:1", Rank: 0, Size: 0},
+	}
+	for _, cfg := range bad {
+		if err := cfg.withDefaults().validate(); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := NewTCP(TCPConfig{Addr: "127.0.0.1:1", Rank: 3, Size: 2}); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+}
+
+func TestTCPCleanCloseIsNotAbort(t *testing.T) {
+	const size = 2
+	trs := startMesh(t, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if _, _, err := trs[r].Endpoint(r).Exchange(nil, 0); err != nil {
+				t.Errorf("rank %d: %v", r, err)
+			}
+			if err := trs[r].Close(); err != nil {
+				t.Errorf("rank %d close: %v", r, err)
+			}
+		}(r)
+	}
+	wg.Wait()
+}

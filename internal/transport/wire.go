@@ -1,0 +1,253 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Wire format. Every connection starts with a fixed-size handshake in each
+// direction (magic, protocol version, world size, rank, advertised listen
+// address), after which the stream is a sequence of length-prefixed frames:
+//
+//	[u32 length][u8 op][u32 src][i32 tag][u64 seq][f64 time][payload]
+//
+// length counts everything after itself (header + payload), all integers are
+// big-endian, and time is an IEEE-754 bit pattern. src names the sending
+// rank, tag is the point-to-point tag (OpP2P only), seq is the collective
+// sequence number (OpExchange only; both sides count their collective calls,
+// so a mismatch means the SPMD contract was broken).
+const (
+	// Magic identifies a Mimir transport connection ("MIMR").
+	Magic = 0x4D494D52
+	// Version is the wire protocol version; both sides must match exactly.
+	Version = 1
+
+	// frameHeaderLen is the encoded size of op+src+tag+seq+time.
+	frameHeaderLen = 1 + 4 + 4 + 8 + 8
+	// MaxFrameSize bounds length so corrupted or hostile length prefixes
+	// cannot trigger huge allocations.
+	MaxFrameSize = 1 << 30
+)
+
+// Frame operations.
+const (
+	// OpP2P carries one tagged point-to-point message.
+	OpP2P byte = 1
+	// OpExchange carries this rank's contribution to collective call seq.
+	OpExchange byte = 2
+	// OpAbort poisons the receiver's world; the payload is the cause.
+	OpAbort byte = 3
+	// OpBye announces a clean shutdown: the subsequent EOF on this
+	// connection is not a peer death.
+	OpBye byte = 4
+	// OpTable is the bootstrap address table rank 0 sends each worker.
+	OpTable byte = 5
+
+	opMax = OpTable
+)
+
+// ErrBadFrame is wrapped by every frame decoding failure.
+var ErrBadFrame = errors.New("transport: bad frame")
+
+// Frame is one wire message.
+type Frame struct {
+	Op   byte
+	Src  uint32
+	Tag  int32
+	Seq  uint64
+	Time float64
+	Data []byte
+}
+
+// AppendFrame appends the encoding of f to dst and returns the result.
+func AppendFrame(dst []byte, f *Frame) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(frameHeaderLen+len(f.Data)))
+	dst = append(dst, f.Op)
+	dst = binary.BigEndian.AppendUint32(dst, f.Src)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(f.Tag))
+	dst = binary.BigEndian.AppendUint64(dst, f.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(f.Time))
+	return append(dst, f.Data...)
+}
+
+// DecodeFrame decodes one frame from the front of b, returning it and the
+// number of bytes consumed. Truncated or corrupted input yields an error
+// wrapping ErrBadFrame, never a panic.
+func DecodeFrame(b []byte) (*Frame, int, error) {
+	if len(b) < 4 {
+		return nil, 0, fmt.Errorf("%w: truncated length prefix (%d bytes)", ErrBadFrame, len(b))
+	}
+	n := binary.BigEndian.Uint32(b)
+	if n < frameHeaderLen {
+		return nil, 0, fmt.Errorf("%w: length %d below header size %d", ErrBadFrame, n, frameHeaderLen)
+	}
+	if n > MaxFrameSize {
+		return nil, 0, fmt.Errorf("%w: length %d exceeds limit %d", ErrBadFrame, n, MaxFrameSize)
+	}
+	if len(b) < 4+int(n) {
+		return nil, 0, fmt.Errorf("%w: truncated frame (%d of %d bytes)", ErrBadFrame, len(b)-4, n)
+	}
+	f, err := parseFrameBody(b[4 : 4+int(n)])
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, 4 + int(n), nil
+}
+
+// ReadFrame reads one frame from r.
+func ReadFrame(r io.Reader) (*Frame, error) {
+	var pre [4]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(pre[:])
+	if n < frameHeaderLen {
+		return nil, fmt.Errorf("%w: length %d below header size %d", ErrBadFrame, n, frameHeaderLen)
+	}
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("%w: length %d exceeds limit %d", ErrBadFrame, n, MaxFrameSize)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("%w: truncated frame body: %v", ErrBadFrame, err)
+	}
+	return parseFrameBody(body)
+}
+
+// parseFrameBody decodes the post-length portion of a frame. body is owned
+// by the caller and the payload is aliased, not copied (ReadFrame passes a
+// fresh buffer; DecodeFrame documents aliasing via the consumed count).
+func parseFrameBody(body []byte) (*Frame, error) {
+	f := &Frame{
+		Op:   body[0],
+		Src:  binary.BigEndian.Uint32(body[1:]),
+		Tag:  int32(binary.BigEndian.Uint32(body[5:])),
+		Seq:  binary.BigEndian.Uint64(body[9:]),
+		Time: math.Float64frombits(binary.BigEndian.Uint64(body[17:])),
+	}
+	if f.Op == 0 || f.Op > opMax {
+		return nil, fmt.Errorf("%w: unknown op %d", ErrBadFrame, f.Op)
+	}
+	if len(body) > frameHeaderLen {
+		f.Data = body[frameHeaderLen:]
+	}
+	return f, nil
+}
+
+// WriteFrame writes f to w (typically a buffered writer; the caller
+// flushes).
+func WriteFrame(w io.Writer, f *Frame) error {
+	buf := make([]byte, 0, 4+frameHeaderLen)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(frameHeaderLen+len(f.Data)))
+	buf = append(buf, f.Op)
+	buf = binary.BigEndian.AppendUint32(buf, f.Src)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(f.Tag))
+	buf = binary.BigEndian.AppendUint64(buf, f.Seq)
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(f.Time))
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	if len(f.Data) > 0 {
+		if _, err := w.Write(f.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hello is the per-connection handshake. The dialer sends its hello first,
+// the acceptor validates it and replies with its own. Addr is the dialer's
+// advertised mesh listener ("" on mesh connections, where the listener is
+// already known).
+type hello struct {
+	Rank, Size int
+	Addr       string
+}
+
+const maxHelloAddr = 1 << 10
+
+func writeHello(w io.Writer, h hello) error {
+	if len(h.Addr) > maxHelloAddr {
+		return fmt.Errorf("transport: advertised address of %d bytes exceeds %d", len(h.Addr), maxHelloAddr)
+	}
+	buf := make([]byte, 0, 15+len(h.Addr))
+	buf = binary.BigEndian.AppendUint32(buf, Magic)
+	buf = append(buf, Version)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(h.Rank))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(h.Size))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(h.Addr)))
+	buf = append(buf, h.Addr...)
+	_, err := w.Write(buf)
+	return err
+}
+
+func readHello(r io.Reader) (hello, error) {
+	var fixed [15]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return hello{}, fmt.Errorf("transport: handshake read: %w", err)
+	}
+	if m := binary.BigEndian.Uint32(fixed[:]); m != Magic {
+		return hello{}, fmt.Errorf("transport: bad magic %#x (want %#x)", m, Magic)
+	}
+	if v := fixed[4]; v != Version {
+		return hello{}, fmt.Errorf("transport: protocol version %d, want %d", v, Version)
+	}
+	h := hello{
+		Rank: int(binary.BigEndian.Uint32(fixed[5:])),
+		Size: int(binary.BigEndian.Uint32(fixed[9:])),
+	}
+	alen := int(binary.BigEndian.Uint16(fixed[13:]))
+	if alen > maxHelloAddr {
+		return hello{}, fmt.Errorf("transport: advertised address of %d bytes exceeds %d", alen, maxHelloAddr)
+	}
+	if alen > 0 {
+		addr := make([]byte, alen)
+		if _, err := io.ReadFull(r, addr); err != nil {
+			return hello{}, fmt.Errorf("transport: handshake address read: %w", err)
+		}
+		h.Addr = string(addr)
+	}
+	return h, nil
+}
+
+// encodeTable packs the bootstrap address table into an OpTable payload:
+// u32 count, then per address u16 length + bytes.
+func encodeTable(addrs []string) []byte {
+	buf := binary.BigEndian.AppendUint32(nil, uint32(len(addrs)))
+	for _, a := range addrs {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(a)))
+		buf = append(buf, a...)
+	}
+	return buf
+}
+
+func decodeTable(b []byte) ([]string, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: truncated address table", ErrBadFrame)
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	if n > 1<<20 {
+		return nil, fmt.Errorf("%w: address table of %d entries", ErrBadFrame, n)
+	}
+	b = b[4:]
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 2 {
+			return nil, fmt.Errorf("%w: truncated address table entry %d", ErrBadFrame, i)
+		}
+		alen := int(binary.BigEndian.Uint16(b))
+		b = b[2:]
+		if len(b) < alen {
+			return nil, fmt.Errorf("%w: truncated address %d (%d of %d bytes)", ErrBadFrame, i, len(b), alen)
+		}
+		addrs = append(addrs, string(b[:alen]))
+		b = b[alen:]
+	}
+	return addrs, nil
+}

@@ -23,6 +23,8 @@
 package mimir
 
 import (
+	"time"
+
 	"mimir/internal/core"
 	"mimir/internal/kvbuf"
 	"mimir/internal/mem"
@@ -31,6 +33,7 @@ import (
 	"mimir/internal/platform"
 	"mimir/internal/simtime"
 	"mimir/internal/spill"
+	"mimir/internal/transport"
 )
 
 // Core MapReduce API (see internal/core).
@@ -95,7 +98,55 @@ type (
 	World = mpi.World
 	// Comm is one rank's communicator.
 	Comm = mpi.Comm
+	// TCPChildren tracks the worker processes SpawnTCPWorld launched.
+	TCPChildren = transport.Children
 )
+
+// ErrAborted is the sentinel every rank's pending communication returns once
+// any rank aborts the world — including, over the TCP transport, when a
+// worker process dies.
+var ErrAborted = mpi.ErrAborted
+
+// SpawnTCPWorld makes this process rank 0 of a size-rank multi-process world
+// and launches size-1 copies of this binary on the loopback interface as the
+// other ranks. The copies must call TCPWorldFromEnv early and run the same
+// job. Ranks run on wall-clock time; byte movement is real TCP. Close the
+// world when done, then Wait the children.
+func SpawnTCPWorld(size int) (*World, *TCPChildren, error) {
+	tr, children, err := transport.SpawnLocal(size, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return mpi.NewWorld(mpi.Config{Transport: tr}), children, nil
+}
+
+// TCPWorldFromEnv joins the multi-process world a parent SpawnTCPWorld (or
+// any launcher setting the MIMIR_TCP_* environment) created. The second
+// return is false when this process was not launched as a worker.
+func TCPWorldFromEnv() (*World, bool, error) {
+	cfg, ok, err := transport.FromEnv()
+	if !ok || err != nil {
+		return nil, ok, err
+	}
+	tr, err := transport.NewTCP(cfg)
+	if err != nil {
+		return nil, true, err
+	}
+	return mpi.NewWorld(mpi.Config{Transport: tr}), true, nil
+}
+
+// NewTCPWorld attaches this process to a multi-process world as the given
+// rank: rank 0 listens on addr (e.g. ":9000") and blocks until the size-1
+// workers dial in, every other rank dials addr — the explicit-rendezvous
+// path for launches across machines or terminals. A successful return means
+// the full mesh is up.
+func NewTCPWorld(addr string, rank, size int, deadline time.Duration) (*World, error) {
+	tr, err := transport.NewTCP(transport.TCPConfig{Addr: addr, Rank: rank, Size: size, Deadline: deadline})
+	if err != nil {
+		return nil, err
+	}
+	return mpi.NewWorld(mpi.Config{Transport: tr}), nil
+}
 
 // KV encoding (see internal/kvbuf).
 type (

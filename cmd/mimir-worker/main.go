@@ -46,6 +46,10 @@ func main() {
 		inproc  = flag.Int("inproc", 0, "run n in-process ranks instead of TCP (reference mode)")
 		timeout = flag.Duration("timeout", 30*time.Second, "bootstrap rendezvous timeout")
 
+		policyArg = flag.String("fault-policy", "abort", "link fault handling: abort (fail-stop) or retry (reconnect + replay)")
+		faults    = flag.String("faults", "", "deterministic fault-injection spec, e.g. seed:42,kill:rank2@round3")
+		window    = flag.Duration("reconnect-window", 0, "with -fault-policy retry: give up on an unreachable peer after this long (0 = default 10s)")
+
 		bytes   = flag.Int64("bytes", 1<<20, "total corpus bytes across all ranks")
 		distArg = flag.String("dist", "uniform", "corpus distribution: uniform or wikipedia")
 		seed    = flag.Uint64("seed", 42, "corpus seed")
@@ -72,8 +76,20 @@ func main() {
 		log.Fatalf("unknown -dist %q (want uniform or wikipedia)", *distArg)
 	}
 
+	policy, err := mimir.ParseFaultPolicy(*policyArg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := mimir.TCPOptions{
+		Policy:          policy,
+		ReconnectWindow: *window,
+		Deadline:        *timeout,
+		Faults:          *faults,
+	}
+
 	// A process re-executed by -spawn joins the parent's world via the
-	// environment, whatever flags it was copied with.
+	// environment, whatever flags it was copied with — including the
+	// parent's fault policy and fault-injection spec.
 	if world, ok, err := mimir.TCPWorldFromEnv(); ok {
 		if err != nil {
 			log.Fatal(err)
@@ -84,7 +100,7 @@ func main() {
 
 	switch {
 	case *spawn > 0:
-		world, children, err := mimir.SpawnTCPWorld(*spawn)
+		world, children, err := mimir.SpawnTCPWorldOpts(*spawn, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -96,7 +112,7 @@ func main() {
 		if *size < 2 {
 			log.Fatal("-listen needs -size >= 2")
 		}
-		world, err := mimir.NewTCPWorld(*listen, 0, *size, *timeout)
+		world, err := mimir.NewTCPWorldOpts(*listen, 0, *size, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -105,7 +121,7 @@ func main() {
 		if *size < 2 || *rank < 1 {
 			log.Fatal("-join needs -rank >= 1 and -size >= 2")
 		}
-		world, err := mimir.NewTCPWorld(*join, *rank, *size, *timeout)
+		world, err := mimir.NewTCPWorldOpts(*join, *rank, *size, opts)
 		if err != nil {
 			log.Fatal(err)
 		}

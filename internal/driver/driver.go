@@ -93,6 +93,18 @@ func WordCount(world *mpi.World, cfg WordCountConfig, sum *metrics.Summary) ([]b
 	if err != nil {
 		return nil, err
 	}
+	// Transports that recover from faults report how hard they had to work;
+	// a run that needed reconnects still produced byte-identical output, and
+	// these counters are the proof it wasn't free.
+	if sum != nil {
+		if fs, ok := world.FaultStats(); ok {
+			sum.Add("net-link-failures", float64(fs.LinkFailures))
+			sum.Add("net-reconnects", float64(fs.Reconnects))
+			sum.Add("net-dial-retries", float64(fs.DialRetries))
+			sum.Add("net-replayed-frames", float64(fs.ReplayedFrames))
+			sum.Add("net-replayed-bytes", float64(fs.ReplayedBytes))
+		}
+	}
 	if out == nil && len(world.LocalRanks()) > 0 && world.LocalRanks()[0] == 0 {
 		out = []byte{}
 	}

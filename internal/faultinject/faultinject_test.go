@@ -1,0 +1,280 @@
+package faultinject
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"mimir/internal/transport"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"seed:42",
+		"seed:42,kill:rank2@round3",
+		"seed:42,kill:rank2@round3,reset:all@frame2",
+		"seed:7,chaos:0.01",
+		"corrupt:rank1@frame5,partial:rank0@frame3,delay:rank2@frame1",
+		"delay:25ms,delay:all@frame0",
+	}
+	for _, s := range cases {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", s, err)
+		}
+		again, err := ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(%q -> %q): %v", s, spec.String(), err)
+		}
+		if spec.String() != again.String() {
+			t.Fatalf("%q: %q does not round-trip (got %q)", s, spec.String(), again.String())
+		}
+	}
+	spec, err := ParseSpec(" seed:9 , reset:rank1@frame0 ")
+	if err != nil || spec.Seed != 9 || len(spec.Events) != 1 {
+		t.Fatalf("whitespace spec: %+v, %v", spec, err)
+	}
+	if spec.Events[0] != (Event{Kind: Reset, Rank: 1, Frame: 0}) {
+		t.Fatalf("event = %+v", spec.Events[0])
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, s := range []string{
+		"bogus",
+		"frob:rank1@frame2",
+		"seed:x",
+		"chaos:1.5",
+		"chaos:-1",
+		"delay:0s",
+		"kill:all@round2",
+		"kill:rank1@frame2",
+		"reset:rank1@round2",
+		"reset:rankX@frame2",
+		"reset:rank1",
+	} {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) succeeded", s)
+		}
+	}
+}
+
+// pipeFrames sets up a wrapped pipe and a decoder on the far end.
+func pipeFrames(t *testing.T, in *Injector, peer int) (net.Conn, <-chan error) {
+	t.Helper()
+	client, server := net.Pipe()
+	t.Cleanup(func() { client.Close(); server.Close() })
+	wrapped := in.WrapConn(peer, client)
+	errs := make(chan error, 64)
+	go func() {
+		for {
+			_, err := transport.ReadFrame(server)
+			errs <- err
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return wrapped, errs
+}
+
+// sendFrame mimics the transport's write path: BeginFrame, then the encoded
+// bytes.
+func sendFrame(conn net.Conn, f *transport.Frame) error {
+	if fm, ok := conn.(transport.FrameMarker); ok {
+		if err := fm.BeginFrame(f.Op, transport.HeaderLen+len(f.Data)); err != nil {
+			return err
+		}
+	}
+	buf := transport.AppendFrame(nil, f)
+	_, err := conn.Write(buf)
+	return err
+}
+
+func TestInjectedReset(t *testing.T) {
+	spec, err := ParseSpec("reset:rank0@frame1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(spec, 0)
+	conn, errs := pipeFrames(t, in, 1)
+	f := &transport.Frame{Op: transport.OpP2P, Src: 0, Data: []byte("ok")}
+	if err := sendFrame(conn, f); err != nil {
+		t.Fatalf("frame 0: %v", err)
+	}
+	if err := <-errs; err != nil {
+		t.Fatalf("receiving frame 0: %v", err)
+	}
+	if err := sendFrame(conn, f); err == nil {
+		t.Fatal("frame 1 was not reset")
+	}
+	if err := <-errs; err == nil {
+		t.Fatal("receiver did not observe the reset")
+	}
+	if s := in.Stats(); s.Resets != 1 {
+		t.Fatalf("stats = %+v, want 1 reset", s)
+	}
+	// The event is one-shot: a second injector pass on a new conn for the
+	// same peer must not fire it again.
+	conn2, errs2 := pipeFrames(t, in, 1)
+	for i := 0; i < 4; i++ {
+		if err := sendFrame(conn2, f); err != nil {
+			t.Fatalf("post-reset frame %d: %v", i, err)
+		}
+		if err := <-errs2; err != nil {
+			t.Fatalf("post-reset recv %d: %v", i, err)
+		}
+	}
+}
+
+func TestInjectedCorruptionCaughtByCRC(t *testing.T) {
+	spec, err := ParseSpec("seed:3,corrupt:rank0@frame0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(spec, 0)
+	conn, errs := pipeFrames(t, in, 2)
+	f := &transport.Frame{Op: transport.OpExchange, Src: 0, Seq: 5, Data: []byte("payload bytes")}
+	if err := sendFrame(conn, f); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if err := <-errs; !errors.Is(err, transport.ErrBadFrame) {
+		t.Fatalf("corrupted frame decoded to err=%v, want ErrBadFrame", err)
+	}
+	if s := in.Stats(); s.Corruptions != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestInjectedPartialWrite(t *testing.T) {
+	spec, err := ParseSpec("seed:8,partial:all@frame2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(spec, 1)
+	conn, errs := pipeFrames(t, in, 0)
+	f := &transport.Frame{Op: transport.OpP2P, Src: 1, Data: []byte("some payload here")}
+	for i := 0; i < 2; i++ {
+		if err := sendFrame(conn, f); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if err := <-errs; err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+	}
+	if err := sendFrame(conn, f); err == nil {
+		t.Fatal("partial write reported success")
+	}
+	if err := <-errs; err == nil {
+		t.Fatal("receiver decoded a partial frame")
+	}
+}
+
+func TestInjectedDelay(t *testing.T) {
+	spec, err := ParseSpec("delay:30ms,delay:rank0@frame0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(spec, 0)
+	conn, errs := pipeFrames(t, in, 1)
+	start := time.Now()
+	if err := sendFrame(conn, &transport.Frame{Op: transport.OpP2P, Src: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("frame arrived after %v, want >= 30ms", d)
+	}
+}
+
+// TestChaosDeterminism drives two injectors with the same seed through the
+// same frame sequence and requires identical fault decisions.
+func TestChaosDeterminism(t *testing.T) {
+	spec, err := ParseSpec("seed:99,chaos:0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []string {
+		in := New(spec, 0)
+		var got []string
+		for peer := 1; peer <= 2; peer++ {
+			conn := in.WrapConn(peer, nopConn{})
+			fc := conn.(*faultConn)
+			for frame := 0; frame < 50; frame++ {
+				kind, ok := in.nextFault(peer, uint64(frame), &fc.rng)
+				if ok {
+					got = append(got, kind.String())
+				} else {
+					got = append(got, "-")
+				}
+			}
+		}
+		return got
+	}
+	a, b := run(), run()
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Fatalf("chaos schedule is not deterministic:\n%v\n%v", a, b)
+	}
+	fired := 0
+	for _, k := range a {
+		if k != "-" {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("chaos 0.3 fired %d of %d frames", fired, len(a))
+	}
+}
+
+type nopConn struct{ net.Conn }
+
+func (nopConn) Write(b []byte) (int, error) { return len(b), nil }
+func (nopConn) Close() error                { return nil }
+
+// TestKillDecorator kills rank 1 of a local world at round 2 and checks the
+// dying rank gets the injected cause while the survivor sees ErrAborted.
+func TestKillDecorator(t *testing.T) {
+	spec, err := ParseSpec("kill:rank1@round2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(spec, 1)
+	tr := in.Wrap(transport.NewLocal(2))
+	errs := make([]error, 2)
+	done := make(chan int, 2)
+	for r := 0; r < 2; r++ {
+		go func(r int) {
+			ep := tr.Endpoint(r)
+			for round := 0; ; round++ {
+				if _, _, err := ep.Exchange(nil, 0); err != nil {
+					errs[r] = err
+					done <- r
+					return
+				}
+			}
+		}(r)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("kill did not terminate the world")
+		}
+	}
+	for r, err := range errs {
+		if !errors.Is(err, transport.ErrAborted) {
+			t.Fatalf("rank %d: %v, want ErrAborted", r, err)
+		}
+	}
+	if !strings.Contains(errs[1].Error(), "killed rank 1") {
+		t.Fatalf("dying rank's error: %v", errs[1])
+	}
+	if s := in.Stats(); s.Kills != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

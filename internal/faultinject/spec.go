@@ -1,0 +1,230 @@
+// Package faultinject applies a deterministic, seed-driven fault schedule
+// to a transport: connection resets, partial writes, byte-level corruption,
+// delays, and one-shot process kills, at chosen frame and collective-round
+// boundaries. The same Spec on the same workload produces the same faults,
+// so a chaos failure found in CI replays locally from nothing but the seed
+// string.
+//
+// A Spec is shared by every rank of the world (it travels to worker
+// processes as a flag / environment string); each process builds its own
+// Injector from the Spec and its rank, and the Injector decides which
+// scheduled events that rank acts out. Wire-level faults hook into the TCP
+// transport through TCPConfig.WrapConn; process kills hook into any
+// transport through the Wrap decorator.
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind is a wire-level fault kind.
+type Kind int
+
+const (
+	// Reset closes the connection instead of writing the frame.
+	Reset Kind = iota
+	// Corrupt flips one byte of the frame (never the length prefix, whose
+	// corruption the CRC cannot guarantee to catch — see wire.go; the CRC
+	// detects any single corrupted byte after it).
+	Corrupt
+	// Partial writes roughly half of the frame, then closes the connection.
+	Partial
+	// Delay sleeps for the Spec's Delay before writing the frame.
+	Delay
+)
+
+var kindNames = map[Kind]string{Reset: "reset", Corrupt: "corrupt", Partial: "partial", Delay: "delay"}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// AllRanks as an Event or Kill rank means every rank acts the event out.
+const AllRanks = -1
+
+// Event schedules one wire-level fault: rank Rank (or every rank) applies
+// Kind to the Frame-th data frame (0-based, counted per link) it writes on
+// each of its links. Each event fires at most once per link.
+type Event struct {
+	Kind  Kind
+	Rank  int
+	Frame uint64
+}
+
+// Kill schedules a one-shot process death: rank Rank severs all its
+// connections in place of its Round-th collective call (0-based, counted
+// from the first Exchange after the world is up).
+type Kill struct {
+	Rank  int
+	Round uint64
+}
+
+// Spec is a complete fault schedule.
+type Spec struct {
+	// Seed drives the deterministic jitter and the chaos mode.
+	Seed uint64
+	// Chaos, when positive, is a per-frame probability of a random fault
+	// (kind picked by the seeded generator) on top of the scheduled Events.
+	Chaos float64
+	// Delay is the duration of Delay faults. 0 means 5ms.
+	Delay time.Duration
+	// Events are the scheduled wire-level faults.
+	Events []Event
+	// Kills are the scheduled process deaths.
+	Kills []Kill
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Delay <= 0 {
+		s.Delay = 5 * time.Millisecond
+	}
+	return s
+}
+
+// Empty reports whether the spec schedules nothing at all.
+func (s Spec) Empty() bool {
+	return s.Chaos == 0 && len(s.Events) == 0 && len(s.Kills) == 0
+}
+
+// String renders the spec in the grammar ParseSpec accepts.
+func (s Spec) String() string {
+	var parts []string
+	if s.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed:%d", s.Seed))
+	}
+	if s.Chaos > 0 {
+		parts = append(parts, fmt.Sprintf("chaos:%g", s.Chaos))
+	}
+	if s.Delay > 0 && s.Delay != 5*time.Millisecond {
+		parts = append(parts, fmt.Sprintf("delay:%s", s.Delay))
+	}
+	for _, e := range s.Events {
+		parts = append(parts, fmt.Sprintf("%s:%s@frame%d", e.Kind, rankName(e.Rank), e.Frame))
+	}
+	for _, k := range s.Kills {
+		parts = append(parts, fmt.Sprintf("kill:%s@round%d", rankName(k.Rank), k.Round))
+	}
+	return strings.Join(parts, ",")
+}
+
+func rankName(r int) string {
+	if r == AllRanks {
+		return "all"
+	}
+	return "rank" + strconv.Itoa(r)
+}
+
+// ParseSpec parses the -faults flag grammar: comma-separated entries, each
+// one of
+//
+//	seed:N                       — generator seed
+//	chaos:P                      — per-frame random fault probability
+//	delay:DUR                    — duration of delay faults (e.g. 5ms)
+//	reset|corrupt|partial|delay:rankR@frameF — scheduled wire fault
+//	kill:rankR@roundN            — scheduled process death
+//
+// where rankR is rankN or "all" (kills require a specific rank). Example:
+//
+//	seed:42,kill:rank2@round3,reset:all@frame2
+//
+// The empty string parses to the empty Spec.
+func ParseSpec(s string) (Spec, error) {
+	var spec Spec
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return spec, nil
+	}
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		key, val, ok := strings.Cut(entry, ":")
+		if !ok {
+			return Spec{}, fmt.Errorf("faultinject: %q is not key:value", entry)
+		}
+		switch {
+		case key == "seed":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faultinject: bad seed %q: %v", val, err)
+			}
+			spec.Seed = n
+		case key == "chaos":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return Spec{}, fmt.Errorf("faultinject: chaos probability %q not in [0,1]", val)
+			}
+			spec.Chaos = p
+		case key == "delay" && !strings.Contains(val, "@"):
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return Spec{}, fmt.Errorf("faultinject: bad delay duration %q", val)
+			}
+			spec.Delay = d
+		case key == "kill":
+			rank, at, err := parseTarget(val, "round")
+			if err != nil {
+				return Spec{}, err
+			}
+			if rank == AllRanks {
+				return Spec{}, fmt.Errorf("faultinject: kill:%s — killing all ranks needs a specific rank", val)
+			}
+			spec.Kills = append(spec.Kills, Kill{Rank: rank, Round: at})
+		default:
+			var kind Kind
+			found := false
+			for k, name := range kindNames {
+				if name == key {
+					kind, found = k, true
+					break
+				}
+			}
+			if !found {
+				return Spec{}, fmt.Errorf("faultinject: unknown fault %q (want seed, chaos, delay, reset, corrupt, partial, or kill)", key)
+			}
+			rank, at, err := parseTarget(val, "frame")
+			if err != nil {
+				return Spec{}, err
+			}
+			spec.Events = append(spec.Events, Event{Kind: kind, Rank: rank, Frame: at})
+		}
+	}
+	// A canonical order makes the schedule independent of entry order.
+	sort.SliceStable(spec.Events, func(i, j int) bool {
+		a, b := spec.Events[i], spec.Events[j]
+		if a.Frame != b.Frame {
+			return a.Frame < b.Frame
+		}
+		return a.Kind < b.Kind
+	})
+	sort.SliceStable(spec.Kills, func(i, j int) bool { return spec.Kills[i].Round < spec.Kills[j].Round })
+	return spec, nil
+}
+
+// parseTarget parses "rankR@frameF" / "all@roundN" style positions.
+func parseTarget(val, posWord string) (rank int, at uint64, err error) {
+	target, pos, ok := strings.Cut(val, "@")
+	if !ok {
+		return 0, 0, fmt.Errorf("faultinject: %q is missing @%sN", val, posWord)
+	}
+	switch {
+	case target == "all":
+		rank = AllRanks
+	case strings.HasPrefix(target, "rank"):
+		n, perr := strconv.Atoi(target[len("rank"):])
+		if perr != nil || n < 0 {
+			return 0, 0, fmt.Errorf("faultinject: bad rank %q", target)
+		}
+		rank = n
+	default:
+		return 0, 0, fmt.Errorf("faultinject: bad target %q (want rankN or all)", target)
+	}
+	if !strings.HasPrefix(pos, posWord) {
+		return 0, 0, fmt.Errorf("faultinject: bad position %q (want %sN)", pos, posWord)
+	}
+	at, err = strconv.ParseUint(pos[len(posWord):], 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("faultinject: bad position %q: %v", pos, err)
+	}
+	return rank, at, nil
+}

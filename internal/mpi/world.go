@@ -33,6 +33,22 @@ import (
 // surviving rank gets when a peer process dies.
 var ErrAborted = transport.ErrAborted
 
+// FaultPolicy selects fail-stop or fail-recover behavior for transport
+// faults; see transport.FaultPolicy. It is configured where the transport
+// is built (transport.TCPConfig.Policy) and surfaced here so runtime users
+// can ask a world how it will behave.
+type FaultPolicy = transport.FaultPolicy
+
+// Fault policies, re-exported for runtime users.
+const (
+	AbortOnFailure = transport.AbortOnFailure
+	RetryTransient = transport.RetryTransient
+)
+
+// FaultStats counts a transport's failure and recovery activity; see
+// transport.FaultStats.
+type FaultStats = transport.FaultStats
+
 // Config describes a world.
 type Config struct {
 	// Size is the number of ranks. Must be >= 1 when Transport is nil;
@@ -156,6 +172,26 @@ func (w *World) Run(f func(*Comm) error) error {
 // Close releases the transport (for TCP: announces a clean shutdown and
 // closes the mesh). Call it when done with the world, after Run.
 func (w *World) Close() error { return w.tr.Close() }
+
+// FaultStats reports the transport's failure/recovery counters. ok is false
+// for transports that do not track faults (e.g. the in-process transport).
+// Safe to call concurrently with Run; the counters are monotonic.
+func (w *World) FaultStats() (FaultStats, bool) {
+	if fr, yes := w.tr.(transport.FaultReporter); yes {
+		return fr.FaultStats(), true
+	}
+	return FaultStats{}, false
+}
+
+// FaultPolicy reports how the transport reacts to link faults. Transports
+// without a configurable policy (e.g. in-process) report AbortOnFailure,
+// which matches their behavior: any failure poisons the world.
+func (w *World) FaultPolicy() FaultPolicy {
+	if pr, ok := w.tr.(transport.PolicyReporter); ok {
+		return pr.Policy()
+	}
+	return AbortOnFailure
+}
 
 // abort terminates all communication in the world with the given cause.
 func (w *World) abort(cause error) {

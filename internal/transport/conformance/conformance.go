@@ -1,0 +1,336 @@
+// Package conformance is the cross-transport contract test: one table of
+// point-to-point, collective, large-payload, and abort scenarios that every
+// transport — Local, TCP, fault-injected TCP — must pass with byte-identical
+// results. A transport that survives this suite is substitutable for any
+// other as far as the runtime (internal/mpi) can observe, which is what lets
+// the experiment harness validate on the local transport and deploy on TCP.
+package conformance
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"mimir/internal/transport"
+)
+
+// WorldSize is the rank count every scenario runs at.
+const WorldSize = 4
+
+// World is one rank's view of a scenario run.
+type World struct {
+	T    transport.Transport
+	Ep   transport.Endpoint
+	Rank int
+	Size int
+}
+
+// Scenario is one SPMD contract check: Run executes on every rank and
+// returns that rank's observable result bytes. Unless ExpectAbort is set,
+// every rank must succeed and the concatenated results are the scenario's
+// digest — compared byte-for-byte across transports by Digests.
+type Scenario struct {
+	Name        string
+	ExpectAbort bool
+	Run         func(w *World) ([]byte, error)
+}
+
+// pattern derives a deterministic payload from its coordinates, so every
+// rank can independently compute what every other rank must have sent.
+func pattern(tag, src, dst, n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	x := uint64(tag)<<48 | uint64(src)<<32 | uint64(dst)<<16 | uint64(n)
+	for i := range out {
+		x += 0x9E3779B97F4A7C15
+		z := (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		out[i] = byte(z ^ (z >> 31))
+	}
+	return out
+}
+
+func checkPattern(got []byte, tag, src, dst, n int) error {
+	if want := pattern(tag, src, dst, n); !bytes.Equal(got, want) {
+		return fmt.Errorf("payload (tag %d, %d->%d): got %d bytes, want %d", tag, src, dst, len(got), n)
+	}
+	return nil
+}
+
+// Scenarios returns the conformance table.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{Name: "exchange-rounds", Run: scExchangeRounds},
+		{Name: "exchange-barrier", Run: scExchangeBarrier},
+		{Name: "exchange-ragged", Run: scExchangeRagged},
+		{Name: "exchange-large", Run: scExchangeLarge},
+		{Name: "p2p-ring", Run: scP2PRing},
+		{Name: "p2p-gather-any", Run: scP2PGatherAny},
+		{Name: "abort-propagates", ExpectAbort: true, Run: scAbort},
+	}
+}
+
+// scExchangeRounds runs several full alltoall rounds, verifies every cell
+// against the pattern the SPMD contract demands, and checks tmax is the
+// maximum clock reading across participants.
+func scExchangeRounds(w *World) ([]byte, error) {
+	var out []byte
+	for round := 0; round < 4; round++ {
+		send := make([][]byte, w.Size)
+		for dst := range send {
+			send[dst] = pattern(round, w.Rank, dst, 64+16*round)
+		}
+		now := float64(10*w.Rank + round)
+		recv, tmax, err := w.Ep.Exchange(send, now)
+		if err != nil {
+			return nil, err
+		}
+		if want := float64(10*(w.Size-1) + round); tmax != want {
+			return nil, fmt.Errorf("round %d: tmax %v, want %v", round, tmax, want)
+		}
+		for src := range recv {
+			if err := checkPattern(recv[src], round, src, w.Rank, 64+16*round); err != nil {
+				return nil, err
+			}
+			out = append(out, recv[src]...)
+		}
+	}
+	return out, nil
+}
+
+// scExchangeBarrier runs a burst of contribution-free exchanges (pure
+// barriers); the result is empty on every rank.
+func scExchangeBarrier(w *World) ([]byte, error) {
+	for i := 0; i < 8; i++ {
+		if _, _, err := w.Ep.Exchange(nil, 0); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+
+// scExchangeRagged mixes empty and non-empty cells in one exchange: empty
+// contributions must arrive as empty, not shift or swallow neighbors.
+func scExchangeRagged(w *World) ([]byte, error) {
+	var out []byte
+	for round := 0; round < 3; round++ {
+		send := make([][]byte, w.Size)
+		for dst := range send {
+			n := 32 * ((w.Rank + dst + round) % 3) // 0, 32, or 64 bytes
+			send[dst] = pattern(100+round, w.Rank, dst, n)
+		}
+		recv, _, err := w.Ep.Exchange(send, 0)
+		if err != nil {
+			return nil, err
+		}
+		for src := range recv {
+			n := 32 * ((src + w.Rank + round) % 3)
+			if err := checkPattern(recv[src], 100+round, src, w.Rank, n); err != nil {
+				return nil, err
+			}
+			out = append(out, recv[src]...)
+			out = append(out, '|')
+		}
+	}
+	return out, nil
+}
+
+// scExchangeLarge moves payloads big enough to span many write chunks (and,
+// under fault injection, to be cut mid-frame and replayed).
+func scExchangeLarge(w *World) ([]byte, error) {
+	const n = 384 << 10
+	send := make([][]byte, w.Size)
+	for dst := range send {
+		send[dst] = pattern(7, w.Rank, dst, n)
+	}
+	recv, _, err := w.Ep.Exchange(send, 0)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.New()
+	for src := range recv {
+		if err := checkPattern(recv[src], 7, src, w.Rank, n); err != nil {
+			return nil, err
+		}
+		sum.Write(recv[src])
+	}
+	return sum.Sum(nil), nil
+}
+
+// scP2PRing circulates tagged messages around the rank ring and checks
+// arrival order per (src, tag).
+func scP2PRing(w *World) ([]byte, error) {
+	right := (w.Rank + 1) % w.Size
+	left := (w.Rank + w.Size - 1) % w.Size
+	var out []byte
+	for i := 0; i < 4; i++ {
+		if err := w.Ep.Send(right, i, pattern(200+i, w.Rank, right, 48), 0); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < 4; i++ {
+		m, err := w.Ep.Recv(left, i)
+		if err != nil {
+			return nil, err
+		}
+		if m.Src != left || m.Tag != i {
+			return nil, fmt.Errorf("recv: got (src %d, tag %d), want (%d, %d)", m.Src, m.Tag, left, i)
+		}
+		if err := checkPattern(m.Data, 200+i, left, w.Rank, 48); err != nil {
+			return nil, err
+		}
+		out = append(out, m.Data...)
+	}
+	if _, _, err := w.Ep.Exchange(nil, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// scP2PGatherAny funnels one message per rank to rank 0 via the AnySource
+// wildcard, then checks TryRecv reports an empty mailbox.
+func scP2PGatherAny(w *World) ([]byte, error) {
+	const tag = 9
+	var out []byte
+	if w.Rank != 0 {
+		if err := w.Ep.Send(0, tag, pattern(300, w.Rank, 0, 40), 0); err != nil {
+			return nil, err
+		}
+	} else {
+		msgs := make([]transport.Message, 0, w.Size-1)
+		for i := 1; i < w.Size; i++ {
+			m, err := w.Ep.Recv(transport.AnySource, tag)
+			if err != nil {
+				return nil, err
+			}
+			msgs = append(msgs, m)
+		}
+		sort.Slice(msgs, func(i, j int) bool { return msgs[i].Src < msgs[j].Src })
+		for _, m := range msgs {
+			if err := checkPattern(m.Data, 300, m.Src, 0, 40); err != nil {
+				return nil, err
+			}
+			out = append(out, m.Data...)
+		}
+		if _, ok, err := w.Ep.TryRecv(transport.AnySource, transport.AnyTag); err != nil {
+			return nil, err
+		} else if ok {
+			return nil, errors.New("mailbox not empty after gather")
+		}
+	}
+	if _, _, err := w.Ep.Exchange(nil, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// scAbort has the last rank poison the world while the others sit in a
+// collective; every rank must come back with ErrAborted, never hang.
+func scAbort(w *World) ([]byte, error) {
+	if w.Rank == w.Size-1 {
+		w.T.Abort(fmt.Errorf("%w: conformance: scripted failure", transport.ErrAborted))
+	}
+	_, _, err := w.Ep.Exchange(nil, 0)
+	if err == nil {
+		return nil, errors.New("exchange succeeded after abort")
+	}
+	return nil, err
+}
+
+// Builder creates a fresh world of the given size: one Transport per
+// simulated process, together hosting exactly ranks 0..size-1. The runner
+// closes them.
+type Builder func(t testing.TB, size int) []transport.Transport
+
+// Digests runs every scenario against the transports build produces and
+// returns scenario → hex digest of the world's concatenated per-rank
+// results. Two conforming transports return identical maps; Run compares
+// them for you.
+func Digests(t *testing.T, build Builder) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			out[sc.Name] = runScenario(t, sc, build)
+		})
+	}
+	return out
+}
+
+func runScenario(t *testing.T, sc Scenario, build Builder) string {
+	t.Helper()
+	trs := build(t, WorldSize)
+	defer func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+	}()
+	results := make([][]byte, WorldSize)
+	errs := make([]error, WorldSize)
+	done := make(chan int, WorldSize)
+	started := 0
+	for _, tr := range trs {
+		for _, rank := range tr.LocalRanks() {
+			started++
+			go func(tr transport.Transport, rank int) {
+				w := &World{T: tr, Ep: tr.Endpoint(rank), Rank: rank, Size: WorldSize}
+				results[rank], errs[rank] = sc.Run(w)
+				done <- rank
+			}(tr, rank)
+		}
+	}
+	if started != WorldSize {
+		t.Fatalf("builder produced %d ranks, want %d", started, WorldSize)
+	}
+	watchdog := time.After(60 * time.Second)
+	for i := 0; i < WorldSize; i++ {
+		select {
+		case <-done:
+		case <-watchdog:
+			t.Fatalf("scenario %s: world hung (ranks finished: %d of %d)", sc.Name, i, WorldSize)
+		}
+	}
+	if sc.ExpectAbort {
+		for rank, err := range errs {
+			if !errors.Is(err, transport.ErrAborted) {
+				t.Fatalf("rank %d: err = %v, want ErrAborted", rank, err)
+			}
+		}
+		return "aborted"
+	}
+	sum := sha256.New()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+		binary.Write(sum, binary.BigEndian, uint64(len(results[rank])))
+		sum.Write(results[rank])
+	}
+	return fmt.Sprintf("%x", sum.Sum(nil))
+}
+
+// Run executes the full suite for a transport and asserts its digests are
+// byte-identical to the reference (the local transport's).
+func Run(t *testing.T, build Builder) {
+	t.Helper()
+	ref := Digests(t, LocalBuilder)
+	got := Digests(t, build)
+	for name, want := range ref {
+		if got[name] != want {
+			t.Errorf("scenario %s: digest %s, want %s (not byte-identical to local transport)", name, got[name], want)
+		}
+	}
+}
+
+// LocalBuilder builds the reference world on the in-process transport.
+func LocalBuilder(t testing.TB, size int) []transport.Transport {
+	return []transport.Transport{transport.NewLocal(size)}
+}

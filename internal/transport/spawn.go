@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"net"
 	"os"
 	"os/exec"
 	"strconv"
@@ -15,6 +16,16 @@ const (
 	EnvJoin = "MIMIR_TCP_JOIN"
 	EnvRank = "MIMIR_TCP_RANK"
 	EnvSize = "MIMIR_TCP_SIZE"
+	// EnvPolicy carries the fault policy ("abort" or "retry") so every
+	// process of a world reacts to link faults the same way.
+	EnvPolicy = "MIMIR_TCP_POLICY"
+	// EnvWindow carries the RetryTransient reconnect window as a Go
+	// duration string.
+	EnvWindow = "MIMIR_TCP_WINDOW"
+	// EnvFaults carries a fault-injection spec (internal/faultinject
+	// grammar). The transport only forwards it; the facade layer parses it
+	// and wires the injector.
+	EnvFaults = "MIMIR_TCP_FAULTS"
 )
 
 // FromEnv reads a worker's TCP configuration from the environment. The
@@ -33,8 +44,28 @@ func FromEnv() (TCPConfig, bool, error) {
 	if err != nil {
 		return TCPConfig{}, true, fmt.Errorf("transport: bad %s=%q: %v", EnvSize, os.Getenv(EnvSize), err)
 	}
-	return TCPConfig{Addr: addr, Rank: rank, Size: size}, true, nil
+	cfg := TCPConfig{Addr: addr, Rank: rank, Size: size}
+	if s := os.Getenv(EnvPolicy); s != "" {
+		p, err := ParseFaultPolicy(s)
+		if err != nil {
+			return TCPConfig{}, true, fmt.Errorf("transport: bad %s=%q: %v", EnvPolicy, s, err)
+		}
+		cfg.Policy = p
+	}
+	if s := os.Getenv(EnvWindow); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil || d <= 0 {
+			return TCPConfig{}, true, fmt.Errorf("transport: bad %s=%q", EnvWindow, s)
+		}
+		cfg.ReconnectWindow = d
+	}
+	return cfg, true, nil
 }
+
+// FaultsFromEnv returns the fault-injection spec string a parent forwarded
+// through the environment ("" when none). The caller parses it — the
+// transport has no dependency on the injector package.
+func FaultsFromEnv() string { return os.Getenv(EnvFaults) }
 
 // Children tracks the worker processes SpawnLocal launched.
 type Children struct {
@@ -61,6 +92,25 @@ func (c *Children) Kill() {
 	}
 }
 
+// SpawnOptions configures SpawnLocalOpts beyond the world size: the fault
+// policy and reconnect window (forwarded to every worker through the
+// environment), a fault-injection spec string (forwarded verbatim; workers
+// wire their own injectors), and rank 0's own connection hook.
+type SpawnOptions struct {
+	// Deadline is the per-I/O deadline (TCPConfig.Deadline).
+	Deadline time.Duration
+	// Policy selects fail-stop or fail-recover link handling for every
+	// process of the world.
+	Policy FaultPolicy
+	// ReconnectWindow bounds RetryTransient recovery (TCPConfig.ReconnectWindow).
+	ReconnectWindow time.Duration
+	// Faults is a fault-injection spec forwarded to workers via EnvFaults.
+	// It does not configure rank 0 — pass WrapConn for that.
+	Faults string
+	// WrapConn is rank 0's TCPConfig.WrapConn hook.
+	WrapConn func(peer int, c net.Conn) net.Conn
+}
+
 // SpawnLocal turns this process into rank 0 of a size-rank world on the
 // loopback interface and launches size-1 copies of this binary (same
 // arguments) as the worker ranks, joining them via the MIMIR_TCP_*
@@ -70,10 +120,23 @@ func (c *Children) Kill() {
 // Children write their stdout to stderr so rank 0's stdout stays the only
 // place job output appears.
 func SpawnLocal(size int, deadline time.Duration) (*TCP, *Children, error) {
+	return SpawnLocalOpts(size, SpawnOptions{Deadline: deadline})
+}
+
+// SpawnLocalOpts is SpawnLocal with fault handling configured: the policy,
+// reconnect window, and fault spec travel to every worker through the
+// environment, so one flag string on the parent configures the whole world.
+func SpawnLocalOpts(size int, opts SpawnOptions) (*TCP, *Children, error) {
 	if size < 1 {
 		return nil, nil, fmt.Errorf("transport: invalid world size %d", size)
 	}
-	b, err := ListenTCP(TCPConfig{Addr: "127.0.0.1:0", Rank: 0, Size: size, Deadline: deadline})
+	b, err := ListenTCP(TCPConfig{
+		Addr: "127.0.0.1:0", Rank: 0, Size: size,
+		Deadline:        opts.Deadline,
+		Policy:          opts.Policy,
+		ReconnectWindow: opts.ReconnectWindow,
+		WrapConn:        opts.WrapConn,
+	})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -89,6 +152,15 @@ func SpawnLocal(size int, deadline time.Duration) (*TCP, *Children, error) {
 			fmt.Sprintf("%s=%d", EnvRank, rank),
 			fmt.Sprintf("%s=%d", EnvSize, size),
 		)
+		if opts.Policy != AbortOnFailure {
+			cmd.Env = append(cmd.Env, EnvPolicy+"="+opts.Policy.String())
+		}
+		if opts.ReconnectWindow > 0 {
+			cmd.Env = append(cmd.Env, EnvWindow+"="+opts.ReconnectWindow.String())
+		}
+		if opts.Faults != "" {
+			cmd.Env = append(cmd.Env, EnvFaults+"="+opts.Faults)
+		}
 		cmd.Stdout = os.Stderr
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {

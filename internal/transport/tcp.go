@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,13 +19,37 @@ type TCPConfig struct {
 	Rank int
 	// Size is the world size (total processes).
 	Size int
-	// Deadline bounds every connection write (and the per-connection
-	// handshake): a peer that cannot make progress for this long is treated
-	// as dead and the world aborts. 0 means 10 seconds.
+	// Deadline bounds connection progress: the per-connection handshake and
+	// every chunk of a frame write (a peer that cannot accept writeChunk
+	// bytes for this long is treated as failed). 0 means 10 seconds.
 	Deadline time.Duration
 	// BootstrapTimeout bounds mesh establishment (dial retries, accepts,
 	// the address table). 0 means 30 seconds.
 	BootstrapTimeout time.Duration
+
+	// Policy selects fail-stop (AbortOnFailure, the default) or
+	// fail-recover (RetryTransient) behavior for link failures after the
+	// mesh is up. Bootstrap failures are always fatal.
+	Policy FaultPolicy
+	// ReconnectWindow bounds how long a link may stay down under
+	// RetryTransient before the peer is declared dead and the world aborts.
+	// 0 means 10 seconds.
+	ReconnectWindow time.Duration
+	// BackoffBase / BackoffMax shape the reconnect dial backoff: the delay
+	// starts at BackoffBase and doubles (with deterministic jitter) up to
+	// BackoffMax. 0 means 20ms / 1s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// MaxReplay caps the per-link replay buffer (unacknowledged sent
+	// frames) under RetryTransient; exceeding it aborts the world rather
+	// than growing without bound. 0 means 64 MB.
+	MaxReplay int64
+
+	// WrapConn, when non-nil, wraps every established mesh connection —
+	// the fault-injection hook (internal/faultinject). It is applied after
+	// the connection handshake, so injected faults target steady-state
+	// frames, not the bootstrap.
+	WrapConn func(peer int, c net.Conn) net.Conn
 }
 
 func (c TCPConfig) withDefaults() TCPConfig {
@@ -33,6 +58,18 @@ func (c TCPConfig) withDefaults() TCPConfig {
 	}
 	if c.BootstrapTimeout <= 0 {
 		c.BootstrapTimeout = 30 * time.Second
+	}
+	if c.ReconnectWindow <= 0 {
+		c.ReconnectWindow = 10 * time.Second
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 20 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = time.Second
+	}
+	if c.MaxReplay <= 0 {
+		c.MaxReplay = 64 << 20
 	}
 	return c
 }
@@ -50,68 +87,190 @@ func (c TCPConfig) validate() error {
 	return nil
 }
 
+// writeChunk is the unit of a frame write for deadline purposes: the write
+// deadline is re-armed before every chunk, so a slow-but-alive peer that
+// keeps draining bytes never times out, while a peer that cannot accept one
+// chunk within Deadline is declared failed. (A single whole-frame deadline
+// would misdeclare a live peer dead on any Exchange payload larger than
+// bandwidth*Deadline.)
+const writeChunk = 128 << 10
+
+// ackEvery is how many data frames a receiver lets accumulate before
+// acknowledging them (OpAck), bounding the sender's replay buffer.
+const ackEvery = 32
+
 // TCP is the multi-process transport: this process hosts exactly one rank
 // and a full mesh of TCP connections carries frames to every peer. Create
 // it with NewTCP (or ListenTCP + Bootstrap.Accept on rank 0 when the
 // bootstrap port is dynamic).
+//
+// Under Policy RetryTransient the mesh is self-healing: each side of a
+// failed link closes it (so the other side notices), the higher rank
+// re-dials the lower rank's listener with capped exponential backoff, the
+// two sides exchange OpResume frames carrying how many data frames each has
+// received, and the sender replays everything newer from its replay buffer.
+// TCP's in-order delivery plus the cumulative frame counts make the resume
+// idempotent: no frame is delivered twice or dropped, so the collective
+// sequence numbers (and with them the SPMD order) survive any number of
+// reconnects.
 type TCP struct {
 	cfg   TCPConfig
 	rank  int
 	size  int
 	peers []*tcpPeer // peers[rank] == nil
 
+	addrs []string     // mesh address table (reconnect targets); set before start
+	ln    net.Listener // persistent listener for re-accepts (RetryTransient only)
+
 	mbox *mailbox     // incoming point-to-point messages
 	exq  []*exchQueue // per-source collective contributions; exq[rank] == nil
 	seq  uint64       // this rank's collective call counter (owning goroutine only)
+
+	started atomic.Bool // mesh is up; link failures become recoverable
 
 	mu       sync.Mutex
 	abortErr error
 	closing  bool
 
 	readers sync.WaitGroup
+
+	linkFailures   atomic.Uint64
+	reconnects     atomic.Uint64
+	dialRetries    atomic.Uint64
+	replayedFrames atomic.Uint64
+	replayedBytes  atomic.Uint64
 }
 
-// tcpPeer is one mesh connection with serialized, deadline-bounded writes.
+// tcpPeer is one mesh link with serialized, deadline-bounded writes and
+// (under RetryTransient) a replay buffer for reconnect recovery.
 type tcpPeer struct {
+	t    *TCP
 	rank int
-	conn net.Conn
 
-	wmu      sync.Mutex
-	bw       *bufio.Writer
-	deadline time.Duration
+	// wmu serializes writers and guards the connection state: conn, gen,
+	// down, recovering. It is held across chunked frame writes, so readers
+	// must never block on it (acks use TryLock).
+	wmu        sync.Mutex
+	conn       net.Conn
+	gen        int // connection generation; bumped by every install
+	down       bool
+	downSince  time.Time
+	recovering bool
 
-	mu  sync.Mutex
+	// rmu guards the replay ledger. It is only ever held briefly (no I/O),
+	// so the ack path can take it without risking the distributed deadlock
+	// that blocking readers on wmu would cause.
+	rmu         sync.Mutex
+	sentSeq     uint64   // data frames accepted for sending on this link
+	ackedSeq    uint64   // data frames the peer confirmed (prefix of sentSeq)
+	replay      [][]byte // encoded frames (ackedSeq, sentSeq], RetryTransient only
+	replayBytes int64
+
+	recvSeq atomic.Uint64 // data frames delivered from this peer
+	lastAck atomic.Uint64 // recvSeq value of the last OpAck we sent
+
+	bmu sync.Mutex
 	bye bool // peer announced clean shutdown; EOF is not a death
 }
 
-func (p *tcpPeer) writeFrame(f *Frame) error {
-	p.wmu.Lock()
-	defer p.wmu.Unlock()
-	if err := p.conn.SetWriteDeadline(time.Now().Add(p.deadline)); err != nil {
-		return err
-	}
-	if err := WriteFrame(p.bw, f); err != nil {
-		return err
-	}
-	return p.bw.Flush()
-}
-
 func (p *tcpPeer) sawBye() bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.bmu.Lock()
+	defer p.bmu.Unlock()
 	return p.bye
 }
 
 func (p *tcpPeer) markBye() {
-	p.mu.Lock()
+	p.bmu.Lock()
 	p.bye = true
-	p.mu.Unlock()
+	p.bmu.Unlock()
+}
+
+// writeConnChunks writes buf to conn, re-arming the write deadline before
+// every chunk so progress extends the deadline (see writeChunk).
+func writeConnChunks(conn net.Conn, buf []byte, deadline time.Duration) error {
+	for len(buf) > 0 {
+		n := len(buf)
+		if n > writeChunk {
+			n = writeChunk
+		}
+		if err := conn.SetWriteDeadline(time.Now().Add(deadline)); err != nil {
+			return err
+		}
+		if _, err := conn.Write(buf[:n]); err != nil {
+			return err
+		}
+		buf = buf[n:]
+	}
+	return nil
+}
+
+// beginFrame announces a frame boundary to a fault-injecting conn wrapper.
+func beginFrame(conn net.Conn, f *Frame) error {
+	if fm, ok := conn.(FrameMarker); ok {
+		return fm.BeginFrame(f.Op, frameHeaderLen+len(f.Data))
+	}
+	return nil
+}
+
+// isData reports whether op is a data frame — counted, acknowledged, and
+// replayed across reconnects. Control frames (abort, bye, acks, resumes)
+// are link-local and never replayed.
+func isData(op byte) bool { return op == OpP2P || op == OpExchange }
+
+// writeFrame sends one frame on the link. Under RetryTransient a data frame
+// is first appended to the replay buffer, so a write failure is not an
+// error: the link is marked down, recovery starts, and the frame reaches
+// the peer via replay. Under AbortOnFailure any failure is returned.
+func (p *tcpPeer) writeFrame(f *Frame) error {
+	t := p.t
+	retry := t.cfg.Policy == RetryTransient && t.started.Load()
+	var buf []byte
+	if retry && isData(f.Op) {
+		buf = AppendFrame(nil, f) // owned copy: may outlive the caller's Data
+	} else {
+		buf = appendFrameHeader(make([]byte, 0, 4+frameHeaderLen+len(f.Data)), f)
+		buf = append(buf, f.Data...)
+	}
+
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	if retry && isData(f.Op) {
+		p.rmu.Lock()
+		p.sentSeq++
+		p.replay = append(p.replay, buf)
+		p.replayBytes += int64(len(buf))
+		over := p.replayBytes > t.cfg.MaxReplay
+		p.rmu.Unlock()
+		if over {
+			return fmt.Errorf("transport: replay buffer for rank %d exceeds %d bytes (peer down too long?)",
+				p.rank, t.cfg.MaxReplay)
+		}
+	}
+	if p.down || p.conn == nil {
+		if retry {
+			return nil // data is in the replay buffer; control frames are best-effort
+		}
+		return fmt.Errorf("transport: connection to rank %d is down", p.rank)
+	}
+	err := beginFrame(p.conn, f)
+	if err == nil {
+		err = writeConnChunks(p.conn, buf, t.cfg.Deadline)
+	}
+	if err != nil {
+		if retry {
+			t.linkDownLocked(p, p.gen, err)
+			return nil // recovery replays the frame
+		}
+		return err
+	}
+	return nil
 }
 
 // exchQueue buffers one peer's collective contributions in arrival order.
-// TCP preserves per-connection ordering and both sides follow the SPMD
-// contract, so the head frame's sequence number must match the local call
-// counter — a mismatch is a protocol violation.
+// TCP preserves per-connection ordering (and replay preserves it across
+// reconnects) and both sides follow the SPMD contract, so the head frame's
+// sequence number must match the local call counter — a mismatch is a
+// protocol violation.
 type exchQueue struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -205,23 +364,38 @@ func (t *TCP) addPeer(rank int, conn net.Conn) {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
+	if t.cfg.WrapConn != nil {
+		conn = t.cfg.WrapConn(rank, conn)
+	}
 	t.peers[rank] = &tcpPeer{
-		rank:     rank,
-		conn:     conn,
-		bw:       bufio.NewWriterSize(conn, 64<<10),
-		deadline: t.cfg.Deadline,
+		t:    t,
+		rank: rank,
+		conn: conn,
+		gen:  1,
 	}
 }
 
-// start launches the per-connection reader goroutines and runs the initial
+// start launches the per-connection reader goroutines (and, under
+// RetryTransient, the persistent re-accept loop) and runs the initial
 // barrier that confirms every rank's mesh is complete.
 func (t *TCP) start() (*TCP, error) {
+	if t.cfg.Policy == RetryTransient && t.ln != nil {
+		if tl, ok := t.ln.(*net.TCPListener); ok {
+			tl.SetDeadline(time.Time{}) // clear the bootstrap deadline
+		}
+		t.readers.Add(1)
+		go t.acceptLoop()
+	} else if t.ln != nil {
+		t.ln.Close()
+		t.ln = nil
+	}
 	for _, p := range t.peers {
 		if p != nil {
 			t.readers.Add(1)
-			go t.readLoop(p)
+			go t.readLoop(p, p.conn, p.gen)
 		}
 	}
+	t.started.Store(true)
 	if _, _, err := t.Exchange(nil, 0); err != nil {
 		t.Close()
 		return nil, fmt.Errorf("transport: initial barrier: %w", err)
@@ -257,27 +431,32 @@ func ListenTCP(cfg TCPConfig) (*Bootstrap, error) {
 func (b *Bootstrap) Addr() string { return b.ln.Addr().String() }
 
 // Accept waits for every worker to register, distributes the address table,
-// and returns rank 0's transport once the whole world is up.
+// and returns rank 0's transport once the whole world is up. Under
+// RetryTransient the listener stays open for the life of the transport to
+// accept reconnecting peers; otherwise it is closed.
 func (b *Bootstrap) Accept() (*TCP, error) {
-	defer b.ln.Close()
 	t := newTCPBase(b.cfg)
+	t.ln = b.ln
 	deadline := time.Now().Add(b.cfg.BootstrapTimeout)
 	if tl, ok := b.ln.(*net.TCPListener); ok {
 		tl.SetDeadline(deadline)
 	}
 	addrs := make([]string, b.cfg.Size)
 	addrs[0] = b.Addr()
+	fail := func(err error) (*TCP, error) {
+		b.ln.Close()
+		t.closeConns()
+		return nil, err
+	}
 	for joined := 1; joined < b.cfg.Size; {
 		conn, err := b.ln.Accept()
 		if err != nil {
-			t.closeConns()
-			return nil, fmt.Errorf("transport: bootstrap accept (%d of %d ranks joined): %w", joined, b.cfg.Size, err)
+			return fail(fmt.Errorf("transport: bootstrap accept (%d of %d ranks joined): %w", joined, b.cfg.Size, err))
 		}
 		rank, err := b.admit(t, conn, addrs)
 		if err != nil {
 			conn.Close()
-			t.closeConns()
-			return nil, err
+			return fail(err)
 		}
 		if rank > 0 {
 			joined++
@@ -285,14 +464,14 @@ func (b *Bootstrap) Accept() (*TCP, error) {
 	}
 	// Everyone registered; hand each worker the full table so workers can
 	// mesh among themselves.
+	t.addrs = addrs
 	table := encodeTable(addrs)
 	for rank, p := range t.peers {
 		if p == nil {
 			continue
 		}
 		if err := p.writeFrame(&Frame{Op: OpTable, Src: 0, Data: table}); err != nil {
-			t.closeConns()
-			return nil, fmt.Errorf("transport: sending address table to rank %d: %w", rank, err)
+			return fail(fmt.Errorf("transport: sending address table to rank %d: %w", rank, err))
 		}
 	}
 	return t.start()
@@ -351,7 +530,12 @@ func dialTCP(cfg TCPConfig) (*TCP, error) {
 		conn0.Close()
 		return nil, fmt.Errorf("transport: rank %d mesh listen: %w", cfg.Rank, err)
 	}
-	defer ln.Close()
+	t.ln = ln
+	fail := func(err error) (*TCP, error) {
+		ln.Close()
+		t.closeConns()
+		return nil, err
+	}
 	if tl, ok := ln.(*net.TCPListener); ok {
 		tl.SetDeadline(deadline)
 	}
@@ -359,17 +543,17 @@ func dialTCP(cfg TCPConfig) (*TCP, error) {
 	conn0.SetDeadline(time.Now().Add(cfg.Deadline))
 	if err := writeHello(conn0, hello{Rank: cfg.Rank, Size: cfg.Size, Addr: ln.Addr().String()}); err != nil {
 		conn0.Close()
-		return nil, fmt.Errorf("transport: rank %d bootstrap handshake: %w", cfg.Rank, err)
+		return fail(fmt.Errorf("transport: rank %d bootstrap handshake: %w", cfg.Rank, err))
 	}
 	h, err := readHello(conn0)
 	if err != nil {
 		conn0.Close()
-		return nil, fmt.Errorf("transport: rank %d bootstrap handshake reply: %w", cfg.Rank, err)
+		return fail(fmt.Errorf("transport: rank %d bootstrap handshake reply: %w", cfg.Rank, err))
 	}
 	if h.Rank != 0 || h.Size != cfg.Size {
 		conn0.Close()
-		return nil, fmt.Errorf("transport: rank %d bootstrap reply from rank %d size %d, want rank 0 size %d",
-			cfg.Rank, h.Rank, h.Size, cfg.Size)
+		return fail(fmt.Errorf("transport: rank %d bootstrap reply from rank %d size %d, want rank 0 size %d",
+			cfg.Rank, h.Rank, h.Size, cfg.Size))
 	}
 	// The table may take as long as the slowest rank's join, not one
 	// write: bound it by the bootstrap deadline.
@@ -377,26 +561,26 @@ func dialTCP(cfg TCPConfig) (*TCP, error) {
 	tf, err := ReadFrame(conn0)
 	if err != nil {
 		conn0.Close()
-		return nil, fmt.Errorf("transport: rank %d reading address table: %w", cfg.Rank, err)
+		return fail(fmt.Errorf("transport: rank %d reading address table: %w", cfg.Rank, err))
 	}
 	if tf.Op != OpTable {
 		conn0.Close()
-		return nil, fmt.Errorf("transport: rank %d expected address table, got op %d", cfg.Rank, tf.Op)
+		return fail(fmt.Errorf("transport: rank %d expected address table, got op %d", cfg.Rank, tf.Op))
 	}
 	addrs, err := decodeTable(tf.Data)
 	if err != nil || len(addrs) != cfg.Size {
 		conn0.Close()
-		return nil, fmt.Errorf("transport: rank %d bad address table (%d entries): %v", cfg.Rank, len(addrs), err)
+		return fail(fmt.Errorf("transport: rank %d bad address table (%d entries): %v", cfg.Rank, len(addrs), err))
 	}
 	conn0.SetDeadline(time.Time{})
+	t.addrs = addrs
 	t.addPeer(0, conn0)
 
 	// Mesh: dial workers below, accept workers above.
 	for r := 1; r < cfg.Rank; r++ {
 		conn, err := dialRetry(addrs[r], deadline)
 		if err != nil {
-			t.closeConns()
-			return nil, fmt.Errorf("transport: rank %d dialing rank %d at %s: %w", cfg.Rank, r, addrs[r], err)
+			return fail(fmt.Errorf("transport: rank %d dialing rank %d at %s: %w", cfg.Rank, r, addrs[r], err))
 		}
 		conn.SetDeadline(time.Now().Add(cfg.Deadline))
 		if err := writeHello(conn, hello{Rank: cfg.Rank, Size: cfg.Size}); err == nil {
@@ -407,8 +591,7 @@ func dialTCP(cfg TCPConfig) (*TCP, error) {
 		}
 		if err != nil {
 			conn.Close()
-			t.closeConns()
-			return nil, fmt.Errorf("transport: rank %d mesh handshake with rank %d: %w", cfg.Rank, r, err)
+			return fail(fmt.Errorf("transport: rank %d mesh handshake with rank %d: %w", cfg.Rank, r, err))
 		}
 		conn.SetDeadline(time.Time{})
 		t.addPeer(r, conn)
@@ -416,8 +599,7 @@ func dialTCP(cfg TCPConfig) (*TCP, error) {
 	for accepted := cfg.Rank + 1; accepted < cfg.Size; accepted++ {
 		conn, err := ln.Accept()
 		if err != nil {
-			t.closeConns()
-			return nil, fmt.Errorf("transport: rank %d mesh accept: %w", cfg.Rank, err)
+			return fail(fmt.Errorf("transport: rank %d mesh accept: %w", cfg.Rank, err))
 		}
 		conn.SetDeadline(time.Now().Add(cfg.Deadline))
 		h, err := readHello(conn)
@@ -435,8 +617,7 @@ func dialTCP(cfg TCPConfig) (*TCP, error) {
 		}
 		if err != nil {
 			conn.Close()
-			t.closeConns()
-			return nil, fmt.Errorf("transport: rank %d mesh handshake: %w", cfg.Rank, err)
+			return fail(fmt.Errorf("transport: rank %d mesh handshake: %w", cfg.Rank, err))
 		}
 		conn.SetDeadline(time.Time{})
 		t.addPeer(h.Rank, conn)
@@ -486,6 +667,20 @@ func (t *TCP) Wall() bool { return true }
 // Rank returns the local rank.
 func (t *TCP) Rank() int { return t.rank }
 
+// Policy returns the configured fault policy.
+func (t *TCP) Policy() FaultPolicy { return t.cfg.Policy }
+
+// FaultStats returns this transport's failure and recovery counters.
+func (t *TCP) FaultStats() FaultStats {
+	return FaultStats{
+		LinkFailures:   t.linkFailures.Load(),
+		Reconnects:     t.reconnects.Load(),
+		DialRetries:    t.dialRetries.Load(),
+		ReplayedFrames: t.replayedFrames.Load(),
+		ReplayedBytes:  t.replayedBytes.Load(),
+	}
+}
+
 func (t *TCP) abortError() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -493,7 +688,7 @@ func (t *TCP) abortError() error {
 }
 
 // poison fails all local pending and subsequent operations with err,
-// without notifying peers.
+// without notifying peers. It also stops accepting reconnects.
 func (t *TCP) poison(err error) bool {
 	t.mu.Lock()
 	if t.abortErr != nil {
@@ -501,7 +696,11 @@ func (t *TCP) poison(err error) bool {
 		return false
 	}
 	t.abortErr = err
+	ln := t.ln
 	t.mu.Unlock()
+	if ln != nil && t.cfg.Policy == RetryTransient {
+		ln.Close()
+	}
 	t.mbox.abort(err)
 	for _, q := range t.exq {
 		if q != nil {
@@ -525,18 +724,358 @@ func (t *TCP) Abort(err error) {
 	}
 }
 
-// readLoop dispatches one connection's incoming frames until EOF or abort.
-// A connection failing before the peer announced a clean shutdown means the
-// peer died: the whole local world aborts (and Abort tells the remaining
-// peers), which is what turns a killed worker into ErrAborted everywhere
-// instead of a hang.
-func (t *TCP) readLoop(p *tcpPeer) {
+// Sever simulates this rank's sudden death (fault injection): local
+// operations are poisoned and every connection and listener is torn down
+// with no Bye and no abort broadcast, exactly what peers observe when the
+// process is killed.
+func (t *TCP) Sever(cause error) {
+	t.poison(cause)
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		p.wmu.Lock()
+		if p.conn != nil {
+			p.conn.Close()
+		}
+		p.wmu.Unlock()
+	}
+}
+
+// linkDown declares one connection generation failed. Caller must hold
+// p.wmu. Stale generations (a racing writer and reader both reporting the
+// same failure, or a failure on an already-replaced conn) are ignored. The
+// conn is closed so the other side notices too, and recovery starts: the
+// higher rank re-dials, the lower rank waits for the re-dial, and whichever
+// side's window expires first aborts the world.
+func (t *TCP) linkDownLocked(p *tcpPeer, gen int, cause error) {
+	if p.gen != gen || p.down {
+		return
+	}
+	p.down = true
+	p.downSince = time.Now()
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+	}
+	t.linkFailures.Add(1)
+	if !p.recovering {
+		p.recovering = true
+		t.readers.Add(1)
+		if t.rank > p.rank {
+			go t.redialLoop(p, cause)
+		} else {
+			go t.watchLink(p, cause)
+		}
+	}
+}
+
+func (t *TCP) linkDown(p *tcpPeer, gen int, cause error) {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	t.linkDownLocked(p, gen, cause)
+}
+
+// splitmix64 is the deterministic jitter source for reconnect backoff.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// redialLoop re-establishes a failed link from the dialing side (the higher
+// rank) with capped exponential backoff and deterministic jitter. If the
+// peer stays unreachable past the reconnect window, the world aborts.
+func (t *TCP) redialLoop(p *tcpPeer, cause error) {
 	defer t.readers.Done()
-	br := bufio.NewReaderSize(p.conn, 64<<10)
+	p.wmu.Lock()
+	deadline := p.downSince.Add(t.cfg.ReconnectWindow)
+	p.wmu.Unlock()
+	backoff := t.cfg.BackoffBase
+	for attempt := 0; ; attempt++ {
+		if t.abortError() != nil || t.isClosing() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Abort(fmt.Errorf("%w: rank %d unreachable for %v: %v", ErrAborted, p.rank, t.cfg.ReconnectWindow, cause))
+			return
+		}
+		if err := t.redialOnce(p); err == nil {
+			return
+		}
+		t.dialRetries.Add(1)
+		jitter := time.Duration(splitmix64(uint64(t.rank)<<32|uint64(p.rank)<<16|uint64(attempt)) % uint64(backoff/2+1))
+		time.Sleep(backoff + jitter)
+		backoff *= 2
+		if backoff > t.cfg.BackoffMax {
+			backoff = t.cfg.BackoffMax
+		}
+	}
+}
+
+// redialOnce performs one reconnect attempt: dial, hello handshake, resume
+// exchange, then install. The dialer writes its resume first; the acceptor
+// reads it and replies — a fixed order, so neither side can deadlock.
+func (t *TCP) redialOnce(p *tcpPeer) error {
+	conn, err := net.DialTimeout("tcp", t.addrs[p.rank], t.cfg.Deadline)
+	if err != nil {
+		return err
+	}
+	conn.SetDeadline(time.Now().Add(t.cfg.Deadline))
+	if err := writeHello(conn, hello{Rank: t.rank, Size: t.size}); err != nil {
+		conn.Close()
+		return err
+	}
+	h, err := readHello(conn)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if h.Rank != p.rank || h.Size != t.size {
+		conn.Close()
+		return fmt.Errorf("transport: reconnect reply from rank %d size %d, want rank %d", h.Rank, h.Size, p.rank)
+	}
+	if err := WriteFrame(conn, &Frame{Op: OpResume, Src: uint32(t.rank), Seq: p.recvSeq.Load()}); err != nil {
+		conn.Close()
+		return err
+	}
+	rf, err := ReadFrame(conn)
+	if err != nil || rf.Op != OpResume {
+		conn.Close()
+		return fmt.Errorf("transport: reconnect resume from rank %d: op=%v err=%v", p.rank, rf, err)
+	}
+	conn.SetDeadline(time.Time{})
+	return t.install(p, conn, rf.Seq)
+}
+
+// watchLink is the accepting side's recovery: wait for the peer (the higher
+// rank) to re-dial within the reconnect window, aborting the world if it
+// never does. The actual re-establishment happens in handleReaccept.
+func (t *TCP) watchLink(p *tcpPeer, cause error) {
+	defer t.readers.Done()
+	p.wmu.Lock()
+	deadline := p.downSince.Add(t.cfg.ReconnectWindow)
+	p.wmu.Unlock()
+	ticker := time.NewTicker(25 * time.Millisecond)
+	defer ticker.Stop()
+	for range ticker.C {
+		if t.abortError() != nil || t.isClosing() {
+			return
+		}
+		p.wmu.Lock()
+		down := p.down
+		p.wmu.Unlock()
+		if !down {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Abort(fmt.Errorf("%w: rank %d did not reconnect within %v: %v", ErrAborted, p.rank, t.cfg.ReconnectWindow, cause))
+			return
+		}
+	}
+}
+
+// acceptLoop accepts reconnecting peers for the life of the transport
+// (RetryTransient only). It exits when the listener is closed (abort or
+// Close).
+func (t *TCP) acceptLoop() {
+	defer t.readers.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.readers.Add(1) // safe: our own count keeps the group non-zero
+		go t.handleReaccept(conn)
+	}
+}
+
+// handleReaccept validates one incoming reconnect (acceptor side: the lower
+// rank) and re-establishes the link.
+func (t *TCP) handleReaccept(conn net.Conn) {
+	defer t.readers.Done()
+	if t.abortError() != nil || t.isClosing() {
+		conn.Close()
+		return
+	}
+	conn.SetDeadline(time.Now().Add(t.cfg.Deadline))
+	h, err := readHello(conn)
+	if err != nil || h.Size != t.size || h.Rank <= t.rank || h.Rank >= t.size || t.peers[h.Rank] == nil {
+		conn.Close()
+		return
+	}
+	p := t.peers[h.Rank]
+	if err := writeHello(conn, hello{Rank: t.rank, Size: t.size}); err != nil {
+		conn.Close()
+		return
+	}
+	rf, err := ReadFrame(conn)
+	if err != nil || rf.Op != OpResume {
+		conn.Close()
+		return
+	}
+	if err := WriteFrame(conn, &Frame{Op: OpResume, Src: uint32(t.rank), Seq: p.recvSeq.Load()}); err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetDeadline(time.Time{})
+	t.install(p, conn, rf.Seq)
+}
+
+// install finishes a reconnect on either side: prune the replay buffer to
+// what the peer confirmed receiving (theirRecv is an implicit cumulative
+// ack), replay everything newer in order, then swap the connection in and
+// start its reader. An incoming reconnect always replaces the current
+// connection, even if this side has not yet noticed the old one die.
+func (t *TCP) install(p *tcpPeer, conn net.Conn, theirRecv uint64) error {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	if t.cfg.WrapConn != nil {
+		conn = t.cfg.WrapConn(p.rank, conn)
+	}
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	if t.abortError() != nil || t.isClosing() {
+		conn.Close()
+		return fmt.Errorf("transport: world is down")
+	}
+	p.rmu.Lock()
+	if theirRecv < p.ackedSeq || theirRecv > p.sentSeq {
+		p.rmu.Unlock()
+		conn.Close()
+		err := fmt.Errorf("%w: rank %d resumed at frame %d outside (%d, %d] — replay horizon lost",
+			ErrAborted, p.rank, theirRecv, p.ackedSeq, p.sentSeq)
+		t.Abort(err)
+		return err
+	}
+	p.pruneReplayLocked(theirRecv)
+	pending := append([][]byte(nil), p.replay...)
+	p.rmu.Unlock()
+
+	// Swap the connection in and start its reader BEFORE replaying: both
+	// sides of the link replay at the same time, and if neither read while
+	// writing, two replays larger than the socket buffers would deadlock.
+	// The link stays marked down until the replay finishes, so regular
+	// writers (who need wmu anyway) cannot interleave with it.
+	if p.conn != nil {
+		p.conn.Close()
+	}
+	p.conn = conn
+	p.gen++
+	gen := p.gen
+	t.readers.Add(1)
+	go t.readLoop(p, conn, gen)
+
+	for _, buf := range pending {
+		f := Frame{Op: buf[4]} // first header byte after the length prefix
+		err := beginFrame(conn, &f)
+		if err == nil {
+			err = writeConnChunks(conn, buf, t.cfg.Deadline)
+		}
+		if err != nil {
+			conn.Close()
+			p.conn = nil
+			// If this side had not yet declared the link down (an incoming
+			// reconnect replaced a conn we still believed healthy), declare
+			// it now so the reconnect window is enforced.
+			if !p.down {
+				p.down = true
+				p.downSince = time.Now()
+				t.linkFailures.Add(1)
+			}
+			if !p.recovering {
+				p.recovering = true
+				t.readers.Add(1)
+				if t.rank > p.rank {
+					go t.redialLoop(p, err)
+				} else {
+					go t.watchLink(p, err)
+				}
+			}
+			return fmt.Errorf("transport: replay to rank %d: %w", p.rank, err)
+		}
+		t.replayedFrames.Add(1)
+		t.replayedBytes.Add(uint64(len(buf)))
+	}
+	p.down = false
+	p.recovering = false
+	t.reconnects.Add(1)
+	return nil
+}
+
+// pruneReplayLocked drops replay entries the peer confirmed. Caller holds
+// p.rmu. upTo is a cumulative data-frame count (never decreases).
+func (p *tcpPeer) pruneReplayLocked(upTo uint64) {
+	if upTo <= p.ackedSeq {
+		return
+	}
+	drop := int(upTo - p.ackedSeq)
+	if drop > len(p.replay) {
+		drop = len(p.replay)
+	}
+	for _, b := range p.replay[:drop] {
+		p.replayBytes -= int64(len(b))
+	}
+	p.replay = append(p.replay[:0], p.replay[drop:]...)
+	p.ackedSeq = upTo
+}
+
+// handleAck processes a peer's cumulative OpAck.
+func (p *tcpPeer) handleAck(upTo uint64) {
+	p.rmu.Lock()
+	p.pruneReplayLocked(upTo)
+	p.rmu.Unlock()
+}
+
+// maybeAck sends a cumulative ack once enough unacknowledged data frames
+// have arrived. It runs on the reader goroutine and must never block on the
+// write lock (a reader parked on wmu while the local writer is stalled on a
+// peer whose reader is symmetrically parked would distribute-deadlock), so
+// it uses TryLock and simply retries at the next frame when the writer is
+// busy. Ack loss is harmless: the counts are cumulative.
+func (t *TCP) maybeAck(p *tcpPeer) {
+	n := p.recvSeq.Load()
+	if n-p.lastAck.Load() < ackEvery {
+		return
+	}
+	if !p.wmu.TryLock() {
+		return
+	}
+	defer p.wmu.Unlock()
+	if p.down || p.conn == nil {
+		return
+	}
+	f := &Frame{Op: OpAck, Src: uint32(t.rank), Seq: n}
+	buf := AppendFrame(make([]byte, 0, 4+frameHeaderLen), f)
+	if beginFrame(p.conn, f) == nil && writeConnChunks(p.conn, buf, t.cfg.Deadline) == nil {
+		p.lastAck.Store(n)
+	}
+	// On error: the reader or writer on this conn notices the failure; the
+	// ack retries after the reconnect.
+}
+
+// readLoop dispatches one connection generation's incoming frames until
+// EOF, a decode failure, or abort. A connection failing before the peer
+// announced a clean shutdown means the link failed: under AbortOnFailure
+// the whole world aborts (a killed worker becomes ErrAborted everywhere
+// instead of a hang); under RetryTransient the link enters recovery and
+// this reader retires — install starts a new one for the next generation.
+func (t *TCP) readLoop(p *tcpPeer, conn net.Conn, gen int) {
+	defer t.readers.Done()
+	br := bufio.NewReaderSize(conn, 64<<10)
 	for {
 		f, err := ReadFrame(br)
 		if err != nil {
 			if p.sawBye() || t.isClosing() {
+				return
+			}
+			if t.cfg.Policy == RetryTransient && t.started.Load() && t.abortError() == nil {
+				t.linkDown(p, gen, fmt.Errorf("read from rank %d: %v", p.rank, err))
 				return
 			}
 			t.Abort(fmt.Errorf("%w: connection to rank %d lost: %v", ErrAborted, p.rank, err))
@@ -544,9 +1083,19 @@ func (t *TCP) readLoop(p *tcpPeer) {
 		}
 		switch f.Op {
 		case OpP2P:
+			p.recvSeq.Add(1)
 			t.mbox.put(Message{Src: p.rank, Tag: int(f.Tag), Data: f.Data, Time: f.Time})
+			if t.cfg.Policy == RetryTransient {
+				t.maybeAck(p)
+			}
 		case OpExchange:
+			p.recvSeq.Add(1)
 			t.exq[p.rank].push(f)
+			if t.cfg.Policy == RetryTransient {
+				t.maybeAck(p)
+			}
+		case OpAck:
+			p.handleAck(f.Seq)
 		case OpAbort:
 			t.poison(fmt.Errorf("%w: rank %d: %s", ErrAborted, p.rank, f.Data))
 		case OpBye:
@@ -564,8 +1113,9 @@ func (t *TCP) isClosing() bool {
 	return t.closing
 }
 
-// Send implements Endpoint. A write that cannot complete within the
-// connection deadline aborts the world.
+// Send implements Endpoint. Under AbortOnFailure a write that cannot make
+// progress within the connection deadline aborts the world; under
+// RetryTransient it triggers reconnect and replay instead.
 func (t *TCP) Send(dst, tag int, data []byte, now float64) error {
 	if err := t.abortError(); err != nil {
 		return err
@@ -661,6 +1211,9 @@ func (t *TCP) Close() error {
 	aborted := t.abortErr != nil
 	t.mu.Unlock()
 
+	if t.ln != nil {
+		t.ln.Close()
+	}
 	bye := &Frame{Op: OpBye, Src: uint32(t.rank)}
 	for _, p := range t.peers {
 		if p == nil {
@@ -669,7 +1222,11 @@ func (t *TCP) Close() error {
 		if !aborted {
 			p.writeFrame(bye) // best effort
 		}
-		p.conn.Close()
+		p.wmu.Lock()
+		if p.conn != nil {
+			p.conn.Close()
+		}
+		p.wmu.Unlock()
 	}
 	t.readers.Wait()
 	return nil
@@ -678,7 +1235,7 @@ func (t *TCP) Close() error {
 // closeConns tears down whatever connections a failed bootstrap left.
 func (t *TCP) closeConns() {
 	for _, p := range t.peers {
-		if p != nil {
+		if p != nil && p.conn != nil {
 			p.conn.Close()
 		}
 	}

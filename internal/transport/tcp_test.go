@@ -4,17 +4,33 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
 
-// startMesh brings up a size-rank TCP world inside this one test process:
-// rank 0 listens on loopback, the other ranks dial concurrently. Transports
-// are closed at test cleanup.
-func startMesh(t *testing.T, size int) []*TCP {
+// Exchange, point-to-point, collective, and abort semantics shared with the
+// local transport are covered by the cross-transport conformance suite
+// (internal/transport/conformance); this file tests what is TCP-specific —
+// bootstrap, configuration, clean shutdown, SPMD violation detection, and
+// the fail-recover machinery (reconnect, replay, deadlines, peer death).
+
+// startMeshCfg brings up a size-rank TCP world inside this one test
+// process: rank 0 listens on loopback, the other ranks dial concurrently.
+// mutate, when non-nil, customizes each rank's config. Transports are
+// closed at test cleanup.
+func startMeshCfg(t *testing.T, size int, mutate func(rank int, cfg *TCPConfig)) []*TCP {
 	t.Helper()
-	b, err := ListenTCP(TCPConfig{Addr: "127.0.0.1:0", Rank: 0, Size: size, BootstrapTimeout: 30 * time.Second})
+	cfg := func(rank int, addr string) TCPConfig {
+		c := TCPConfig{Addr: addr, Rank: rank, Size: size, BootstrapTimeout: 30 * time.Second}
+		if mutate != nil {
+			mutate(rank, &c)
+		}
+		return c
+	}
+	b, err := ListenTCP(cfg(0, "127.0.0.1:0"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +41,7 @@ func startMesh(t *testing.T, size int) []*TCP {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			trs[r], errs[r] = NewTCP(TCPConfig{Addr: b.Addr(), Rank: r, Size: size, BootstrapTimeout: 30 * time.Second})
+			trs[r], errs[r] = NewTCP(cfg(r, b.Addr()))
 		}(r)
 	}
 	trs[0], errs[0] = b.Accept()
@@ -45,6 +61,11 @@ func startMesh(t *testing.T, size int) []*TCP {
 	return trs
 }
 
+func startMesh(t *testing.T, size int) []*TCP {
+	t.Helper()
+	return startMeshCfg(t, size, nil)
+}
+
 func TestTCPBootstrapAndProperties(t *testing.T) {
 	const size = 4
 	trs := startMesh(t, size)
@@ -62,134 +83,8 @@ func TestTCPBootstrapAndProperties(t *testing.T) {
 		if got := tr.Endpoint(r).Rank(); got != r {
 			t.Fatalf("endpoint rank %d, want %d", got, r)
 		}
-	}
-}
-
-func TestTCPExchange(t *testing.T) {
-	const size = 3
-	trs := startMesh(t, size)
-	var wg sync.WaitGroup
-	fail := make(chan string, size)
-	for r := 0; r < size; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			ep := trs[r].Endpoint(r)
-			for round := 0; round < 10; round++ {
-				send := make([][]byte, size)
-				for dst := range send {
-					send[dst] = []byte(fmt.Sprintf("r%d->%d#%d", r, dst, round))
-				}
-				recv, _, err := ep.Exchange(send, float64(round))
-				if err != nil {
-					fail <- fmt.Sprintf("rank %d round %d: %v", r, round, err)
-					return
-				}
-				for src := range recv {
-					want := fmt.Sprintf("r%d->%d#%d", src, r, round)
-					if string(recv[src]) != want {
-						fail <- fmt.Sprintf("rank %d round %d src %d: got %q want %q", r, round, src, recv[src], want)
-						return
-					}
-				}
-			}
-			// A nil send is a pure barrier.
-			if _, _, err := ep.Exchange(nil, 99); err != nil {
-				fail <- fmt.Sprintf("rank %d barrier: %v", r, err)
-			}
-		}(r)
-	}
-	wg.Wait()
-	select {
-	case msg := <-fail:
-		t.Fatal(msg)
-	default:
-	}
-}
-
-func TestTCPExchangeReportsTmax(t *testing.T) {
-	const size = 3
-	trs := startMesh(t, size)
-	var wg sync.WaitGroup
-	for r := 0; r < size; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			ep := trs[r].Endpoint(r)
-			_, tmax, err := ep.Exchange(nil, float64(10+r))
-			if err != nil {
-				t.Errorf("rank %d: %v", r, err)
-				return
-			}
-			if tmax != float64(10+size-1) {
-				t.Errorf("rank %d: tmax %v, want %v", r, tmax, float64(10+size-1))
-			}
-		}(r)
-	}
-	wg.Wait()
-}
-
-func TestTCPP2P(t *testing.T) {
-	const size = 3
-	trs := startMesh(t, size)
-	payload := bytes.Repeat([]byte("abc"), 1000)
-	// rank 1 -> rank 0 (remote), rank 2 -> rank 2 (self).
-	if err := trs[1].Endpoint(1).Send(0, 7, payload, 1.0); err != nil {
-		t.Fatal(err)
-	}
-	m, err := trs[0].Endpoint(0).Recv(1, 7)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if m.Src != 1 || m.Tag != 7 || !bytes.Equal(m.Data, payload) || m.Time != 1.0 {
-		t.Fatalf("got %+v", m)
-	}
-	if err := trs[2].Endpoint(2).Send(2, 9, []byte("self"), 2.0); err != nil {
-		t.Fatal(err)
-	}
-	m2, ok, err := trs[2].Endpoint(2).TryRecv(AnySource, AnyTag)
-	if err != nil || !ok {
-		t.Fatalf("TryRecv: %v %v", ok, err)
-	}
-	if m2.Src != 2 || m2.Tag != 9 || string(m2.Data) != "self" {
-		t.Fatalf("got %+v", m2)
-	}
-	// Nothing else pending.
-	if _, ok, _ := trs[0].Endpoint(0).TryRecv(AnySource, AnyTag); ok {
-		t.Fatal("unexpected pending message")
-	}
-}
-
-func TestTCPAbortPropagatesToPeers(t *testing.T) {
-	const size = 3
-	trs := startMesh(t, size)
-	// Ranks 0 and 2 park in blocking operations that can never complete.
-	results := make(chan error, 2)
-	go func() {
-		_, err := trs[0].Endpoint(0).Recv(1, 5)
-		results <- err
-	}()
-	go func() {
-		_, _, err := trs[2].Endpoint(2).Exchange(nil, 0)
-		results <- err
-	}()
-	time.Sleep(50 * time.Millisecond)
-	cause := fmt.Errorf("%w: rank 1 gave up", ErrAborted)
-	trs[1].Abort(cause)
-	for i := 0; i < 2; i++ {
-		select {
-		case err := <-results:
-			if !errors.Is(err, ErrAborted) {
-				t.Fatalf("parked op returned %v, want ErrAborted", err)
-			}
-		case <-time.After(5 * time.Second):
-			t.Fatal("parked operation not released by remote abort")
-		}
-	}
-	// Subsequent operations fail too, on every rank.
-	for r, tr := range trs {
-		if _, _, err := tr.Endpoint(r).Exchange(nil, 0); !errors.Is(err, ErrAborted) {
-			t.Fatalf("rank %d post-abort exchange: %v", r, err)
+		if tr.Policy() != AbortOnFailure {
+			t.Fatalf("rank %d: default policy %v", r, tr.Policy())
 		}
 	}
 }
@@ -206,11 +101,7 @@ func TestTCPPeerDeathSurfacesErrAborted(t *testing.T) {
 	time.Sleep(50 * time.Millisecond)
 	// Rank 2 dies abruptly: connections drop with no Bye. In-process stand-in
 	// for a killed worker process.
-	for _, p := range trs[2].peers {
-		if p != nil {
-			p.conn.Close()
-		}
-	}
+	trs[2].Sever(fmt.Errorf("%w: simulated death", ErrAborted))
 	select {
 	case err := <-done:
 		if !errors.Is(err, ErrAborted) {
@@ -219,7 +110,209 @@ func TestTCPPeerDeathSurfacesErrAborted(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("peer death did not release parked recv")
 	}
-	trs[2] = nil // already dead; Cleanup must not double-close
+}
+
+// cutConn kills the connection in the middle of a frame write: on the
+// trigger write it sends only half the bytes, closes the socket, and fails.
+// The half-written frame can never have reached the peer, so recovery MUST
+// replay it — this makes the replay path deterministic instead of hoping a
+// racing close lands mid-flight.
+type cutConn struct {
+	net.Conn
+	writes  int
+	trigger int
+	cuts    *int32 // shared budget across reconnects; 0 = passthrough
+}
+
+func (c *cutConn) Write(b []byte) (int, error) {
+	c.writes++
+	if c.writes == c.trigger && atomic.AddInt32(c.cuts, -1) >= 0 {
+		half := len(b) / 2
+		c.Conn.Write(b[:half])
+		c.Conn.Close()
+		return half, fmt.Errorf("cutConn: link cut mid-frame")
+	}
+	return c.Conn.Write(b)
+}
+
+// TestTCPReconnectReplaysFrames cuts the only link of a two-rank world in
+// the middle of a frame. Under RetryTransient the transport must reconnect,
+// replay what the peer missed, and deliver every round intact — and the
+// fault counters must say it happened.
+func TestTCPReconnectReplaysFrames(t *testing.T) {
+	const size = 2
+	cuts := int32(2)
+	trs := startMeshCfg(t, size, func(rank int, cfg *TCPConfig) {
+		cfg.Policy = RetryTransient
+		cfg.ReconnectWindow = 5 * time.Second
+		cfg.BackoffBase = 5 * time.Millisecond
+		if rank == 0 {
+			cfg.WrapConn = func(peer int, c net.Conn) net.Conn {
+				return &cutConn{Conn: c, trigger: 10, cuts: &cuts}
+			}
+		}
+	})
+	const rounds = 40
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ep := trs[r].Endpoint(r)
+			for round := 0; round < rounds; round++ {
+				send := make([][]byte, size)
+				for dst := range send {
+					send[dst] = bytes.Repeat([]byte{byte(r), byte(round)}, 512)
+				}
+				recv, _, err := ep.Exchange(send, 0)
+				if err != nil {
+					errs[r] = fmt.Errorf("round %d: %w", round, err)
+					return
+				}
+				for src := range recv {
+					if want := bytes.Repeat([]byte{byte(src), byte(round)}, 512); !bytes.Equal(recv[src], want) {
+						errs[r] = fmt.Errorf("round %d: bad payload from %d", round, src)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	total := FaultStats{}
+	for _, tr := range trs {
+		s := tr.FaultStats()
+		total.LinkFailures += s.LinkFailures
+		total.Reconnects += s.Reconnects
+		total.ReplayedFrames += s.ReplayedFrames
+	}
+	if total.LinkFailures == 0 || total.Reconnects == 0 || total.ReplayedFrames == 0 {
+		t.Fatalf("no recovery recorded: %+v", total)
+	}
+	t.Logf("fault stats: %+v", total)
+}
+
+// TestTCPKillUnderRetrySurfacesAbortFast severs one rank of a RetryTransient
+// world for good: the survivors must give up after the reconnect window and
+// surface ErrAborted — quickly, not after some compounding of timeouts.
+func TestTCPKillUnderRetrySurfacesAbortFast(t *testing.T) {
+	const size = 3
+	trs := startMeshCfg(t, size, func(rank int, cfg *TCPConfig) {
+		cfg.Policy = RetryTransient
+		cfg.ReconnectWindow = 300 * time.Millisecond
+		cfg.BackoffBase = 5 * time.Millisecond
+	})
+	start := time.Now()
+	trs[2].Sever(fmt.Errorf("%w: killed", ErrAborted))
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for {
+				if _, _, err := trs[r].Endpoint(r).Exchange(nil, 0); err != nil {
+					errs[r] = err
+					return
+				}
+			}
+		}(r)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("survivors did not abort after permanent peer death")
+	}
+	elapsed := time.Since(start)
+	for r, err := range errs {
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("rank %d: %v, want ErrAborted", r, err)
+		}
+	}
+	if elapsed > time.Second {
+		t.Fatalf("survivors took %v to abort, want < 1s", elapsed)
+	}
+}
+
+// slowReadConn throttles reads: a peer that is alive but drains slowly.
+type slowReadConn struct {
+	net.Conn
+	chunk int
+	pause time.Duration
+}
+
+func (c *slowReadConn) Read(b []byte) (int, error) {
+	if len(b) > c.chunk {
+		b = b[:c.chunk]
+	}
+	time.Sleep(c.pause)
+	return c.Conn.Read(b)
+}
+
+// TestTCPSlowPeerSurvivesLargeExchange is the regression test for the
+// whole-frame write deadline bug: a large Exchange to a slow-but-alive peer
+// took longer than Deadline end to end and was misdeclared dead, even
+// though bytes were flowing the whole time. The per-chunk deadline re-arm
+// must let the transfer finish.
+func TestTCPSlowPeerSurvivesLargeExchange(t *testing.T) {
+	const size = 2
+	const deadline = 250 * time.Millisecond
+	trs := startMeshCfg(t, size, func(rank int, cfg *TCPConfig) {
+		cfg.Deadline = deadline
+		if rank == 1 {
+			// Rank 1 drains its link from rank 0 at roughly 4 MB/s: the
+			// whole payload cannot arrive within one Deadline, but every
+			// 128 KiB chunk can.
+			cfg.WrapConn = func(peer int, c net.Conn) net.Conn {
+				if peer != 0 {
+					return c
+				}
+				return &slowReadConn{Conn: c, chunk: 16 << 10, pause: 2 * time.Millisecond}
+			}
+		}
+	})
+	payload := bytes.Repeat([]byte("slowly!!"), 2<<20/8) // 2 MiB
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	start := time.Now()
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			send := make([][]byte, size)
+			for dst := range send {
+				send[dst] = payload
+			}
+			recv, _, err := trs[r].Endpoint(r).Exchange(send, 0)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			for src := range recv {
+				if !bytes.Equal(recv[src], payload) {
+					errs[r] = fmt.Errorf("bad payload from %d", src)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v (slow-but-alive peer treated as dead?)", r, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < deadline {
+		t.Skipf("transfer finished in %v, too fast to exercise the deadline re-arm", elapsed)
+	}
 }
 
 func TestTCPSPMDSeqMismatch(t *testing.T) {
@@ -272,6 +365,21 @@ func TestTCPConfigValidation(t *testing.T) {
 	}
 	if _, err := NewTCP(TCPConfig{Addr: "127.0.0.1:1", Rank: 3, Size: 2}); err == nil {
 		t.Error("out-of-range rank accepted")
+	}
+}
+
+func TestParseFaultPolicy(t *testing.T) {
+	for s, want := range map[string]FaultPolicy{"": AbortOnFailure, "abort": AbortOnFailure, "retry": RetryTransient} {
+		got, err := ParseFaultPolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParseFaultPolicy(%q) = %v, %v", s, got, err)
+		}
+		if got.String() == "unknown" {
+			t.Errorf("%v has no name", got)
+		}
+	}
+	if _, err := ParseFaultPolicy("yolo"); err == nil {
+		t.Error("bad policy accepted")
 	}
 }
 

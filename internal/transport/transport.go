@@ -24,6 +24,79 @@ import "errors"
 // (TCP) a peer process dying. internal/mpi re-exports it as mpi.ErrAborted.
 var ErrAborted = errors.New("mpi: world aborted")
 
+// FaultPolicy selects how a transport responds to communication failures —
+// connection resets, corrupted frames, stalled writes.
+type FaultPolicy int
+
+const (
+	// AbortOnFailure is fail-stop: the first failed operation on any link
+	// aborts the whole world (the default, and the only behavior the local
+	// transport has — in-process "links" cannot fail).
+	AbortOnFailure FaultPolicy = iota
+	// RetryTransient is fail-recover: a failed link is reconnected with
+	// capped exponential backoff and the frames the peer did not receive are
+	// replayed in order, so a transient fault is invisible to the runtime. A
+	// peer that stays unreachable past the reconnect window still aborts the
+	// world with ErrAborted.
+	RetryTransient
+)
+
+// String returns the policy name (the -fault-policy flag spelling).
+func (p FaultPolicy) String() string {
+	switch p {
+	case AbortOnFailure:
+		return "abort"
+	case RetryTransient:
+		return "retry"
+	}
+	return "unknown"
+}
+
+// ParseFaultPolicy parses the -fault-policy flag spelling.
+func ParseFaultPolicy(s string) (FaultPolicy, error) {
+	switch s {
+	case "abort", "":
+		return AbortOnFailure, nil
+	case "retry":
+		return RetryTransient, nil
+	}
+	return 0, errors.New("transport: unknown fault policy " + s + " (want abort or retry)")
+}
+
+// FaultStats counts a transport's failure and recovery activity.
+type FaultStats struct {
+	// LinkFailures is the number of times a connection was declared failed
+	// (reset, corrupted frame, stalled write, EOF without a Bye).
+	LinkFailures uint64
+	// Reconnects is the number of links successfully re-established.
+	Reconnects uint64
+	// DialRetries is the number of failed reconnect dial attempts.
+	DialRetries uint64
+	// ReplayedFrames / ReplayedBytes count the data frames retransmitted
+	// after reconnects because the peer had not received them.
+	ReplayedFrames uint64
+	ReplayedBytes  uint64
+}
+
+// FaultReporter is implemented by transports that track fault recovery.
+type FaultReporter interface {
+	FaultStats() FaultStats
+}
+
+// PolicyReporter is implemented by transports with a configurable fault
+// policy; the runtime surfaces it through mpi.World.
+type PolicyReporter interface {
+	Policy() FaultPolicy
+}
+
+// FrameMarker is implemented by wrapped connections (fault injectors) that
+// want to observe frame boundaries: the transport calls BeginFrame before
+// writing each frame's bytes. Returning an error fails the write, which the
+// transport treats exactly like a connection failure.
+type FrameMarker interface {
+	BeginFrame(op byte, size int) error
+}
+
 // Message is one delivered point-to-point payload.
 type Message struct {
 	Src, Tag int

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 )
@@ -12,25 +13,41 @@ import (
 // direction (magic, protocol version, world size, rank, advertised listen
 // address), after which the stream is a sequence of length-prefixed frames:
 //
-//	[u32 length][u8 op][u32 src][i32 tag][u64 seq][f64 time][payload]
+//	[u32 length][u8 op][u32 src][i32 tag][u64 seq][f64 time][u32 crc][payload]
 //
 // length counts everything after itself (header + payload), all integers are
 // big-endian, and time is an IEEE-754 bit pattern. src names the sending
 // rank, tag is the point-to-point tag (OpP2P only), seq is the collective
-// sequence number (OpExchange only; both sides count their collective calls,
-// so a mismatch means the SPMD contract was broken).
+// sequence number (OpExchange; both sides count their collective calls, so a
+// mismatch means the SPMD contract was broken) or the link-level cumulative
+// frame count (OpResume/OpAck). crc is the CRC-32C of the header fields
+// after length plus the payload: supercomputer interconnects corrupt bytes,
+// TCP's 16-bit checksum misses some of them, and an undetected flip would
+// silently break the byte-identical-output guarantee. Any burst error of 32
+// bits or fewer — in particular any single corrupted byte — is guaranteed to
+// be detected and surfaces as ErrBadFrame, which the fault-tolerant
+// transport treats as a link failure (reconnect + replay) rather than
+// delivering bad data.
 const (
 	// Magic identifies a Mimir transport connection ("MIMR").
 	Magic = 0x4D494D52
 	// Version is the wire protocol version; both sides must match exactly.
-	Version = 1
+	// Version 2 added the per-frame CRC-32C and the OpResume/OpAck link
+	// recovery ops.
+	Version = 2
 
-	// frameHeaderLen is the encoded size of op+src+tag+seq+time.
-	frameHeaderLen = 1 + 4 + 4 + 8 + 8
+	// frameHeaderLen is the encoded size of op+src+tag+seq+time+crc.
+	frameHeaderLen = 1 + 4 + 4 + 8 + 8 + 4
+	// HeaderLen is the frame header size after the length prefix, exported
+	// for fault-injection tooling that corrupts frames at byte granularity.
+	HeaderLen = frameHeaderLen
 	// MaxFrameSize bounds length so corrupted or hostile length prefixes
 	// cannot trigger huge allocations.
 	MaxFrameSize = 1 << 30
 )
+
+// crcTab is the Castagnoli table (hardware-accelerated on amd64/arm64).
+var crcTab = crc32.MakeTable(crc32.Castagnoli)
 
 // Frame operations.
 const (
@@ -45,8 +62,15 @@ const (
 	OpBye byte = 4
 	// OpTable is the bootstrap address table rank 0 sends each worker.
 	OpTable byte = 5
+	// OpResume is the reconnect handshake: Seq is the cumulative count of
+	// data frames (OpP2P/OpExchange) the sender has received on this link,
+	// telling the peer where to resume its replay.
+	OpResume byte = 6
+	// OpAck acknowledges receipt of the first Seq data frames on this link,
+	// letting the sender prune its replay buffer.
+	OpAck byte = 7
 
-	opMax = OpTable
+	opMax = OpAck
 )
 
 // ErrBadFrame is wrapped by every frame decoding failure.
@@ -62,14 +86,24 @@ type Frame struct {
 	Data []byte
 }
 
-// AppendFrame appends the encoding of f to dst and returns the result.
-func AppendFrame(dst []byte, f *Frame) []byte {
+// appendFrameHeader appends the length prefix and header of f (for a payload
+// of len(f.Data), whose bytes are NOT appended) to dst.
+func appendFrameHeader(dst []byte, f *Frame) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, uint32(frameHeaderLen+len(f.Data)))
+	start := len(dst)
 	dst = append(dst, f.Op)
 	dst = binary.BigEndian.AppendUint32(dst, f.Src)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(f.Tag))
 	dst = binary.BigEndian.AppendUint64(dst, f.Seq)
 	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(f.Time))
+	crc := crc32.Update(0, crcTab, dst[start:])
+	crc = crc32.Update(crc, crcTab, f.Data)
+	return binary.BigEndian.AppendUint32(dst, crc)
+}
+
+// AppendFrame appends the encoding of f to dst and returns the result.
+func AppendFrame(dst []byte, f *Frame) []byte {
+	dst = appendFrameHeader(dst, f)
 	return append(dst, f.Data...)
 }
 
@@ -110,8 +144,8 @@ func ReadFrame(r io.Reader) (*Frame, error) {
 	if n > MaxFrameSize {
 		return nil, fmt.Errorf("%w: length %d exceeds limit %d", ErrBadFrame, n, MaxFrameSize)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
+	body, err := readBody(r, int(n))
+	if err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
@@ -120,10 +154,46 @@ func ReadFrame(r io.Reader) (*Frame, error) {
 	return parseFrameBody(body)
 }
 
+// readBody reads an n-byte frame body without trusting n for the initial
+// allocation: a corrupted or hostile length prefix must not make the
+// receiver allocate gigabytes before the stream proves it actually has the
+// bytes, so memory grows chunk by chunk with the data.
+func readBody(r io.Reader, n int) ([]byte, error) {
+	const chunk = 1 << 20
+	if n <= chunk {
+		b := make([]byte, n)
+		_, err := io.ReadFull(r, b)
+		return b, err
+	}
+	b := make([]byte, chunk)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	for len(b) < n {
+		take := n - len(b)
+		if take > chunk {
+			take = chunk
+		}
+		start := len(b)
+		b = append(b, make([]byte, take)...)
+		if _, err := io.ReadFull(r, b[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
 // parseFrameBody decodes the post-length portion of a frame. body is owned
 // by the caller and the payload is aliased, not copied (ReadFrame passes a
 // fresh buffer; DecodeFrame documents aliasing via the consumed count).
 func parseFrameBody(body []byte) (*Frame, error) {
+	const crcOff = frameHeaderLen - 4
+	want := binary.BigEndian.Uint32(body[crcOff:])
+	got := crc32.Update(0, crcTab, body[:crcOff])
+	got = crc32.Update(got, crcTab, body[frameHeaderLen:])
+	if got != want {
+		return nil, fmt.Errorf("%w: crc mismatch (got %#x want %#x, %d bytes)", ErrBadFrame, got, want, len(body))
+	}
 	f := &Frame{
 		Op:   body[0],
 		Src:  binary.BigEndian.Uint32(body[1:]),
@@ -143,13 +213,7 @@ func parseFrameBody(body []byte) (*Frame, error) {
 // WriteFrame writes f to w (typically a buffered writer; the caller
 // flushes).
 func WriteFrame(w io.Writer, f *Frame) error {
-	buf := make([]byte, 0, 4+frameHeaderLen)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(frameHeaderLen+len(f.Data)))
-	buf = append(buf, f.Op)
-	buf = binary.BigEndian.AppendUint32(buf, f.Src)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(f.Tag))
-	buf = binary.BigEndian.AppendUint64(buf, f.Seq)
-	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(f.Time))
+	buf := appendFrameHeader(make([]byte, 0, 4+frameHeaderLen), f)
 	if _, err := w.Write(buf); err != nil {
 		return err
 	}

@@ -21,6 +21,8 @@ func TestFrameRoundTrip(t *testing.T) {
 		{Op: OpAbort, Src: 7, Tag: 42, Time: math.Inf(1), Data: []byte("cause")},
 		{Op: OpBye, Src: 1},
 		{Op: OpTable, Src: 0, Data: encodeTable([]string{"a:1", "b:2"})},
+		{Op: OpResume, Src: 2, Seq: 1234},
+		{Op: OpAck, Src: 3, Seq: 1 << 33},
 	}
 	var stream []byte
 	for _, f := range frames {
@@ -81,6 +83,22 @@ func TestDecodeFrameErrors(t *testing.T) {
 	}
 	if _, err := ReadFrame(bytes.NewReader(nil)); err != io.EOF {
 		t.Errorf("ReadFrame on empty stream: %v, want io.EOF", err)
+	}
+}
+
+// TestCRCDetectsCorruption flips every post-length byte of a valid frame and
+// asserts the CRC catches it: a single corrupted byte is a burst error of at
+// most 8 bits, which CRC-32 is guaranteed to detect.
+func TestCRCDetectsCorruption(t *testing.T) {
+	enc := AppendFrame(nil, &Frame{Op: OpP2P, Src: 2, Tag: 5, Seq: 9, Time: 1.5, Data: []byte("payload!")})
+	for off := 4; off < len(enc); off++ {
+		for _, mask := range []byte{0x01, 0x80, 0xFF} {
+			mut := append([]byte(nil), enc...)
+			mut[off] ^= mask
+			if _, _, err := DecodeFrame(mut); !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("corruption at offset %d mask %#x decoded: %v", off, mask, err)
+			}
+		}
 	}
 }
 

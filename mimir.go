@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"mimir/internal/core"
+	"mimir/internal/faultinject"
 	"mimir/internal/kvbuf"
 	"mimir/internal/mem"
 	"mimir/internal/mpi"
@@ -107,32 +108,119 @@ type (
 // worker process dies.
 var ErrAborted = mpi.ErrAborted
 
+// Fault handling for the TCP transport (see internal/transport).
+type (
+	// FaultPolicy selects fail-stop (AbortOnFailure) or fail-recover
+	// (RetryTransient) behavior when a TCP link faults.
+	FaultPolicy = mpi.FaultPolicy
+	// FaultStats counts link failures, reconnects, dial retries, and
+	// replayed frames/bytes; read it from World.FaultStats.
+	FaultStats = mpi.FaultStats
+)
+
+// Fault policies (TCPOptions.Policy).
+const (
+	// AbortOnFailure poisons the world on the first link fault (default).
+	AbortOnFailure = mpi.AbortOnFailure
+	// RetryTransient reconnects with capped exponential backoff and resumes
+	// via sequence-numbered replay; a peer unreachable past the reconnect
+	// window still aborts the world.
+	RetryTransient = mpi.RetryTransient
+)
+
+// ParseFaultPolicy parses "abort" or "retry" (the -fault-policy flag values).
+var ParseFaultPolicy = transport.ParseFaultPolicy
+
+// TCPOptions configures a multi-process world's fault handling.
+type TCPOptions struct {
+	// Policy selects how every process reacts to link faults.
+	Policy FaultPolicy
+	// ReconnectWindow bounds RetryTransient recovery per link; a peer that
+	// stays unreachable longer aborts the world. 0 means the transport's
+	// default (10s).
+	ReconnectWindow time.Duration
+	// Deadline is the per-I/O deadline. 0 means the default (10s).
+	Deadline time.Duration
+	// Faults is a deterministic fault-injection spec in the
+	// internal/faultinject grammar, e.g. "seed:42,kill:rank2@round3" or
+	// "seed:7,reset:all@frame1". Empty means no injection. The spec is
+	// forwarded to spawned workers so every process plays its part.
+	Faults string
+}
+
+// faulted wires opts.Faults into cfg (the connection-level hook) and returns
+// the injector, or nil when no faults are scheduled.
+func faulted(opts TCPOptions, cfg *transport.TCPConfig) (*faultinject.Injector, error) {
+	spec, err := faultinject.ParseSpec(opts.Faults)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Empty() {
+		return nil, nil
+	}
+	inj := faultinject.New(spec, cfg.Rank)
+	cfg.WrapConn = inj.WrapConn
+	return inj, nil
+}
+
 // SpawnTCPWorld makes this process rank 0 of a size-rank multi-process world
 // and launches size-1 copies of this binary on the loopback interface as the
 // other ranks. The copies must call TCPWorldFromEnv early and run the same
 // job. Ranks run on wall-clock time; byte movement is real TCP. Close the
 // world when done, then Wait the children.
 func SpawnTCPWorld(size int) (*World, *TCPChildren, error) {
-	tr, children, err := transport.SpawnLocal(size, 0)
+	return SpawnTCPWorldOpts(size, TCPOptions{})
+}
+
+// SpawnTCPWorldOpts is SpawnTCPWorld with fault handling configured. The
+// policy, reconnect window, and fault spec travel to the workers through the
+// environment, so the whole world — parent and children — shares one
+// configuration.
+func SpawnTCPWorldOpts(size int, opts TCPOptions) (*World, *TCPChildren, error) {
+	cfg := transport.TCPConfig{Rank: 0}
+	inj, err := faulted(opts, &cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	return mpi.NewWorld(mpi.Config{Transport: tr}), children, nil
+	tr, children, err := transport.SpawnLocalOpts(size, transport.SpawnOptions{
+		Deadline:        opts.Deadline,
+		Policy:          opts.Policy,
+		ReconnectWindow: opts.ReconnectWindow,
+		Faults:          opts.Faults,
+		WrapConn:        cfg.WrapConn,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var t transport.Transport = tr
+	if inj != nil {
+		t = inj.Wrap(tr)
+	}
+	return mpi.NewWorld(mpi.Config{Transport: t}), children, nil
 }
 
 // TCPWorldFromEnv joins the multi-process world a parent SpawnTCPWorld (or
-// any launcher setting the MIMIR_TCP_* environment) created. The second
+// any launcher setting the MIMIR_TCP_* environment) created, including any
+// fault policy and fault-injection spec the parent forwarded. The second
 // return is false when this process was not launched as a worker.
 func TCPWorldFromEnv() (*World, bool, error) {
 	cfg, ok, err := transport.FromEnv()
 	if !ok || err != nil {
 		return nil, ok, err
 	}
+	inj, err := faulted(TCPOptions{Faults: transport.FaultsFromEnv()}, &cfg)
+	if err != nil {
+		return nil, true, err
+	}
 	tr, err := transport.NewTCP(cfg)
 	if err != nil {
 		return nil, true, err
 	}
-	return mpi.NewWorld(mpi.Config{Transport: tr}), true, nil
+	var t transport.Transport = tr
+	if inj != nil {
+		t = inj.Wrap(tr)
+	}
+	return mpi.NewWorld(mpi.Config{Transport: t}), true, nil
 }
 
 // NewTCPWorld attaches this process to a multi-process world as the given
@@ -141,11 +229,32 @@ func TCPWorldFromEnv() (*World, bool, error) {
 // path for launches across machines or terminals. A successful return means
 // the full mesh is up.
 func NewTCPWorld(addr string, rank, size int, deadline time.Duration) (*World, error) {
-	tr, err := transport.NewTCP(transport.TCPConfig{Addr: addr, Rank: rank, Size: size, Deadline: deadline})
+	return NewTCPWorldOpts(addr, rank, size, TCPOptions{Deadline: deadline})
+}
+
+// NewTCPWorldOpts is NewTCPWorld with fault handling configured. Unlike the
+// spawn path there is no environment forwarding: every process of an
+// explicit rendezvous must be launched with the same options.
+func NewTCPWorldOpts(addr string, rank, size int, opts TCPOptions) (*World, error) {
+	cfg := transport.TCPConfig{
+		Addr: addr, Rank: rank, Size: size,
+		Deadline:        opts.Deadline,
+		Policy:          opts.Policy,
+		ReconnectWindow: opts.ReconnectWindow,
+	}
+	inj, err := faulted(opts, &cfg)
 	if err != nil {
 		return nil, err
 	}
-	return mpi.NewWorld(mpi.Config{Transport: tr}), nil
+	tr, err := transport.NewTCP(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var t transport.Transport = tr
+	if inj != nil {
+		t = inj.Wrap(tr)
+	}
+	return mpi.NewWorld(mpi.Config{Transport: t}), nil
 }
 
 // KV encoding (see internal/kvbuf).

@@ -16,6 +16,7 @@ import (
 
 	"mimir"
 	"mimir/internal/driver"
+	"mimir/internal/metrics"
 	"mimir/internal/workloads"
 )
 
@@ -49,6 +50,15 @@ func TestMain(m *testing.M) {
 		}
 		world.Close()
 		os.Exit(0)
+	case "wordcount-abort":
+		// A scheduled fault kills one rank mid-job; every rank — the killed
+		// one and the survivors — must come back with ErrAborted.
+		if _, err := driver.WordCount(world, tcpTestConfig, nil); errors.Is(err, mimir.ErrAborted) {
+			os.Exit(0)
+		} else {
+			fmt.Fprintf(os.Stderr, "worker wordcount-abort: err = %v, want ErrAborted\n", err)
+			os.Exit(1)
+		}
 	case "die":
 		err := world.Run(func(c *mimir.Comm) error {
 			if err := c.Barrier(); err != nil {
@@ -107,6 +117,96 @@ func TestTCPWordCountMatchesInProcess(t *testing.T) {
 	}
 	if !bytes.Equal(got, want) {
 		t.Fatalf("multi-process output differs from in-process output: %d vs %d bytes", len(got), len(want))
+	}
+}
+
+// TestTCPWordCountSurvivesInjectedResets is the fail-recover acceptance
+// test: a 4-process TCP WordCount with a connection reset injected on every
+// rank's links must complete with output byte-identical to the fault-free
+// in-process run, and the metrics summary must show the recovery happened
+// (at least one reconnect).
+func TestTCPWordCountSurvivesInjectedResets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks processes")
+	}
+	const ranks = 4
+	want, err := driver.WordCount(mimir.NewWorld(ranks), tcpTestConfig, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Setenv(testModeEnv, "wordcount")
+	world, children, err := mimir.SpawnTCPWorldOpts(ranks, mimir.TCPOptions{
+		Policy: mimir.RetryTransient,
+		Faults: "seed:42,reset:all@frame1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := metrics.NewSummary()
+	got, err := driver.WordCount(world, tcpTestConfig, sum)
+	if err != nil {
+		children.Kill()
+		t.Fatal(err)
+	}
+	if err := world.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if err := children.Wait(); err != nil {
+		t.Fatalf("worker process failed: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("faulted run output differs from fault-free run: %d vs %d bytes", len(got), len(want))
+	}
+	rec := sum.Get("net-reconnects")
+	if rec == nil || rec.Max < 1 {
+		t.Fatalf("metrics report no reconnects; the injected resets exercised nothing (series: %v)", sum.Names())
+	}
+	lf := sum.Get("net-link-failures")
+	t.Logf("recovered: %v link failures, %v reconnects, replayed %v frames",
+		lf.Max, rec.Max, sum.Get("net-replayed-frames").Max)
+}
+
+// TestTCPInjectedKillAbortsSurvivors schedules a permanent process death via
+// the fault injector: rank 2 severs all links at its second collective round.
+// The survivors must give up after the reconnect window and surface
+// ErrAborted — quickly, not after the full bootstrap/I/O deadlines.
+func TestTCPInjectedKillAbortsSurvivors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks processes")
+	}
+	const ranks = 4
+	t.Setenv(testModeEnv, "wordcount-abort")
+	world, children, err := mimir.SpawnTCPWorldOpts(ranks, mimir.TCPOptions{
+		Policy:          mimir.RetryTransient,
+		ReconnectWindow: 500 * time.Millisecond,
+		Faults:          "seed:42,kill:rank2@round1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer children.Kill()
+
+	start := time.Now()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := driver.WordCount(world, tcpTestConfig, nil)
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, mimir.ErrAborted) {
+			t.Fatalf("rank 0 got %v, want ErrAborted", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("rank 0 still blocked 30s after the scheduled kill")
+	}
+	t.Logf("abort surfaced on rank 0 %v after launch", time.Since(start).Round(time.Millisecond))
+	world.Close()
+	// Every worker (the killed rank included) observed ErrAborted and
+	// exited cleanly — the kill is injected, not an os.Exit.
+	if err := children.Wait(); err != nil {
+		t.Fatalf("worker did not see a clean abort: %v", err)
 	}
 }
 

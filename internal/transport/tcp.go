@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -41,8 +42,11 @@ type TCPConfig struct {
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
 	// MaxReplay caps the per-link replay buffer (unacknowledged sent
-	// frames) under RetryTransient; exceeding it aborts the world rather
-	// than growing without bound. 0 means 64 MB.
+	// frames) under RetryTransient. A sender that exceeds it while the
+	// link is up blocks until the peer's acks prune the buffer (flow
+	// control); if no ack arrives within ReconnectWindow — or the link is
+	// down when the cap is hit — the world aborts rather than growing the
+	// buffer without bound. 0 means 64 MB.
 	MaxReplay int64
 
 	// WrapConn, when non-nil, wraps every established mesh connection —
@@ -96,7 +100,10 @@ func (c TCPConfig) validate() error {
 const writeChunk = 128 << 10
 
 // ackEvery is how many data frames a receiver lets accumulate before
-// acknowledging them (OpAck), bounding the sender's replay buffer.
+// acknowledging them (OpAck), bounding the sender's replay buffer. Large
+// frames reach the sender's MaxReplay byte cap long before ackEvery frames
+// accumulate, so maybeAck also acks once the unacknowledged bytes pass a
+// quarter of MaxReplay — whichever threshold trips first.
 const ackEvery = 32
 
 // TCP is the multi-process transport: this process hosts exactly one rank
@@ -156,6 +163,9 @@ type tcpPeer struct {
 	down       bool
 	downSince  time.Time
 	recovering bool
+	// readerDone is closed when the current generation's readLoop exits;
+	// replaced by install alongside conn/gen. Guarded by wmu.
+	readerDone chan struct{}
 
 	// rmu guards the replay ledger. It is only ever held briefly (no I/O),
 	// so the ack path can take it without risking the distributed deadlock
@@ -166,8 +176,10 @@ type tcpPeer struct {
 	replay      [][]byte // encoded frames (ackedSeq, sentSeq], RetryTransient only
 	replayBytes int64
 
-	recvSeq atomic.Uint64 // data frames delivered from this peer
-	lastAck atomic.Uint64 // recvSeq value of the last OpAck we sent
+	recvSeq      atomic.Uint64 // data frames delivered from this peer
+	recvBytes    atomic.Uint64 // encoded bytes of those frames (sender-side accounting mirror)
+	lastAck      atomic.Uint64 // recvSeq value of the last OpAck we sent
+	lastAckBytes atomic.Uint64 // recvBytes value of the last OpAck we sent
 
 	bmu sync.Mutex
 	bye bool // peer announced clean shutdown; EOF is not a death
@@ -206,8 +218,15 @@ func writeConnChunks(conn net.Conn, buf []byte, deadline time.Duration) error {
 
 // beginFrame announces a frame boundary to a fault-injecting conn wrapper.
 func beginFrame(conn net.Conn, f *Frame) error {
+	return beginFrameRaw(conn, f.Op, frameHeaderLen+len(f.Data))
+}
+
+// beginFrameRaw is beginFrame for a frame that only exists in encoded form
+// (the replay path): op and size come from the encoded bytes, so the marker
+// sees the frame's true length, not a placeholder.
+func beginFrameRaw(conn net.Conn, op byte, size int) error {
 	if fm, ok := conn.(FrameMarker); ok {
-		return fm.BeginFrame(f.Op, frameHeaderLen+len(f.Data))
+		return fm.BeginFrame(op, size)
 	}
 	return nil
 }
@@ -239,11 +258,12 @@ func (p *tcpPeer) writeFrame(f *Frame) error {
 		p.sentSeq++
 		p.replay = append(p.replay, buf)
 		p.replayBytes += int64(len(buf))
-		over := p.replayBytes > t.cfg.MaxReplay
+		over := p.replayOverLocked()
 		p.rmu.Unlock()
 		if over {
-			return fmt.Errorf("transport: replay buffer for rank %d exceeds %d bytes (peer down too long?)",
-				p.rank, t.cfg.MaxReplay)
+			if err := p.waitReplayRoom(); err != nil {
+				return err
+			}
 		}
 	}
 	if p.down || p.conn == nil {
@@ -264,6 +284,69 @@ func (p *tcpPeer) writeFrame(f *Frame) error {
 		return err
 	}
 	return nil
+}
+
+// replayOverLocked reports whether the replay buffer is over the byte cap.
+// A single pending frame is exempt: it has to be held for replay whatever
+// its size, and capping it would turn one large Exchange payload into an
+// abort. Caller holds p.rmu.
+func (p *tcpPeer) replayOverLocked() bool {
+	return p.replayBytes > p.t.cfg.MaxReplay && len(p.replay) > 1
+}
+
+// waitReplayRoom blocks a writer whose replay buffer passed MaxReplay until
+// the peer's cumulative acks prune it back under the cap: on a healthy link
+// acks keep arriving (the reader processes them under rmu alone), so this is
+// flow control for a sender that outruns the ack round-trip, not a failure.
+// A link that is down delivers no acks and cannot recover while the writer
+// holds wmu, so that case fails immediately; a link that dies mid-wait fails
+// when ReconnectWindow passes without room — the same bound a failed
+// reconnect has. Called with wmu held.
+func (p *tcpPeer) waitReplayRoom() error {
+	t := p.t
+	deadline := time.Now().Add(t.cfg.ReconnectWindow)
+	for {
+		p.rmu.Lock()
+		over := p.replayOverLocked()
+		bytes := p.replayBytes
+		p.rmu.Unlock()
+		if !over {
+			return nil
+		}
+		if err := t.abortError(); err != nil {
+			return err
+		}
+		if p.down || p.conn == nil {
+			return fmt.Errorf("transport: replay buffer for rank %d exceeds %d bytes (%d unacknowledged) while the link is down",
+				p.rank, t.cfg.MaxReplay, bytes)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("transport: replay buffer for rank %d exceeds %d bytes (%d unacknowledged) and no ack arrived within %v",
+				p.rank, t.cfg.MaxReplay, bytes, t.cfg.ReconnectWindow)
+		}
+		// Holding wmu starves the reader's maybeAck for this link (it only
+		// TryLocks), so flush any ack we owe the peer ourselves — two ranks
+		// mid-large-transfer would otherwise each park here waiting for acks
+		// the other side can no longer send.
+		if n := p.recvSeq.Load(); n > p.lastAck.Load() {
+			af := &Frame{Op: OpAck, Src: uint32(t.rank), Seq: n}
+			abuf := AppendFrame(make([]byte, 0, 4+frameHeaderLen), af)
+			err := beginFrame(p.conn, af)
+			if err == nil {
+				err = writeConnChunks(p.conn, abuf, t.cfg.Deadline)
+			}
+			if err == nil {
+				p.lastAck.Store(n)
+				p.lastAckBytes.Store(p.recvBytes.Load())
+			} else {
+				// The reader cannot declare the link down while we hold wmu;
+				// do it here so the next loop iteration fails fast instead of
+				// spinning out the whole window on a dead conn.
+				t.linkDownLocked(p, p.gen, err)
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // exchQueue buffers one peer's collective contributions in arrival order.
@@ -368,10 +451,11 @@ func (t *TCP) addPeer(rank int, conn net.Conn) {
 		conn = t.cfg.WrapConn(rank, conn)
 	}
 	t.peers[rank] = &tcpPeer{
-		t:    t,
-		rank: rank,
-		conn: conn,
-		gen:  1,
+		t:          t,
+		rank:       rank,
+		conn:       conn,
+		gen:        1,
+		readerDone: make(chan struct{}),
 	}
 }
 
@@ -392,7 +476,7 @@ func (t *TCP) start() (*TCP, error) {
 	for _, p := range t.peers {
 		if p != nil {
 			t.readers.Add(1)
-			go t.readLoop(p, p.conn, p.gen)
+			go t.readLoop(p, p.conn, p.gen, p.readerDone)
 		}
 	}
 	t.started.Store(true)
@@ -839,6 +923,9 @@ func (t *TCP) redialOnce(p *tcpPeer) error {
 		conn.Close()
 		return fmt.Errorf("transport: reconnect reply from rank %d size %d, want rank %d", h.Rank, h.Size, p.rank)
 	}
+	// The previous generation's reader must be fully drained before the
+	// resume snapshot, or frames it is still delivering arrive twice.
+	p.quiesce()
 	if err := WriteFrame(conn, &Frame{Op: OpResume, Src: uint32(t.rank), Seq: p.recvSeq.Load()}); err != nil {
 		conn.Close()
 		return err
@@ -918,12 +1005,40 @@ func (t *TCP) handleReaccept(conn net.Conn) {
 		conn.Close()
 		return
 	}
+	// An incoming reconnect may replace a conn this side still believes
+	// healthy: quiesce its reader before the resume snapshot, or frames it
+	// is still delivering arrive twice via the peer's replay.
+	p.quiesce()
 	if err := WriteFrame(conn, &Frame{Op: OpResume, Src: uint32(t.rank), Seq: p.recvSeq.Load()}); err != nil {
 		conn.Close()
 		return
 	}
 	conn.SetDeadline(time.Time{})
 	t.install(p, conn, rf.Seq)
+}
+
+// quiesce retires the peer's current connection generation: close the conn
+// (if any) and wait for that generation's readLoop to drain its buffer and
+// exit. Both reconnect paths call it before snapshotting recvSeq for the
+// OpResume handshake — an old reader still delivering frames buffered in its
+// bufio.Reader would otherwise increment recvSeq after the snapshot, making
+// the peer replay frames that were in fact delivered, and the duplicates
+// would break the exactly-once guarantee (spurious SPMD-order aborts for
+// collectives, silent double delivery for p2p). Frames the close discards
+// before the old reader consumed them are safe: they were never counted, so
+// the resume asks the peer to replay them.
+func (p *tcpPeer) quiesce() {
+	p.wmu.Lock()
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+	}
+	done := p.readerDone
+	p.wmu.Unlock()
+	// Wait without wmu: the exiting reader may need it (linkDown).
+	if done != nil {
+		<-done
+	}
 }
 
 // install finishes a reconnect on either side: prune the replay buffer to
@@ -968,12 +1083,15 @@ func (t *TCP) install(p *tcpPeer, conn net.Conn, theirRecv uint64) error {
 	p.conn = conn
 	p.gen++
 	gen := p.gen
+	p.readerDone = make(chan struct{})
 	t.readers.Add(1)
-	go t.readLoop(p, conn, gen)
+	go t.readLoop(p, conn, gen, p.readerDone)
 
 	for _, buf := range pending {
-		f := Frame{Op: buf[4]} // first header byte after the length prefix
-		err := beginFrame(conn, &f)
+		// Op is the first header byte after the length prefix, and the
+		// prefix itself is the true header+data size — the frame marker
+		// must see the real length, not a bare-header placeholder.
+		err := beginFrameRaw(conn, buf[4], int(binary.BigEndian.Uint32(buf)))
 		if err == nil {
 			err = writeConnChunks(conn, buf, t.cfg.Deadline)
 		}
@@ -1032,15 +1150,19 @@ func (p *tcpPeer) handleAck(upTo uint64) {
 	p.rmu.Unlock()
 }
 
-// maybeAck sends a cumulative ack once enough unacknowledged data frames
-// have arrived. It runs on the reader goroutine and must never block on the
-// write lock (a reader parked on wmu while the local writer is stalled on a
-// peer whose reader is symmetrically parked would distribute-deadlock), so
-// it uses TryLock and simply retries at the next frame when the writer is
-// busy. Ack loss is harmless: the counts are cumulative.
+// maybeAck sends a cumulative ack once enough unacknowledged data frames —
+// by count (ackEvery) or by encoded bytes (a quarter of the sender's
+// MaxReplay cap, so large frames are acknowledged long before the sender's
+// replay buffer fills) — have arrived. It runs on the reader goroutine and
+// must never block on the write lock (a reader parked on wmu while the
+// local writer is stalled on a peer whose reader is symmetrically parked
+// would distribute-deadlock), so it uses TryLock and simply retries at the
+// next frame when the writer is busy. Ack loss is harmless: the counts are
+// cumulative.
 func (t *TCP) maybeAck(p *tcpPeer) {
 	n := p.recvSeq.Load()
-	if n-p.lastAck.Load() < ackEvery {
+	b := p.recvBytes.Load()
+	if n-p.lastAck.Load() < ackEvery && b-p.lastAckBytes.Load() < uint64(t.cfg.MaxReplay/4) {
 		return
 	}
 	if !p.wmu.TryLock() {
@@ -1054,6 +1176,7 @@ func (t *TCP) maybeAck(p *tcpPeer) {
 	buf := AppendFrame(make([]byte, 0, 4+frameHeaderLen), f)
 	if beginFrame(p.conn, f) == nil && writeConnChunks(p.conn, buf, t.cfg.Deadline) == nil {
 		p.lastAck.Store(n)
+		p.lastAckBytes.Store(b)
 	}
 	// On error: the reader or writer on this conn notices the failure; the
 	// ack retries after the reconnect.
@@ -1065,8 +1188,9 @@ func (t *TCP) maybeAck(p *tcpPeer) {
 // the whole world aborts (a killed worker becomes ErrAborted everywhere
 // instead of a hang); under RetryTransient the link enters recovery and
 // this reader retires — install starts a new one for the next generation.
-func (t *TCP) readLoop(p *tcpPeer, conn net.Conn, gen int) {
+func (t *TCP) readLoop(p *tcpPeer, conn net.Conn, gen int, done chan struct{}) {
 	defer t.readers.Done()
+	defer close(done) // quiesce waits on this before a resume snapshot
 	br := bufio.NewReaderSize(conn, 64<<10)
 	for {
 		f, err := ReadFrame(br)
@@ -1084,12 +1208,14 @@ func (t *TCP) readLoop(p *tcpPeer, conn net.Conn, gen int) {
 		switch f.Op {
 		case OpP2P:
 			p.recvSeq.Add(1)
+			p.recvBytes.Add(uint64(4 + frameHeaderLen + len(f.Data)))
 			t.mbox.put(Message{Src: p.rank, Tag: int(f.Tag), Data: f.Data, Time: f.Time})
 			if t.cfg.Policy == RetryTransient {
 				t.maybeAck(p)
 			}
 		case OpExchange:
 			p.recvSeq.Add(1)
+			p.recvBytes.Add(uint64(4 + frameHeaderLen + len(f.Data)))
 			t.exq[p.rank].push(f)
 			if t.cfg.Policy == RetryTransient {
 				t.maybeAck(p)

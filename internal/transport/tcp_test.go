@@ -242,6 +242,232 @@ func TestTCPKillUnderRetrySurfacesAbortFast(t *testing.T) {
 	}
 }
 
+// TestTCPReconnectResumeWaitsForDrainingReader pins down the resume
+// snapshot race: a reconnect's resume snapshot must wait for the previous
+// connection generation's reader to drain the frames already buffered in
+// its bufio.Reader, or it advertises a stale receive count and the peer's
+// replay delivers those frames a second time.
+//
+// The race window is staged deterministically from inside the package:
+// rank 0's reader is parked mid-delivery by holding the mailbox lock while
+// a burst from rank 1 fills its bufio buffer with undelivered frames, then
+// the link is cut so rank 1 re-dials while the parked reader still owns
+// that backlog. Messages on one link arrive in order, so any duplicate
+// shifts the received sequence and shows up as a payload mismatch.
+func TestTCPReconnectResumeWaitsForDrainingReader(t *testing.T) {
+	const size = 2
+	const pause = 150 * time.Millisecond
+	trs := startMeshCfg(t, size, func(rank int, cfg *TCPConfig) {
+		cfg.Policy = RetryTransient
+		cfg.ReconnectWindow = 5 * time.Second
+		cfg.BackoffBase = 5 * time.Millisecond
+		if rank == 0 {
+			// Each read sleeps first, then pulls up to a full bufio buffer:
+			// the whole burst below lands in the kernel during one sleep and
+			// arrives in rank 0's bufio in a single gulp.
+			cfg.WrapConn = func(peer int, c net.Conn) net.Conn {
+				return &slowReadConn{Conn: c, chunk: 64 << 10, pause: pause}
+			}
+		}
+	})
+	const msgs = 20
+	payload := func(i int) []byte { return bytes.Repeat([]byte{byte(i)}, 4096) }
+
+	// Park rank 0's reader: the first burst frame it delivers blocks in
+	// mbox.put (its recvSeq increment already done), stranding the rest of
+	// the bufio gulp undelivered — the reviewer's "old reader still
+	// delivering buffered frames" state, held open for as long as needed.
+	trs[0].mbox.mu.Lock()
+	ep1 := trs[1].Endpoint(1)
+	for i := 0; i < msgs; i++ {
+		if err := ep1.Send(0, 9, payload(i), 0); err != nil {
+			trs[0].mbox.mu.Unlock()
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	// Reader's gulp happens one pause after its previous read; add slack so
+	// it has read the burst and parked on the mailbox lock.
+	time.Sleep(2 * pause)
+
+	// Cut the link from rank 1's side: rank 1 re-dials and the two sides
+	// run the resume handshake while rank 0's old reader is still parked on
+	// its backlog.
+	p1 := trs[1].peers[0]
+	p1.wmu.Lock()
+	gen := p1.gen
+	p1.wmu.Unlock()
+	trs[1].linkDown(p1, gen, fmt.Errorf("test: injected cut"))
+	time.Sleep(pause)
+
+	// Release the parked reader only now, well after the reconnect started.
+	trs[0].mbox.mu.Unlock()
+
+	ep0 := trs[0].Endpoint(0)
+	for i := 0; i < msgs; i++ {
+		m, err := ep0.Recv(1, 9)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if !bytes.Equal(m.Data, payload(i)) {
+			t.Fatalf("message %d: got payload %d (duplicate delivery from a stale resume snapshot?)", i, m.Data[0])
+		}
+	}
+	// Nothing may trail the expected sequence: a duplicate of the last few
+	// frames would otherwise go unnoticed.
+	time.Sleep(2 * pause)
+	if m, ok, _ := ep0.TryRecv(1, 9); ok {
+		t.Fatalf("extra message with payload %d after the full sequence (duplicate delivery)", m.Data[0])
+	}
+	if trs[1].FaultStats().Reconnects == 0 {
+		t.Fatal("no reconnect happened; the staged cut did not exercise the resume path")
+	}
+}
+
+// TestTCPLargeFramesDoNotOverflowReplayCap is the regression test for the
+// replay-cap false positive: frames large relative to MaxReplay used to
+// blow the byte cap on a perfectly healthy link — ackEvery frames is far
+// more than MaxReplay bytes — and abort the world. The receiver must ack on
+// a byte threshold too, and a sender that still outruns the ack round-trip
+// must flow-control itself instead of aborting.
+func TestTCPLargeFramesDoNotOverflowReplayCap(t *testing.T) {
+	const size = 2
+	trs := startMeshCfg(t, size, func(rank int, cfg *TCPConfig) {
+		cfg.Policy = RetryTransient
+		cfg.MaxReplay = 256 << 10
+	})
+	// 24 frames of 64 KiB: six times the cap, but fewer than ackEvery, so
+	// frame-count acks alone would never prune the replay buffer in time.
+	payload := bytes.Repeat([]byte{0xAB}, 64<<10)
+	const frames = 24
+	done := make(chan error, 1)
+	go func() {
+		ep := trs[1].Endpoint(1)
+		for i := 0; i < frames; i++ {
+			m, err := ep.Recv(0, 7)
+			if err != nil {
+				done <- fmt.Errorf("recv %d: %w", i, err)
+				return
+			}
+			if !bytes.Equal(m.Data, payload) {
+				done <- fmt.Errorf("recv %d: corrupt payload", i)
+				return
+			}
+		}
+		done <- nil
+	}()
+	ep := trs[0].Endpoint(0)
+	for i := 0; i < frames; i++ {
+		if err := ep.Send(1, 7, payload, 0); err != nil {
+			t.Fatalf("send %d: %v (healthy link hit the replay cap?)", i, err)
+		}
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("receiver did not drain the burst")
+	}
+}
+
+// markRecorder records the frame boundaries a fault injector would see, so
+// tests can assert the transport announces true frame sizes.
+type markRecorder struct {
+	net.Conn
+	mu    sync.Mutex
+	ops   []byte
+	sizes []int
+}
+
+func (c *markRecorder) BeginFrame(op byte, size int) error {
+	c.mu.Lock()
+	c.ops = append(c.ops, op)
+	c.sizes = append(c.sizes, size)
+	c.mu.Unlock()
+	return nil
+}
+
+// TestTCPReplayAnnouncesTrueFrameSize: replayed frames only exist in encoded
+// form, and the replay path used to announce them to FrameMarker with a
+// bare-header size, confining injected faults on the replay path to the
+// frame's first bytes. Every frame that can end up in the replay carries a
+// 4 KiB payload here (the only empty data frame, the initial barrier, is
+// acknowledged by the time the world is up), so no data frame on a
+// post-reconnect connection may announce a header-only size.
+func TestTCPReplayAnnouncesTrueFrameSize(t *testing.T) {
+	const size = 2
+	cuts := int32(1)
+	var mu sync.Mutex
+	var reconnRecs []*markRecorder // recorders on rank 0's post-initial conns
+	wraps := 0
+	trs := startMeshCfg(t, size, func(rank int, cfg *TCPConfig) {
+		cfg.Policy = RetryTransient
+		cfg.ReconnectWindow = 5 * time.Second
+		cfg.BackoffBase = 5 * time.Millisecond
+		if rank == 0 {
+			cfg.WrapConn = func(peer int, c net.Conn) net.Conn {
+				cut := &cutConn{Conn: c, trigger: 10, cuts: &cuts}
+				rec := &markRecorder{Conn: cut}
+				mu.Lock()
+				wraps++
+				if wraps > 1 {
+					reconnRecs = append(reconnRecs, rec)
+				}
+				mu.Unlock()
+				return rec
+			}
+		}
+	})
+	const rounds = 30
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ep := trs[r].Endpoint(r)
+			for round := 0; round < rounds; round++ {
+				send := make([][]byte, size)
+				for dst := range send {
+					send[dst] = bytes.Repeat([]byte{byte(r), byte(round)}, 2048)
+				}
+				if _, _, err := ep.Exchange(send, 0); err != nil {
+					errs[r] = fmt.Errorf("round %d: %w", round, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	if got := trs[0].FaultStats().ReplayedFrames; got < 1 {
+		t.Fatalf("nothing replayed; the mid-frame cut must strand at least the cut frame")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(reconnRecs) == 0 {
+		t.Fatal("no reconnect connection was wrapped")
+	}
+	headerOnly := 0
+	for _, rec := range reconnRecs {
+		rec.mu.Lock()
+		for i, op := range rec.ops {
+			if (op == OpP2P || op == OpExchange) && rec.sizes[i] <= HeaderLen {
+				headerOnly++
+			}
+		}
+		rec.mu.Unlock()
+	}
+	if headerOnly > 0 {
+		t.Fatalf("%d data frames on reconnect conns announced header-only sizes; replay must report true frame lengths", headerOnly)
+	}
+}
+
 // slowReadConn throttles reads: a peer that is alive but drains slowly.
 type slowReadConn struct {
 	net.Conn

@@ -17,6 +17,7 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -25,6 +26,19 @@ import (
 
 type wcOpts struct {
 	hint, pr, cps bool
+	workers       int
+}
+
+// defaultWorkers resolves the -workers default from MIMIR_WORKERS: 0 lets
+// the engine use all cores (GOMAXPROCS), 1 forces the serial path. Results
+// are byte-identical either way.
+func defaultWorkers() int {
+	if v := os.Getenv("MIMIR_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return 0
 }
 
 func main() {
@@ -36,8 +50,9 @@ func main() {
 	hint := flag.Bool("hint", true, "use the KV-hint (strz keys, fixed 8-byte counts)")
 	pr := flag.Bool("pr", true, "use partial reduction instead of convert+reduce")
 	cps := flag.Bool("cps", false, "use KV compression before the shuffle")
+	workers := flag.Int("workers", defaultWorkers(), "per-rank worker pool size (0 = all cores, 1 = serial; default from MIMIR_WORKERS)")
 	flag.Parse()
-	opts := wcOpts{hint: *hint, pr: *pr, cps: *cps}
+	opts := wcOpts{hint: *hint, pr: *pr, cps: *cps, workers: *workers}
 
 	// A copy of this binary forked by -transport=tcp joins the parent's
 	// world via the environment; it reads the same files and exits quietly
@@ -131,7 +146,7 @@ func runWC(world *mimir.World, lines [][]byte, opts wcOpts) (map[string]uint64, 
 	counts := map[string]uint64{}
 	gotRankZero := false
 	err := world.Run(func(c *mimir.Comm) error {
-		cfg := mimir.Config{Arena: arena}
+		cfg := mimir.Config{Arena: arena, Workers: opts.workers}
 		if opts.hint {
 			cfg.Hint = mimir.Hint{Key: mimir.StrZ(), Val: mimir.Fixed(8)}
 		}

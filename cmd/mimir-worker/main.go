@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"time"
 
 	"mimir"
@@ -33,6 +34,19 @@ import (
 	"mimir/internal/metrics"
 	"mimir/internal/workloads"
 )
+
+// defaultWorkers resolves the -workers default from MIMIR_WORKERS: 0 lets
+// the engine use all cores (GOMAXPROCS), 1 forces the serial path. The flag
+// (like all flags) is copied to -spawn children via os.Args, so the whole
+// world runs one pool size; output bytes are identical regardless.
+func defaultWorkers() int {
+	if v := os.Getenv("MIMIR_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return 0
+}
 
 func main() {
 	log.SetFlags(0)
@@ -56,6 +70,7 @@ func main() {
 		hint    = flag.Bool("hint", true, "use the KV-hint")
 		pr      = flag.Bool("pr", true, "use partial reduction")
 		cps     = flag.Bool("cps", false, "use KV compression")
+		workers = flag.Int("workers", defaultWorkers(), "per-rank worker pool size (0 = all cores, 1 = serial; default from MIMIR_WORKERS)")
 		mpath   = flag.String("metrics", "", "write per-rank distribution JSON to this file (- = stdout)")
 	)
 	flag.Parse()
@@ -66,6 +81,7 @@ func main() {
 		Hint:       *hint,
 		PR:         *pr,
 		CPS:        *cps,
+		Workers:    *workers,
 	}
 	switch *distArg {
 	case "uniform":

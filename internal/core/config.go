@@ -10,6 +10,8 @@
 package core
 
 import (
+	"runtime"
+
 	"mimir/internal/kvbuf"
 	"mimir/internal/mem"
 	"mimir/internal/pfs"
@@ -170,6 +172,22 @@ type Config struct {
 	// the same group. Optional; nil confines eviction to the rank's own
 	// pages.
 	SpillGroup *spill.Group
+	// Workers is the rank's intra-process worker pool size: the map phase,
+	// both convert passes, partial reduction, and reduce shard their work
+	// across this many goroutines, while every result — output bytes, page
+	// layout, exchange rounds, checkpoint files — stays byte-identical to a
+	// serial run. 1 is the serial path; 0 (the default) uses
+	// runtime.GOMAXPROCS(0), the hybrid MPI+threads layout of one process
+	// per node spanning its cores. Simulated time charges the slowest
+	// worker per phase (the max rule, like the overlap window), so Workers
+	// also models intra-node parallelism in the cost model. With Workers >
+	// 1 the map and reduce callbacks and any Combiner/PartialReduce/
+	// Partitioner functions must be safe for concurrent calls (pure
+	// functions, as all paper workloads are). Container-phase sharding
+	// engages only for purely in-memory jobs (OutOfCore: Error); under a
+	// spill policy the store serializes container access and only the map
+	// fan-out applies.
+	Workers int
 	// Partitioner overrides the hash function that assigns keys to ranks
 	// ("Users can provide alternative hash functions that suit their
 	// needs"). It must return a destination in [0, nranks) and be identical
@@ -189,6 +207,9 @@ func (c Config) withDefaults() Config {
 	zero := kvbuf.Hint{}
 	if c.Hint == zero {
 		c.Hint = kvbuf.DefaultHint()
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	return c
 }

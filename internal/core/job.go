@@ -31,11 +31,19 @@ type Job struct {
 	inputDone bool
 
 	// destination of received KVs: either a KV container (core workflow) or
-	// the partial-reduction bucket.
+	// the partial-reduction bucket — sharded across the worker pool when
+	// prParallel, single otherwise.
 	recvKVC *kvbuf.KVC
 	prBkt   *kvbuf.Bucket
+	prShard *kvbuf.ShardedBucket
+	// prSeq numbers received KVs across exchange rounds so the sharded
+	// bucket's merged scan reproduces serial insertion order.
+	prSeq uint64
 	// cpsBkt is the KV compression bucket, when enabled.
 	cpsBkt *kvbuf.Bucket
+
+	// Per-phase parallel-time accumulators for the worker pool (max rule).
+	parMap, parAggr, parConvert, parReduce parAcc
 
 	// store is the rank's out-of-core page store (nil under OutOfCore:
 	// Error). All KV/KMV container pages of this job register with it; it
@@ -83,6 +91,13 @@ type Stats struct {
 	// RestoredFromCheckpoint reports that the map and aggregate phases were
 	// skipped by resuming from a checkpoint.
 	RestoredFromCheckpoint bool
+	// Workers is the rank's worker-pool size (Config.Workers after
+	// defaulting); ParEff is the measured per-phase parallel efficiency,
+	// sum-over-workers / (Workers x max-over-workers) of the phase's
+	// sharded compute — 1.0 for perfectly balanced shards, for serial
+	// execution, and for phases that did no sharded work.
+	Workers int
+	ParEff  PhaseTimes
 	// Spill reports the rank's out-of-core activity (zero under OutOfCore:
 	// Error, and whenever the data fit under the watermark). Snapshot at
 	// job end; pages the Output spills later are not included.
@@ -173,6 +188,14 @@ func (j *Job) Run(input Input, mapFn MapFunc, reduceFn ReduceFunc) (*Output, err
 	if j.store != nil {
 		j.stats.Spill = j.store.Stats()
 	}
+	w := j.workers()
+	j.stats.Workers = w
+	j.stats.ParEff = PhaseTimes{
+		Map:       j.parMap.eff(w),
+		Aggregate: j.parAggr.eff(w),
+		Convert:   j.parConvert.eff(w),
+		Reduce:    j.parReduce.eff(w),
+	}
 	out.Stats = j.stats
 	return out, nil
 }
@@ -187,6 +210,10 @@ func (j *Job) cleanup() {
 	if j.prBkt != nil {
 		j.prBkt.Free()
 		j.prBkt = nil
+	}
+	if j.prShard != nil {
+		j.prShard.Free()
+		j.prShard = nil
 	}
 	if j.cpsBkt != nil {
 		j.cpsBkt.Free()
@@ -242,7 +269,11 @@ func (j *Job) mapAggregate(input Input, mapFn MapFunc) error {
 
 	// Destination of received KVs.
 	if j.cfg.PartialReduce != nil {
-		j.prBkt, err = newBucketForJob(j)
+		if j.prParallel() {
+			j.prShard, err = kvbuf.NewShardedBucket(j.cfg.Arena, j.cfg.PageSize, j.workers())
+		} else {
+			j.prBkt, err = newBucketForJob(j)
+		}
 		if err != nil {
 			return err
 		}
@@ -260,11 +291,28 @@ func (j *Job) mapAggregate(input Input, mapFn MapFunc) error {
 		}
 	}
 
-	emit := &mapEmitter{job: j}
-	err = input(func(rec Record) error {
-		j.charge(float64(len(rec.Key)+len(rec.Val))*j.cfg.Costs.MapPerByte, simtime.Compute)
-		return mapFn(rec, emit)
-	})
+	if j.workers() > 1 {
+		// Worker-pool map: buffer input records, fan each batch out over
+		// contiguous chunks, replay the staged output in worker order —
+		// the emit sequence (and so every downstream byte) matches serial.
+		batch := &recBatch{}
+		err = input(func(rec Record) error {
+			batch.add(rec)
+			if batch.full() {
+				return j.flushMapBatch(batch, mapFn)
+			}
+			return nil
+		})
+		if err == nil {
+			err = j.flushMapBatch(batch, mapFn)
+		}
+	} else {
+		emit := &mapEmitter{job: j}
+		err = input(func(rec Record) error {
+			j.charge(float64(len(rec.Key)+len(rec.Val))*j.cfg.Costs.MapPerByte, simtime.Compute)
+			return mapFn(rec, emit)
+		})
+	}
 	if err != nil {
 		return err
 	}
@@ -319,6 +367,13 @@ type mapEmitter struct {
 func (e *mapEmitter) Emit(k, v []byte) error {
 	j := e.job
 	j.charge(j.cfg.Costs.PerRecord+float64(len(k)+len(v))*j.cfg.Costs.KVPerByte, simtime.Compute)
+	return j.emitMapped(k, v)
+}
+
+// emitMapped routes one map-output KV past the per-emit cost charge: the
+// serial emitter charges the rank clock directly, the worker-pool path
+// accumulates the same cost per worker and replays staged KVs through here.
+func (j *Job) emitMapped(k, v []byte) error {
 	if j.cpsBkt != nil {
 		// KV compression "introduces extra computational overhead"
 		// (Section III-C2): every emitted KV pays a second hash-and-merge
@@ -451,6 +506,9 @@ func (j *Job) buildSend() [][]byte {
 // consumeRound folds one round's received chunks into the KV container or
 // partial-reduction bucket and charges the receive-side compute cost.
 func (j *Job) consumeRound(recv [][]byte) error {
+	if j.prShard != nil {
+		return j.consumeRoundSharded(recv)
+	}
 	var recvBytes int
 	for _, chunk := range recv {
 		recvBytes += len(chunk)
@@ -559,18 +617,24 @@ func (j *Job) consumeChunk(chunk []byte) error {
 func (j *Job) finish(reduceFn ReduceFunc) (*Output, error) {
 	// Partial reduction replaced convert+reduce; the bucket holds the
 	// final unique KVs.
-	if j.prBkt != nil {
+	if j.prBkt != nil || j.prShard != nil {
 		tReduce := j.comm.Clock().Now()
 		defer func() {
 			j.stats.Phases.Reduce = j.comm.Clock().Now() - tReduce
 		}()
 		out := kvbuf.NewKVCOn(j.pageStore(), j.cfg.Arena, j.cfg.PageSize, j.cfg.Hint)
-		err := j.prBkt.Scan(func(k, v []byte) error {
+		err := j.prScan(func(k, v []byte) error {
 			j.charge(j.cfg.Costs.PerRecord+float64(len(k)+len(v))*j.cfg.Costs.ReducePerByte, simtime.Compute)
 			return out.Append(k, v)
 		})
-		j.prBkt.Free()
-		j.prBkt = nil
+		if j.prBkt != nil {
+			j.prBkt.Free()
+			j.prBkt = nil
+		}
+		if j.prShard != nil {
+			j.prShard.Free()
+			j.prShard = nil
+		}
 		if err != nil {
 			out.Free()
 			return nil, err
@@ -589,8 +653,22 @@ func (j *Job) finish(reduceFn ReduceFunc) (*Output, error) {
 
 	// Convert (two passes, drains the input KVC) ...
 	tConvert := j.comm.Clock().Now()
-	j.charge(float64(j.recvKVC.Bytes())*j.cfg.Costs.ReducePerByte, simtime.Compute)
-	kmv, err := kvbuf.ConvertOn(j.pageStore(), j.recvKVC, j.cfg.Arena, j.cfg.PageSize, j.cfg.Hint)
+	var kmv *kvbuf.KMVC
+	var err error
+	if j.containersParallel() {
+		var work []int64
+		kmv, work, err = kvbuf.ConvertParallel(j.recvKVC, j.cfg.Arena, j.cfg.PageSize, j.cfg.Hint, j.workers())
+		if err == nil {
+			costs := make([]float64, len(work))
+			for i, wb := range work {
+				costs[i] = float64(wb) * j.cfg.Costs.ReducePerByte
+			}
+			j.charge(j.parConvert.add(costs), simtime.Compute)
+		}
+	} else {
+		j.charge(float64(j.recvKVC.Bytes())*j.cfg.Costs.ReducePerByte, simtime.Compute)
+		kmv, err = kvbuf.ConvertOn(j.pageStore(), j.recvKVC, j.cfg.Arena, j.cfg.PageSize, j.cfg.Hint)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -604,11 +682,15 @@ func (j *Job) finish(reduceFn ReduceFunc) (*Output, error) {
 		j.stats.Phases.Reduce = j.comm.Clock().Now() - tReduce
 	}()
 	out := kvbuf.NewKVCOn(j.pageStore(), j.cfg.Arena, j.cfg.PageSize, j.cfg.Hint)
-	red := &outputEmitter{job: j, kvc: out}
-	err = kmv.Scan(func(key []byte, vals *kvbuf.ValueIter) error {
-		j.charge(j.cfg.Costs.PerRecord, simtime.Compute)
-		return reduceFn(key, vals, red)
-	})
+	if j.containersParallel() {
+		err = j.reduceParallel(kmv, reduceFn, out)
+	} else {
+		red := &outputEmitter{job: j, kvc: out}
+		err = kmv.Scan(func(key []byte, vals *kvbuf.ValueIter) error {
+			j.charge(j.cfg.Costs.PerRecord, simtime.Compute)
+			return reduceFn(key, vals, red)
+		})
+	}
 	if err != nil {
 		out.Free()
 		return nil, err

@@ -28,6 +28,10 @@ type WordCountConfig struct {
 	Seed       uint64
 	// Optimizations (see workloads.StageOpts).
 	Hint, PR, CPS bool
+	// Workers is each rank's worker-pool size (see core.Config.Workers;
+	// 0 defaults to GOMAXPROCS, 1 is serial). Output bytes are identical
+	// either way.
+	Workers int
 }
 
 // WordCount runs cfg on every rank of world and gathers the result at rank
@@ -40,6 +44,7 @@ func WordCount(world *mpi.World, cfg WordCountConfig, sum *metrics.Summary) ([]b
 	var out []byte
 	err := world.Run(func(c *mpi.Comm) error {
 		eng := workloads.NewMimirEngine(c, mem.NewArena(0))
+		eng.Workers = cfg.Workers
 		opts := workloads.StageOpts{}
 		if cfg.Hint {
 			opts.Hint = workloads.WCHint()

@@ -81,6 +81,11 @@ type Spec struct {
 	OutOfCore core.OutOfCore
 	// Optimizations (Mimir honors all three; MR-MPI only CPS).
 	Hint, PR, CPS bool
+	// Workers sets each Mimir rank's intra-process worker pool. Unlike
+	// core.Config, the zero value pins 1 (serial), NOT GOMAXPROCS: figures
+	// must be machine-independent, so host core count may never leak into
+	// a simulated result. Set explicitly to model hybrid MPI+threads runs.
+	Workers int
 
 	Bench Bench
 	// WC: total dataset bytes (scaled). OC: total points. BFS: graph scale.
@@ -206,6 +211,10 @@ func RunWorld(world *mpi.World, spec Spec) Result {
 			me.OutOfCore = spec.OutOfCore
 			me.SpillFS = spillFS
 			me.SpillGroup = groups[c.Rank()/rpn]
+			me.Workers = spec.Workers
+			if me.Workers <= 0 {
+				me.Workers = 1 // machine-independent figures: never GOMAXPROCS
+			}
 			me.Costs = costs
 			eng = me
 		case MRMPI:

@@ -3,6 +3,7 @@ package kvbuf
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"mimir/internal/mem"
 )
@@ -87,4 +88,141 @@ func ConvertOn(store PageStore, in *KVC, arena *mem.Arena, pageSize int, hint Hi
 		return nil, err
 	}
 	return out, nil
+}
+
+// ConvertParallel is Convert with both passes sharded across a worker pool.
+// Keys are partitioned by hash into one shard per worker; every worker
+// decodes the full input stream (a cheap sequential scan) and processes
+// only its shard's KVs, so no two workers ever touch the same index entry
+// or the same KMV record. The record reservation between the passes stays
+// serial over the sharded index's sequence-merged scan, which reproduces
+// the single-bucket first-appearance order — the output KMVC is therefore
+// byte-identical to Convert's, record ids included.
+//
+// Pass 2 keeps Convert's drain property: each input page is released the
+// moment every worker has scattered its shard's values out of it, so peak
+// memory stays max(input, output) + index rather than their sum.
+//
+// The input container must not be registered on a PageStore (parallel
+// container phases are the purely in-memory execution mode; the caller
+// falls back to ConvertOn otherwise). The returned slice holds the per-
+// worker key+value bytes processed, for max-over-workers time accounting.
+func ConvertParallel(in *KVC, arena *mem.Arena, pageSize int, hint Hint, workers int) (*KMVC, []int64, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	// Pass 1: per-key statistics, sharded. Same 12-byte stat records as the
+	// serial pass: [count uint32][valBytes uint32][recID uint32].
+	idx, err := NewShardedBucket(arena, pageSize, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer idx.Free()
+
+	work := make([]int64, workers)
+	if err := parallelShards(workers, func(w int) error {
+		var stat [12]byte
+		var seq uint64
+		return in.Scan(func(k, v []byte) error {
+			cur := seq
+			seq++
+			if idx.ShardOf(k) != w {
+				return nil
+			}
+			work[w] += int64(len(k) + len(v))
+			binary.LittleEndian.PutUint32(stat[0:], 1)
+			binary.LittleEndian.PutUint32(stat[4:], uint32(len(v)))
+			binary.LittleEndian.PutUint32(stat[8:], 0)
+			return idx.Upsert(w, cur, k, stat[:], func(existing, incoming []byte) ([]byte, error) {
+				count := binary.LittleEndian.Uint32(existing[0:]) + 1
+				vb := binary.LittleEndian.Uint32(existing[4:]) + binary.LittleEndian.Uint32(incoming[4:])
+				binary.LittleEndian.PutUint32(existing[0:], count)
+				binary.LittleEndian.PutUint32(existing[4:], vb)
+				return existing, nil
+			})
+		})
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	// Reserve all records serially in merged first-appearance order.
+	out := NewKMVC(arena, pageSize, hint)
+	err = idx.Scan(func(k, v []byte) error {
+		count := int(binary.LittleEndian.Uint32(v[0:]))
+		valBytes := int(binary.LittleEndian.Uint32(v[4:]))
+		id, err := out.NewRecord(k, count, valBytes)
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(v[8:], uint32(id))
+		return nil
+	})
+	if err != nil {
+		out.Free()
+		return nil, nil, err
+	}
+
+	// Pass 2: scatter values page by page. All workers finish a page before
+	// it is freed, mirroring Drain's early release; the container is empty
+	// afterwards, even on error.
+	npages := in.buf.numPages()
+	in.nkv = 0
+	var firstErr error
+	for i := 0; i < npages; i++ {
+		if firstErr == nil {
+			p, err := in.buf.pinPage(i)
+			if err != nil {
+				firstErr = err
+			} else {
+				err := parallelShards(workers, func(w int) error {
+					return in.scanPage(p, func(k, v []byte) error {
+						if idx.ShardOf(k) != w {
+							return nil
+						}
+						sv, ok := idx.Get(k)
+						if !ok {
+							return fmt.Errorf("kvbuf: convert pass 2 found unindexed key %q", k)
+						}
+						return out.AppendValue(int(binary.LittleEndian.Uint32(sv[8:])), v)
+					})
+				})
+				in.buf.unpinPage(i)
+				if err != nil {
+					firstErr = err
+				}
+			}
+		}
+		in.buf.freePage(i)
+	}
+	in.buf.clear()
+	if firstErr != nil {
+		out.Free()
+		return nil, nil, firstErr
+	}
+	return out, work, nil
+}
+
+// parallelShards runs fn(w) for every shard worker concurrently and returns
+// the lowest-numbered worker's error, so a multi-worker failure reports the
+// same error on every run regardless of goroutine scheduling.
+func parallelShards(workers int, fn func(w int) error) error {
+	if workers == 1 {
+		return fn(0)
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = fn(w)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

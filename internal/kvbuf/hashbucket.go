@@ -197,6 +197,14 @@ func (b *Bucket) insert(h uint64, k, v []byte) error {
 	return nil
 }
 
+// Entry returns the i'th entry in insertion order (0 <= i < Len). The
+// slices alias bucket memory. It is the random-access counterpart of Scan,
+// used by the sharded bucket's ordered merge.
+func (b *Bucket) Entry(i int) (k, v []byte) {
+	e := &b.entries[i]
+	return b.data.at(e.keyRef, int(e.keyLen)), b.data.at(e.valRef, int(e.valLen))
+}
+
 // Scan calls fn for every (key, value) in insertion order, making iteration
 // deterministic. Slices alias bucket memory.
 func (b *Bucket) Scan(fn func(k, v []byte) error) error {

@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -28,6 +30,57 @@ type World struct {
 	Ep   transport.Endpoint
 	Rank int
 	Size int
+	// Workers is the rank's intra-rank pool size: payload construction and
+	// verification fan out over this many goroutines (1 = serial). Transport
+	// calls themselves stay on the rank goroutine — the endpoint contract
+	// does not promise concurrent use — so Workers changes only who computes
+	// the bytes, never what crosses the wire. Scenario digests must be
+	// byte-identical at every pool size.
+	Workers int
+}
+
+// pfor computes fn(0..n-1) over the world's worker pool and returns the
+// results in index order; errors report the lowest failing index. The
+// serial path (Workers <= 1) calls fn inline in order.
+func (w *World) pfor(n int, fn func(i int) ([]byte, error)) ([][]byte, error) {
+	outs := make([][]byte, n)
+	workers := w.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			b, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			outs[i] = b
+		}
+		return outs, nil
+	}
+	errs := make([]error, n)
+	var next int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				outs[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
 }
 
 // Scenario is one SPMD contract check: Run executes on every rank and
@@ -83,9 +136,12 @@ func Scenarios() []Scenario {
 func scExchangeRounds(w *World) ([]byte, error) {
 	var out []byte
 	for round := 0; round < 4; round++ {
-		send := make([][]byte, w.Size)
-		for dst := range send {
-			send[dst] = pattern(round, w.Rank, dst, 64+16*round)
+		round := round
+		send, err := w.pfor(w.Size, func(dst int) ([]byte, error) {
+			return pattern(round, w.Rank, dst, 64+16*round), nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		now := float64(10*w.Rank + round)
 		recv, tmax, err := w.Ep.Exchange(send, now)
@@ -95,11 +151,17 @@ func scExchangeRounds(w *World) ([]byte, error) {
 		if want := float64(10*(w.Size-1) + round); tmax != want {
 			return nil, fmt.Errorf("round %d: tmax %v, want %v", round, tmax, want)
 		}
-		for src := range recv {
+		checked, err := w.pfor(len(recv), func(src int) ([]byte, error) {
 			if err := checkPattern(recv[src], round, src, w.Rank, 64+16*round); err != nil {
 				return nil, err
 			}
-			out = append(out, recv[src]...)
+			return recv[src], nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range checked {
+			out = append(out, c...)
 		}
 	}
 	return out, nil
@@ -121,21 +183,30 @@ func scExchangeBarrier(w *World) ([]byte, error) {
 func scExchangeRagged(w *World) ([]byte, error) {
 	var out []byte
 	for round := 0; round < 3; round++ {
-		send := make([][]byte, w.Size)
-		for dst := range send {
+		round := round
+		send, err := w.pfor(w.Size, func(dst int) ([]byte, error) {
 			n := 32 * ((w.Rank + dst + round) % 3) // 0, 32, or 64 bytes
-			send[dst] = pattern(100+round, w.Rank, dst, n)
+			return pattern(100+round, w.Rank, dst, n), nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		recv, _, err := w.Ep.Exchange(send, 0)
 		if err != nil {
 			return nil, err
 		}
-		for src := range recv {
+		checked, err := w.pfor(len(recv), func(src int) ([]byte, error) {
 			n := 32 * ((src + w.Rank + round) % 3)
 			if err := checkPattern(recv[src], 100+round, src, w.Rank, n); err != nil {
 				return nil, err
 			}
-			out = append(out, recv[src]...)
+			return recv[src], nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range checked {
+			out = append(out, c...)
 			out = append(out, '|')
 		}
 	}
@@ -146,20 +217,28 @@ func scExchangeRagged(w *World) ([]byte, error) {
 // under fault injection, to be cut mid-frame and replayed).
 func scExchangeLarge(w *World) ([]byte, error) {
 	const n = 384 << 10
-	send := make([][]byte, w.Size)
-	for dst := range send {
-		send[dst] = pattern(7, w.Rank, dst, n)
+	send, err := w.pfor(w.Size, func(dst int) ([]byte, error) {
+		return pattern(7, w.Rank, dst, n), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	recv, _, err := w.Ep.Exchange(send, 0)
 	if err != nil {
 		return nil, err
 	}
-	sum := sha256.New()
-	for src := range recv {
+	checked, err := w.pfor(len(recv), func(src int) ([]byte, error) {
 		if err := checkPattern(recv[src], 7, src, w.Rank, n); err != nil {
 			return nil, err
 		}
-		sum.Write(recv[src])
+		return recv[src], nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.New()
+	for _, c := range checked {
+		sum.Write(c)
 	}
 	return sum.Sum(nil), nil
 }
@@ -170,23 +249,40 @@ func scP2PRing(w *World) ([]byte, error) {
 	right := (w.Rank + 1) % w.Size
 	left := (w.Rank + w.Size - 1) % w.Size
 	var out []byte
-	for i := 0; i < 4; i++ {
-		if err := w.Ep.Send(right, i, pattern(200+i, w.Rank, right, 48), 0); err != nil {
+	payloads, err := w.pfor(4, func(i int) ([]byte, error) {
+		return pattern(200+i, w.Rank, right, 48), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range payloads {
+		if err := w.Ep.Send(right, i, p, 0); err != nil {
 			return nil, err
 		}
 	}
-	for i := 0; i < 4; i++ {
+	got := make([]transport.Message, 4)
+	for i := range got {
 		m, err := w.Ep.Recv(left, i)
 		if err != nil {
 			return nil, err
 		}
+		got[i] = m
+	}
+	checked, err := w.pfor(len(got), func(i int) ([]byte, error) {
+		m := got[i]
 		if m.Src != left || m.Tag != i {
 			return nil, fmt.Errorf("recv: got (src %d, tag %d), want (%d, %d)", m.Src, m.Tag, left, i)
 		}
 		if err := checkPattern(m.Data, 200+i, left, w.Rank, 48); err != nil {
 			return nil, err
 		}
-		out = append(out, m.Data...)
+		return m.Data, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range checked {
+		out = append(out, c...)
 	}
 	if _, _, err := w.Ep.Exchange(nil, 0); err != nil {
 		return nil, err
@@ -213,11 +309,17 @@ func scP2PGatherAny(w *World) ([]byte, error) {
 			msgs = append(msgs, m)
 		}
 		sort.Slice(msgs, func(i, j int) bool { return msgs[i].Src < msgs[j].Src })
-		for _, m := range msgs {
-			if err := checkPattern(m.Data, 300, m.Src, 0, 40); err != nil {
+		checked, err := w.pfor(len(msgs), func(i int) ([]byte, error) {
+			if err := checkPattern(msgs[i].Data, 300, msgs[i].Src, 0, 40); err != nil {
 				return nil, err
 			}
-			out = append(out, m.Data...)
+			return msgs[i].Data, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range checked {
+			out = append(out, c...)
 		}
 		if _, ok, err := w.Ep.TryRecv(transport.AnySource, transport.AnyTag); err != nil {
 			return nil, err
@@ -254,18 +356,25 @@ type Builder func(t testing.TB, size int) []transport.Transport
 // results. Two conforming transports return identical maps; Run compares
 // them for you.
 func Digests(t *testing.T, build Builder) map[string]string {
+	return DigestsWorkers(t, build, 1)
+}
+
+// DigestsWorkers is Digests with every rank running an intra-rank worker
+// pool of the given size. Digests are defined by the serial run; any pool
+// size must reproduce them exactly.
+func DigestsWorkers(t *testing.T, build Builder, workers int) map[string]string {
 	t.Helper()
 	out := make(map[string]string)
 	for _, sc := range Scenarios() {
 		sc := sc
 		t.Run(sc.Name, func(t *testing.T) {
-			out[sc.Name] = runScenario(t, sc, build)
+			out[sc.Name] = runScenario(t, sc, build, workers)
 		})
 	}
 	return out
 }
 
-func runScenario(t *testing.T, sc Scenario, build Builder) string {
+func runScenario(t *testing.T, sc Scenario, build Builder, workers int) string {
 	t.Helper()
 	trs := build(t, WorldSize)
 	defer func() {
@@ -281,7 +390,7 @@ func runScenario(t *testing.T, sc Scenario, build Builder) string {
 		for _, rank := range tr.LocalRanks() {
 			started++
 			go func(tr transport.Transport, rank int) {
-				w := &World{T: tr, Ep: tr.Endpoint(rank), Rank: rank, Size: WorldSize}
+				w := &World{T: tr, Ep: tr.Endpoint(rank), Rank: rank, Size: WorldSize, Workers: workers}
 				results[rank], errs[rank] = sc.Run(w)
 				done <- rank
 			}(tr, rank)
@@ -321,11 +430,21 @@ func runScenario(t *testing.T, sc Scenario, build Builder) string {
 // byte-identical to the reference (the local transport's).
 func Run(t *testing.T, build Builder) {
 	t.Helper()
+	RunWorkers(t, build, 1)
+}
+
+// RunWorkers executes the full suite at the given intra-rank pool size and
+// asserts the digests are byte-identical to the serial golden run on the
+// local transport — the cross-product contract: neither the transport nor
+// the worker pool may change a single observable byte.
+func RunWorkers(t *testing.T, build Builder, workers int) {
+	t.Helper()
 	ref := Digests(t, LocalBuilder)
-	got := Digests(t, build)
+	got := DigestsWorkers(t, build, workers)
 	for name, want := range ref {
 		if got[name] != want {
-			t.Errorf("scenario %s: digest %s, want %s (not byte-identical to local transport)", name, got[name], want)
+			t.Errorf("scenario %s: workers=%d digest %s, want %s (not byte-identical to the serial local run)",
+				name, workers, got[name], want)
 		}
 	}
 }

@@ -51,6 +51,7 @@ func main() {
 	pr := flag.Bool("pr", true, "use partial reduction instead of convert+reduce")
 	cps := flag.Bool("cps", false, "use KV compression before the shuffle")
 	workers := flag.Int("workers", defaultWorkers(), "per-rank worker pool size (0 = all cores, 1 = serial; default from MIMIR_WORKERS)")
+	compress := flag.Bool("compress", false, "with -transport=tcp: compress wire frames (flate, per frame)")
 	flag.Parse()
 	opts := wcOpts{hint: *hint, pr: *pr, cps: *cps, workers: *workers}
 
@@ -88,7 +89,7 @@ func main() {
 		if len(flag.Args()) == 0 {
 			log.Fatal("-transport=tcp requires file arguments (forked workers cannot re-read stdin)")
 		}
-		world, children, err = mimir.SpawnTCPWorld(*ranks)
+		world, children, err = mimir.SpawnTCPWorldOpts(*ranks, mimir.TCPOptions{Compress: *compress})
 		if err != nil {
 			log.Fatal(err)
 		}

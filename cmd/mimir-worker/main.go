@@ -63,6 +63,7 @@ func main() {
 		policyArg = flag.String("fault-policy", "abort", "link fault handling: abort (fail-stop) or retry (reconnect + replay)")
 		faults    = flag.String("faults", "", "deterministic fault-injection spec, e.g. seed:42,kill:rank2@round3")
 		window    = flag.Duration("reconnect-window", 0, "with -fault-policy retry: give up on an unreachable peer after this long (0 = default 10s)")
+		compress  = flag.Bool("compress", false, "compress TCP wire frames (flate, per frame); trades CPU for bytes on the wire")
 
 		bytes   = flag.Int64("bytes", 1<<20, "total corpus bytes across all ranks")
 		distArg = flag.String("dist", "uniform", "corpus distribution: uniform or wikipedia")
@@ -101,6 +102,7 @@ func main() {
 		ReconnectWindow: *window,
 		Deadline:        *timeout,
 		Faults:          *faults,
+		Compress:        *compress,
 	}
 
 	// A process re-executed by -spawn joins the parent's world via the

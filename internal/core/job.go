@@ -26,6 +26,10 @@ type Job struct {
 	active   int // index of the set the map is filling
 	partSize int
 	partOffs [][]int // per-set write offset within each partition
+	// sendSlices is buildSend's reusable per-destination header array: both
+	// exchange paths copy the send payloads at post time, so the array can
+	// be repopulated every round instead of reallocated.
+	sendSlices [][]byte
 	// pending is the in-flight exchange of the inactive set (overlap only).
 	pending   *mpi.AlltoallvRequest
 	inputDone bool
@@ -470,6 +474,7 @@ func (j *Job) exchange(done bool) (allDone bool, err error) {
 	if err := j.consumeRound(recv); err != nil {
 		return false, err
 	}
+	j.comm.Recycle(recv) // consumeRound copied every chunk out
 
 	flag := int64(0)
 	if done {
@@ -486,10 +491,15 @@ func (j *Job) exchange(done bool) (allDone bool, err error) {
 // partition set, accounts the shuffled bytes, then resets the set's offsets
 // and counts the round. The slices stay valid until the set is overwritten,
 // which both exchange paths guarantee happens only after every rank has
-// read them (the rendezvous copies at post time).
+// read them (the rendezvous copies at post time). That post-time copy also
+// makes the header array itself reusable across rounds, so each round
+// repopulates j.sendSlices instead of allocating.
 func (j *Job) buildSend() [][]byte {
 	p := j.comm.Size()
-	send := make([][]byte, p)
+	if j.sendSlices == nil {
+		j.sendSlices = make([][]byte, p)
+	}
+	send := j.sendSlices
 	off := j.partOffs[j.active]
 	for dest := 0; dest < p; dest++ {
 		base := (j.active*p + dest) * j.partSize
@@ -553,6 +563,7 @@ func (j *Job) completeRound() (allDone bool, err error) {
 	if err := j.consumeRound(recv); err != nil {
 		return false, err
 	}
+	j.comm.Recycle(recv) // consumeRound copied every chunk out
 
 	flag := int64(0)
 	if j.inputDone && j.activeEmpty() {

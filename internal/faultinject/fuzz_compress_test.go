@@ -1,0 +1,139 @@
+package faultinject
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"runtime"
+	"testing"
+
+	"mimir/internal/transport"
+)
+
+// FuzzCompressedWire is FuzzFaultedWire for wire v3's compressed frames: the
+// frame is encoded with the compression bit set (deflated payload behind a
+// raw-length prefix, CRC over the COMPRESSED bytes), then damaged exactly the
+// way the injector damages streams — truncation at every offset and
+// single-byte corruption at every offset. Every outcome must be a clean
+// error (ErrBadFrame for post-length corruption, since the CRC covers the
+// wire bytes); never a panic, a hang, or a silent misdecode into different
+// payload bytes.
+func FuzzCompressedWire(f *testing.F) {
+	f.Add(uint32(1), int32(-1), uint64(7), []byte("the quick brown fox jumps over the lazy dog, repeatedly and compressibly: "), byte(0x5A), 8)
+	f.Add(uint32(3), int32(0), uint64(1<<40), bytes.Repeat([]byte{0xAB, 0xCD}, 400), byte(0x01), 1)
+	f.Add(uint32(0), int32(9), uint64(0), bytes.Repeat([]byte("wordcount "), 64), byte(0x80), 3)
+	f.Fuzz(func(t *testing.T, src uint32, tag int32, seq uint64, seedData []byte, mask byte, reps int) {
+		if mask == 0 {
+			mask = 0xFF
+		}
+		// Grow redundancy so the payload actually compresses; cap the size to
+		// keep the per-offset loops fast.
+		if reps < 1 {
+			reps = 1
+		}
+		data := bytes.Repeat(seedData, 1+reps%8)
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		valid := &transport.Frame{Op: transport.OpP2P, Src: src, Tag: tag, Seq: seq, Data: data}
+		enc, compressed := transport.AppendFrameCompressed(nil, valid)
+		got, _, err := transport.DecodeFrame(enc)
+		if err != nil {
+			t.Fatalf("valid compressed frame rejected: %v", err)
+		}
+		if !bytes.Equal(got.Data, data) {
+			t.Fatalf("round trip mismatch: %d bytes in, %d out", len(data), len(got.Data))
+		}
+
+		// Truncation at every offset: always an error, never a hang or panic.
+		for cut := 0; cut < len(enc); cut++ {
+			if _, _, err := transport.DecodeFrame(enc[:cut]); err == nil {
+				t.Fatalf("truncation to %d of %d bytes decoded", cut, len(enc))
+			}
+			if _, err := transport.ReadFrame(bytes.NewReader(enc[:cut])); err == nil {
+				t.Fatalf("ReadFrame of %d-byte truncation succeeded", cut)
+			}
+		}
+
+		// Corruption at every offset. CRC-32C is computed over the encoded
+		// (compressed) bytes, so any single-byte flip past the length prefix
+		// is detected BEFORE the deflate stream is even opened — corrupt
+		// compressed input can never reach the decompressor.
+		mut := make([]byte, len(enc))
+		for off := 0; off < len(enc); off++ {
+			copy(mut, enc)
+			mut[off] ^= mask
+			f2, _, err := transport.DecodeFrame(mut)
+			if off >= 4 {
+				if !errors.Is(err, transport.ErrBadFrame) {
+					t.Fatalf("corruption at offset %d (mask %#x) decoded to %+v, err %v", off, mask, f2, err)
+				}
+			} else if err == nil && !bytes.Equal(f2.Data, data) {
+				// A flipped length prefix that still frames a CRC-valid region
+				// can only be the original frame; anything else must error.
+				t.Fatalf("length-prefix corruption at %d misdecoded", off)
+			}
+			transport.ReadFrame(bytes.NewReader(mut)) // must not panic
+		}
+
+		// A lying raw-length prefix inside an otherwise CRC-valid frame: take
+		// the compressed payload, inflate the declared raw size to the
+		// maximum, re-frame with a fresh CRC (modeling a malicious peer rather
+		// than line noise) and require a clean error without the declared
+		// allocation.
+		if compressed {
+			tampered := tamperRawLen(enc, 1<<30)
+			f3, _, err := transport.DecodeFrame(tampered)
+			if err == nil {
+				t.Fatalf("lying raw length decoded to %d bytes", len(f3.Data))
+			}
+		}
+	})
+}
+
+// tamperRawLen rewrites a compressed frame's declared raw length and
+// recomputes the frame CRC (Castagnoli over the header fields after the
+// length prefix plus the payload, exactly as wire.go does), so only the
+// decompressor itself can catch the lie.
+func tamperRawLen(enc []byte, rawLen uint32) []byte {
+	out := append([]byte(nil), enc...)
+	body := out[4:]
+	binary.BigEndian.PutUint32(body[transport.HeaderLen:], rawLen)
+	tab := crc32.MakeTable(crc32.Castagnoli)
+	crc := crc32.Update(0, tab, body[:transport.HeaderLen-4])
+	crc = crc32.Update(crc, tab, body[transport.HeaderLen:])
+	binary.BigEndian.PutUint32(body[transport.HeaderLen-4:], crc)
+	return out
+}
+
+// TestCompressedLyingLengthBoundedAllocation pins the decompressor's chunked
+// growth: a CRC-valid compressed frame whose raw-length prefix claims ~1 GB
+// but whose deflate stream holds only a few bytes must fail with a bounded
+// allocation, never the claimed gigabyte.
+func TestCompressedLyingLengthBoundedAllocation(t *testing.T) {
+	f := &transport.Frame{Op: transport.OpP2P, Src: 1, Tag: 2, Seq: 3,
+		Data: bytes.Repeat([]byte("abcdefgh"), 64)}
+	enc, ok := transport.AppendFrameCompressed(nil, f)
+	if !ok {
+		t.Fatal("512 repeated bytes did not compress")
+	}
+	tampered := tamperRawLen(enc, 1<<29)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if _, _, err := transport.DecodeFrame(tampered); err == nil {
+		t.Fatal("lying raw length decoded")
+	}
+	runtime.ReadMemStats(&after)
+	// The decompressor grows its output in bounded chunks and stops at the
+	// real end of the deflate stream; far below the declared 512 MiB.
+	if grown := after.TotalAlloc - before.TotalAlloc; grown > 64<<20 {
+		t.Fatalf("lying length allocated %d bytes", grown)
+	}
+	// Streamed byte-by-byte it must fail the same way.
+	if _, err := transport.ReadFrame(io.LimitReader(bytes.NewReader(tampered), int64(len(tampered)))); err == nil {
+		t.Fatal("lying frame decoded from stream")
+	}
+}

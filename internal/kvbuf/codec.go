@@ -196,6 +196,69 @@ func (h Hint) Decode(buf []byte) (k, v []byte, n int, err error) {
 	return k, v, pos, nil
 }
 
+// Measure returns the number of bytes the first KV in buf occupies, with
+// exactly Decode's validation and errors, but without materializing the key
+// or value. It is the scan half of the AppendChunk fast path: whole runs of
+// measured KVs can then be moved with one copy instead of a decode/encode
+// round trip per KV.
+func (h Hint) Measure(buf []byte) (int, error) {
+	pos := 0
+	klen, vlen := -1, -1
+	if h.Key.IsVarlen() {
+		if pos+4 > len(buf) {
+			return 0, fmt.Errorf("kvbuf: truncated key header")
+		}
+		klen = int(binary.LittleEndian.Uint32(buf[pos:]))
+		pos += 4
+	} else if h.Key.kind == kindFixed {
+		klen = h.Key.n
+	}
+	if h.Val.IsVarlen() {
+		if pos+4 > len(buf) {
+			return 0, fmt.Errorf("kvbuf: truncated value header")
+		}
+		vlen = int(binary.LittleEndian.Uint32(buf[pos:]))
+		pos += 4
+	} else if h.Val.kind == kindFixed {
+		vlen = h.Val.n
+	}
+	if klen < 0 { // strz: find the NUL, the paper's strlen
+		i := bytes.IndexByte(buf[pos:], 0)
+		if i < 0 {
+			return 0, fmt.Errorf("kvbuf: unterminated string key")
+		}
+		pos += i + 1
+	} else {
+		if pos+klen > len(buf) {
+			return 0, fmt.Errorf("kvbuf: truncated key (%d bytes at %d of %d)", klen, pos, len(buf))
+		}
+		pos += klen
+	}
+	if vlen < 0 {
+		i := bytes.IndexByte(buf[pos:], 0)
+		if i < 0 {
+			return 0, fmt.Errorf("kvbuf: unterminated string value")
+		}
+		pos += i + 1
+	} else {
+		if pos+vlen > len(buf) {
+			return 0, fmt.Errorf("kvbuf: truncated value (%d bytes at %d of %d)", vlen, pos, len(buf))
+		}
+		pos += vlen
+	}
+	return pos, nil
+}
+
+// FixedSize returns the constant encoded size of every KV under this hint
+// when both sides are fixed-length, and ok=false otherwise. Fixed/fixed
+// containers need no per-KV scan at all: chunk runs split by division.
+func (h Hint) FixedSize() (int, bool) {
+	if h.Key.kind == kindFixed && h.Val.kind == kindFixed {
+		return h.Key.n + h.Val.n, true
+	}
+	return 0, false
+}
+
 // HashKey returns the 64-bit FNV-1a hash of k, used to partition KVs across
 // ranks and to index combiner buckets.
 func HashKey(k []byte) uint64 {

@@ -60,9 +60,54 @@ func (c *KVC) Append(k, v []byte) error {
 // AppendChunk parses a buffer of concatenated encoded KVs (e.g. one rank's
 // portion of an Alltoallv receive buffer) and appends each KV. It returns
 // the number of KVs appended.
+//
+// The chunk is already in this container's encoding, so instead of a
+// decode/re-encode round trip per KV it measures the maximal run of whole
+// KVs that fits the head page's remainder and moves the run with one copy
+// (fixed/fixed hints skip even the measuring — runs split by division).
+// Runs never straddle a page boundary and the per-KV fallback handles page
+// rolls and oversized records, so the resulting page layout is byte-for-byte
+// identical to appending each KV individually.
 func (c *KVC) AppendChunk(chunk []byte) (int, error) {
 	count := 0
-	for pos := 0; pos < len(chunk); {
+	pos := 0
+	fixed, isFixed := c.hint.FixedSize()
+	for pos < len(chunk) {
+		room := c.buf.headRoom()
+		if room == 0 {
+			room = c.buf.pageSize // the next reserve opens a fresh page
+		}
+		runBytes, runKVs := 0, 0
+		if isFixed {
+			n := room / fixed
+			if rem := (len(chunk) - pos) / fixed; n > rem {
+				n = rem
+			}
+			runKVs, runBytes = n, n*fixed
+		} else {
+			for pos+runBytes < len(chunk) {
+				n, err := c.hint.Measure(chunk[pos+runBytes:])
+				if err != nil || runBytes+n > room {
+					break // commit the valid prefix first; errors re-surface below
+				}
+				runBytes += n
+				runKVs++
+			}
+		}
+		if runKVs > 0 {
+			r, err := c.buf.reserve(runBytes)
+			if err != nil {
+				return count, err
+			}
+			copy(c.buf.at(r, runBytes), chunk[pos:pos+runBytes])
+			c.nkv += int64(runKVs)
+			count += runKVs
+			pos += runBytes
+			continue
+		}
+		// No whole KV fits the head remainder (page roll or oversized
+		// record), or the next KV is malformed: one per-KV append replicates
+		// the slow path's layout and errors exactly.
 		k, v, n, err := c.hint.Decode(chunk[pos:])
 		if err != nil {
 			return count, fmt.Errorf("kvbuf: bad chunk at offset %d: %w", pos, err)

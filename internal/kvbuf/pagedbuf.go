@@ -84,8 +84,9 @@ func (pb *pagedBuf) newPage(size int) (*mem.Page, error) {
 	return p, nil
 }
 
-// reserve allocates n contiguous bytes and returns their ref. The bytes are
-// zeroed and can be filled in place via at(). The returned range is always
+// reserve allocates n contiguous bytes and returns their ref. The bytes
+// hold arbitrary stale data (pages are pooled) and must be fully written
+// via at() before reading. The returned range is always
 // on the last (unsealed, resident) page, so the caller may write it without
 // pinning — but must do so before the next reserve.
 func (pb *pagedBuf) reserve(n int) (ref, error) {
@@ -124,6 +125,15 @@ func (pb *pagedBuf) append(b []byte) (ref, error) {
 func (pb *pagedBuf) at(r ref, n int) []byte {
 	p := pb.pages[r.page()]
 	return p.Buf[r.off() : r.off()+n]
+}
+
+// headRoom returns the free bytes left in the append head page, or 0 when
+// there is no head (the next reserve opens a fresh page).
+func (pb *pagedBuf) headRoom() int {
+	if len(pb.pages) == 0 {
+		return 0
+	}
+	return pb.pages[len(pb.pages)-1].Remaining()
 }
 
 // numPages returns the page count.

@@ -12,20 +12,23 @@ type Page struct {
 }
 
 // NewPage allocates a page of the given size from the arena. The returned
-// page owns an arena reservation of exactly size bytes until Release.
+// page owns an arena reservation of exactly size bytes until Release. The
+// buffer may be recycled from an earlier page, so bytes past Used are
+// arbitrary — write a range before reading it.
 func (a *Arena) NewPage(size int) (*Page, error) {
 	if err := a.Alloc(int64(size)); err != nil {
 		return nil, err
 	}
-	return &Page{arena: a, Buf: make([]byte, size)}, nil
+	return &Page{arena: a, Buf: getPageBuf(size)}, nil
 }
 
 // AdoptPage wraps size bytes the caller has already reserved on the arena
 // (via Alloc/TryGrab, or a spill store's Reserve, which can evict for
 // room) into a Page. The page owns the reservation from here on: its
-// Release returns the bytes as usual.
+// Release returns the bytes as usual. As with NewPage, the buffer is not
+// zeroed.
 func (a *Arena) AdoptPage(size int) *Page {
-	return &Page{arena: a, Buf: make([]byte, size)}
+	return &Page{arena: a, Buf: getPageBuf(size)}
 }
 
 // Remaining returns the unused capacity of the page.
@@ -50,6 +53,7 @@ func (p *Page) Release() {
 	if p.arena != nil {
 		p.arena.Free(int64(len(p.Buf)))
 		p.arena = nil
+		putPageBuf(p.Buf)
 		p.Buf = nil
 		p.Used = 0
 	}
@@ -66,6 +70,7 @@ func (p *Page) Evict() int {
 	}
 	n := len(p.Buf)
 	p.arena.Free(int64(n))
+	putPageBuf(p.Buf)
 	p.Buf = nil
 	return n
 }
@@ -73,9 +78,11 @@ func (p *Page) Evict() int {
 // Resident reports whether the page currently holds a buffer.
 func (p *Page) Resident() bool { return p.Buf != nil }
 
-// Restore re-reserves size bytes for an evicted page and installs a fresh
-// zeroed buffer; the caller refills it from the spill copy. It fails with
-// ErrNoMemory when the arena has no room (the store evicts and retries).
+// Restore re-reserves size bytes for an evicted page and installs a buffer
+// of arbitrary contents; the caller refills it from the spill copy before
+// any read (readers only see Buf[:Used], which the refill covers). It fails
+// with ErrNoMemory when the arena has no room (the store evicts and
+// retries).
 func (p *Page) Restore(size int) error {
 	if p.arena == nil {
 		panic("mem: Restore on a released page")
@@ -86,6 +93,6 @@ func (p *Page) Restore(size int) error {
 	if err := p.arena.Alloc(int64(size)); err != nil {
 		return err
 	}
-	p.Buf = make([]byte, size)
+	p.Buf = getPageBuf(size)
 	return nil
 }

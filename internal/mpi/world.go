@@ -232,6 +232,31 @@ func (c *Comm) Net() simtime.NetworkModel { return c.world.net }
 // on all ranks (on every process) return ErrAborted from now on.
 func (c *Comm) Abort(cause error) { c.world.abort(cause) }
 
+// bufRecycler is the optional transport hook for returning received payload
+// buffers to the transport's frame pool once the consumer has copied them
+// out (the TCP transport implements it; in-process transports, whose receive
+// buffers are plain garbage, do not).
+type bufRecycler interface {
+	Recycle(b []byte)
+}
+
+// Recycle hands the payload buffers of a completed Alltoallv/Ialltoallv
+// receive back to the transport. Purely an optimization: buffers from
+// transports without a pool are left to the GC. The caller must not touch
+// the buffers afterwards — use it only once every slice of the receive set
+// has been fully consumed.
+func (c *Comm) Recycle(bufs [][]byte) {
+	r, ok := c.ep.(bufRecycler)
+	if !ok {
+		return
+	}
+	for _, b := range bufs {
+		if len(b) > 0 {
+			r.Recycle(b)
+		}
+	}
+}
+
 // settle finishes a blocking communication operation on this rank's clock:
 // a simulated clock synchronizes to the collective maximum and charges the
 // alpha-beta cost, a wall clock records the measured span as Comm time.

@@ -129,6 +129,56 @@ func TestFaultedTCPConformance(t *testing.T) {
 	t.Logf("faults fired: %+v", fired)
 }
 
+// TestCompressedTCPConformance re-runs the whole scenario table with wire
+// v3 frame compression on: outputs must stay byte-identical to the local
+// transport, proving compression is invisible above the framing layer.
+func TestCompressedTCPConformance(t *testing.T) {
+	Run(t, tcpBuilder(transport.AbortOnFailure, func(rank int, cfg *transport.TCPConfig) {
+		cfg.Compress = true
+	}))
+}
+
+// TestCompressedFaultedTCPConformance stacks compression on top of the
+// deterministic fault schedule: resets force reconnects whose replay ledger
+// holds frames in their encoded (compressed) form, corruption must be caught
+// by the CRC over the compressed bytes, and the digests must still match the
+// local transport — replayed compressed frames resume exactly-once.
+func TestCompressedFaultedTCPConformance(t *testing.T) {
+	spec, err := faultinject.ParseSpec(*faultSpec)
+	if err != nil {
+		t.Fatalf("bad -fault-spec: %v", err)
+	}
+	if len(spec.Kills) > 0 {
+		t.Fatalf("-fault-spec %q kills ranks; conformance needs the world to survive", *faultSpec)
+	}
+	var injectors []*faultinject.Injector
+	var mu sync.Mutex
+	build := tcpBuilder(transport.RetryTransient, func(rank int, cfg *transport.TCPConfig) {
+		in := faultinject.New(spec, rank)
+		mu.Lock()
+		injectors = append(injectors, in)
+		mu.Unlock()
+		cfg.Compress = true
+		cfg.WrapConn = in.WrapConn
+		cfg.BackoffBase = 5 * time.Millisecond
+	})
+	Run(t, build)
+	mu.Lock()
+	defer mu.Unlock()
+	fired := faultinject.Stats{}
+	for _, in := range injectors {
+		s := in.Stats()
+		fired.Resets += s.Resets
+		fired.Corruptions += s.Corruptions
+		fired.Partials += s.Partials
+		fired.Delays += s.Delays
+	}
+	if fired == (faultinject.Stats{}) {
+		t.Fatalf("fault schedule %q never fired; the compressed faulted run exercised nothing", *faultSpec)
+	}
+	t.Logf("faults fired: %+v", fired)
+}
+
 // confWorkers is the pool size the Workers conformance variants run at.
 const confWorkers = 4
 

@@ -1,0 +1,63 @@
+package transport
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Size-classed buffer pool for the frame write path. Replay entries and
+// compression scratch are the only steady-state allocations per frame; both
+// recycle here, so the send path settles to a handful of fixed-size heap
+// objects per frame (pool bookkeeping) instead of a fresh frame-sized copy.
+//
+// Lifecycle rules:
+//   - getBuf(n) returns a zero-length slice with capacity ≥ n. The caller
+//     owns it exclusively until putBuf.
+//   - putBuf(b) recycles by capacity class. Buffers whose append outgrew
+//     their class land in the next class up; off-range capacities are
+//     dropped for the GC.
+//   - A buffer handed to the replay ledger is owned by the ledger and only
+//     recycled by pruneReplayLocked — and never while a reconnect is
+//     replaying a snapshot of the ledger (tcpPeer.replaying), since the
+//     snapshot aliases the same backing arrays.
+const (
+	minBufBits = 6  // 64 B
+	maxBufBits = 22 // 4 MiB; larger buffers are not pooled
+)
+
+var bufPools [maxBufBits - minBufBits + 1]sync.Pool
+
+// bufClass returns the pool index whose buffers have capacity ≥ n, or -1
+// when n is above the poolable range.
+func bufClass(n int) int {
+	if n > 1<<maxBufBits {
+		return -1
+	}
+	c := bits.Len(uint(n-1)) - minBufBits
+	if n <= 1<<minBufBits {
+		c = 0
+	}
+	return c
+}
+
+func getBuf(n int) []byte {
+	c := bufClass(n)
+	if c < 0 {
+		return make([]byte, 0, n)
+	}
+	if v := bufPools[c].Get(); v != nil {
+		return v.([]byte)[:0]
+	}
+	return make([]byte, 0, 1<<(minBufBits+uint(c)))
+}
+
+func putBuf(b []byte) {
+	n := cap(b)
+	if n < 1<<minBufBits || n > 1<<maxBufBits {
+		return
+	}
+	// File by the class the capacity fully covers, so a later getBuf for
+	// that class is guaranteed to fit.
+	c := bits.Len(uint(n)) - 1 - minBufBits
+	bufPools[c].Put(b[:0:n])
+}

@@ -26,6 +26,11 @@ const (
 	// grammar). The transport only forwards it; the facade layer parses it
 	// and wires the injector.
 	EnvFaults = "MIMIR_TCP_FAULTS"
+	// EnvCompress ("1"/"true") turns on wire v3 frame compression
+	// (TCPConfig.Compress). Compression is per-frame and sender-side, so
+	// mixed settings interoperate, but setting it world-wide is what makes
+	// both directions of every link compress.
+	EnvCompress = "MIMIR_TCP_COMPRESS"
 )
 
 // FromEnv reads a worker's TCP configuration from the environment. The
@@ -58,6 +63,13 @@ func FromEnv() (TCPConfig, bool, error) {
 			return TCPConfig{}, true, fmt.Errorf("transport: bad %s=%q", EnvWindow, s)
 		}
 		cfg.ReconnectWindow = d
+	}
+	if s := os.Getenv(EnvCompress); s != "" {
+		on, err := strconv.ParseBool(s)
+		if err != nil {
+			return TCPConfig{}, true, fmt.Errorf("transport: bad %s=%q: %v", EnvCompress, s, err)
+		}
+		cfg.Compress = on
 	}
 	return cfg, true, nil
 }
@@ -107,6 +119,9 @@ type SpawnOptions struct {
 	// Faults is a fault-injection spec forwarded to workers via EnvFaults.
 	// It does not configure rank 0 — pass WrapConn for that.
 	Faults string
+	// Compress turns on wire v3 frame compression for rank 0 and, via
+	// EnvCompress, every worker.
+	Compress bool
 	// WrapConn is rank 0's TCPConfig.WrapConn hook.
 	WrapConn func(peer int, c net.Conn) net.Conn
 }
@@ -135,6 +150,7 @@ func SpawnLocalOpts(size int, opts SpawnOptions) (*TCP, *Children, error) {
 		Deadline:        opts.Deadline,
 		Policy:          opts.Policy,
 		ReconnectWindow: opts.ReconnectWindow,
+		Compress:        opts.Compress,
 		WrapConn:        opts.WrapConn,
 	})
 	if err != nil {
@@ -160,6 +176,9 @@ func SpawnLocalOpts(size int, opts SpawnOptions) (*TCP, *Children, error) {
 		}
 		if opts.Faults != "" {
 			cmd.Env = append(cmd.Env, EnvFaults+"="+opts.Faults)
+		}
+		if opts.Compress {
+			cmd.Env = append(cmd.Env, EnvCompress+"=1")
 		}
 		cmd.Stdout = os.Stderr
 		cmd.Stderr = os.Stderr

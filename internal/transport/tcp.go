@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -48,6 +49,16 @@ type TCPConfig struct {
 	// down when the cap is hit — the world aborts rather than growing the
 	// buffer without bound. 0 means 64 MB.
 	MaxReplay int64
+
+	// Compress enables frame-level flate compression on this rank's
+	// outgoing data frames (wire v3): a payload that shrinks under flate is
+	// sent compressed, flagged by the compressedFlag bit on the op byte.
+	// Compression is a per-frame, per-sender decision — receivers always
+	// accept both forms, so ranks with different Compress settings
+	// interoperate. The CRC-32C covers the compressed bytes (compress-
+	// then-CRC) and the replay buffer stores the encoded frame, so fault
+	// recovery replays exactly what was first sent.
+	Compress bool
 
 	// WrapConn, when non-nil, wraps every established mesh connection —
 	// the fault-injection hook (internal/faultinject). It is applied after
@@ -167,6 +178,14 @@ type tcpPeer struct {
 	// replaced by install alongside conn/gen. Guarded by wmu.
 	readerDone chan struct{}
 
+	// hdr is the header scratch for the zero-copy write path (headers and
+	// bare-header ack frames are built here instead of a fresh allocation),
+	// and vec/bufs back the net.Buffers writev of header+payload. All three
+	// are guarded by wmu.
+	hdr  [4 + frameHeaderLen]byte
+	vec  [2][]byte
+	bufs net.Buffers
+
 	// rmu guards the replay ledger. It is only ever held briefly (no I/O),
 	// so the ack path can take it without risking the distributed deadlock
 	// that blocking readers on wmu would cause.
@@ -175,6 +194,10 @@ type tcpPeer struct {
 	ackedSeq    uint64   // data frames the peer confirmed (prefix of sentSeq)
 	replay      [][]byte // encoded frames (ackedSeq, sentSeq], RetryTransient only
 	replayBytes int64
+	// replaying marks a reconnect replay in flight: install's snapshot
+	// aliases the ledger's buffers, so pruneReplayLocked must not recycle
+	// them to the frame pool while it is set.
+	replaying bool
 
 	recvSeq      atomic.Uint64 // data frames delivered from this peer
 	recvBytes    atomic.Uint64 // encoded bytes of those frames (sender-side accounting mirror)
@@ -216,14 +239,11 @@ func writeConnChunks(conn net.Conn, buf []byte, deadline time.Duration) error {
 	return nil
 }
 
-// beginFrame announces a frame boundary to a fault-injecting conn wrapper.
-func beginFrame(conn net.Conn, f *Frame) error {
-	return beginFrameRaw(conn, f.Op, frameHeaderLen+len(f.Data))
-}
-
-// beginFrameRaw is beginFrame for a frame that only exists in encoded form
-// (the replay path): op and size come from the encoded bytes, so the marker
-// sees the frame's true length, not a placeholder.
+// beginFrameRaw announces a frame boundary to a fault-injecting conn
+// wrapper. op must be the BASE opcode (CompressedFlag masked off — the
+// injector's data-frame detection matches opcodes exactly) and size the
+// frame's true encoded length, compressed payload included, so corruption
+// and cut offsets land on real wire bytes.
 func beginFrameRaw(conn net.Conn, op byte, size int) error {
 	if fm, ok := conn.(FrameMarker); ok {
 		return fm.BeginFrame(op, size)
@@ -236,24 +256,80 @@ func beginFrameRaw(conn net.Conn, op byte, size int) error {
 // are link-local and never replayed.
 func isData(op byte) bool { return op == OpP2P || op == OpExchange }
 
+// writeConnVectored writes a frame as header+payload without gathering them
+// into one buffer first: a single writev covers the header and the first
+// payload chunk, the rest goes through writeConnChunks. The deadline is
+// re-armed per chunk exactly as writeConnChunks does. Caller holds wmu
+// (p.vec/p.bufs are write-path scratch).
+func (p *tcpPeer) writeConnVectored(conn net.Conn, hdr, payload []byte, deadline time.Duration) error {
+	n := len(payload)
+	if n > writeChunk {
+		n = writeChunk
+	}
+	if err := conn.SetWriteDeadline(time.Now().Add(deadline)); err != nil {
+		return err
+	}
+	p.vec[0] = hdr
+	p.bufs = p.vec[:1]
+	if n > 0 {
+		p.vec[1] = payload[:n:n]
+		p.bufs = p.vec[:2]
+	}
+	_, err := p.bufs.WriteTo(conn)
+	p.vec[0], p.vec[1], p.bufs = nil, nil, nil
+	if err != nil {
+		return err
+	}
+	return writeConnChunks(conn, payload[n:], deadline)
+}
+
 // writeFrame sends one frame on the link. Under RetryTransient a data frame
 // is first appended to the replay buffer, so a write failure is not an
 // error: the link is marked down, recovery starts, and the frame reaches
 // the peer via replay. Under AbortOnFailure any failure is returned.
+//
+// The hot path is allocation-conscious: the payload is written straight from
+// the caller's buffer via writev (no gather copy), compression scratch and
+// replay entries come from the size-classed frame pool, and the header is
+// built in per-peer scratch.
 func (p *tcpPeer) writeFrame(f *Frame) error {
 	t := p.t
 	retry := t.cfg.Policy == RetryTransient && t.started.Load()
+
+	// Sender-side per-frame compression decision (wire v3): only data
+	// frames, only when the payload actually shrinks. scratch holds the
+	// pooled compressed payload until the frame is sent or copied into the
+	// replay ledger.
+	op, payload := f.Op, f.Data
+	var scratch []byte
+	if t.cfg.Compress && isData(op) && len(payload) >= compressMinSize {
+		out, ok := compressPayload(getBuf(4+len(payload)), payload)
+		if ok {
+			op |= CompressedFlag
+			payload = out
+			scratch = out
+		} else {
+			putBuf(out)
+		}
+	}
+	defer func() {
+		if scratch != nil {
+			putBuf(scratch)
+		}
+	}()
+
 	var buf []byte
 	if retry && isData(f.Op) {
-		buf = AppendFrame(nil, f) // owned copy: may outlive the caller's Data
-	} else {
-		buf = appendFrameHeader(make([]byte, 0, 4+frameHeaderLen+len(f.Data)), f)
-		buf = append(buf, f.Data...)
+		// Owned encoded copy: may outlive the caller's Data. The replay
+		// ledger owns buf from the append below until pruneReplayLocked
+		// recycles it.
+		buf = appendFrameHeaderRaw(getBuf(4+frameHeaderLen+len(payload)), op, f.Src, f.Tag, f.Seq, f.Time, payload)
+		buf = append(buf, payload...)
 	}
 
 	p.wmu.Lock()
 	defer p.wmu.Unlock()
-	if retry && isData(f.Op) {
+	if buf != nil {
 		p.rmu.Lock()
 		p.sentSeq++
 		p.replay = append(p.replay, buf)
@@ -272,9 +348,14 @@ func (p *tcpPeer) writeFrame(f *Frame) error {
 		}
 		return fmt.Errorf("transport: connection to rank %d is down", p.rank)
 	}
-	err := beginFrame(p.conn, f)
+	err := beginFrameRaw(p.conn, f.Op, frameHeaderLen+len(payload))
 	if err == nil {
-		err = writeConnChunks(p.conn, buf, t.cfg.Deadline)
+		if buf != nil {
+			err = writeConnChunks(p.conn, buf, t.cfg.Deadline)
+		} else {
+			hdr := appendFrameHeaderRaw(p.hdr[:0], op, f.Src, f.Tag, f.Seq, f.Time, payload)
+			err = p.writeConnVectored(p.conn, hdr, payload, t.cfg.Deadline)
+		}
 	}
 	if err != nil {
 		if retry {
@@ -329,13 +410,7 @@ func (p *tcpPeer) waitReplayRoom() error {
 		// mid-large-transfer would otherwise each park here waiting for acks
 		// the other side can no longer send.
 		if n := p.recvSeq.Load(); n > p.lastAck.Load() {
-			af := &Frame{Op: OpAck, Src: uint32(t.rank), Seq: n}
-			abuf := AppendFrame(make([]byte, 0, 4+frameHeaderLen), af)
-			err := beginFrame(p.conn, af)
-			if err == nil {
-				err = writeConnChunks(p.conn, abuf, t.cfg.Deadline)
-			}
-			if err == nil {
+			if err := p.writeAckLocked(n); err == nil {
 				p.lastAck.Store(n)
 				p.lastAckBytes.Store(p.recvBytes.Load())
 			} else {
@@ -1070,6 +1145,10 @@ func (t *TCP) install(p *tcpPeer, conn net.Conn, theirRecv uint64) error {
 	}
 	p.pruneReplayLocked(theirRecv)
 	pending := append([][]byte(nil), p.replay...)
+	// The snapshot aliases the ledger's buffers: block pool recycling until
+	// the replay below is done with them (an ack arriving mid-replay may
+	// prune entries the loop is still writing).
+	p.replaying = len(pending) > 0
 	p.rmu.Unlock()
 
 	// Swap the connection in and start its reader BEFORE replaying: both
@@ -1088,16 +1167,18 @@ func (t *TCP) install(p *tcpPeer, conn net.Conn, theirRecv uint64) error {
 	go t.readLoop(p, conn, gen, p.readerDone)
 
 	for _, buf := range pending {
-		// Op is the first header byte after the length prefix, and the
-		// prefix itself is the true header+data size — the frame marker
-		// must see the real length, not a bare-header placeholder.
-		err := beginFrameRaw(conn, buf[4], int(binary.BigEndian.Uint32(buf)))
+		// Op is the first header byte after the length prefix (flag bits
+		// masked for the marker), and the prefix itself is the true
+		// header+data size — the frame marker must see the real length, not
+		// a bare-header placeholder.
+		err := beginFrameRaw(conn, buf[4]&^CompressedFlag, int(binary.BigEndian.Uint32(buf)))
 		if err == nil {
 			err = writeConnChunks(conn, buf, t.cfg.Deadline)
 		}
 		if err != nil {
 			conn.Close()
 			p.conn = nil
+			p.doneReplaying()
 			// If this side had not yet declared the link down (an incoming
 			// reconnect replaced a conn we still believed healthy), declare
 			// it now so the reconnect window is enforced.
@@ -1120,14 +1201,28 @@ func (t *TCP) install(p *tcpPeer, conn net.Conn, theirRecv uint64) error {
 		t.replayedFrames.Add(1)
 		t.replayedBytes.Add(uint64(len(buf)))
 	}
+	p.doneReplaying()
 	p.down = false
 	p.recovering = false
 	t.reconnects.Add(1)
 	return nil
 }
 
-// pruneReplayLocked drops replay entries the peer confirmed. Caller holds
-// p.rmu. upTo is a cumulative data-frame count (never decreases).
+// doneReplaying re-enables pool recycling of pruned replay entries after
+// install's replay loop no longer aliases the ledger.
+func (p *tcpPeer) doneReplaying() {
+	p.rmu.Lock()
+	p.replaying = false
+	p.rmu.Unlock()
+}
+
+// pruneReplayLocked drops replay entries the peer confirmed, recycling their
+// buffers to the frame pool. Recycling is safe against in-flight writes: a
+// cumulative ack only ever covers frames the peer fully received, so a frame
+// still being written cannot be pruned — except during a reconnect replay,
+// whose snapshot aliases the ledger, so recycling pauses while p.replaying
+// is set. Caller holds p.rmu. upTo is a cumulative data-frame count (never
+// decreases).
 func (p *tcpPeer) pruneReplayLocked(upTo uint64) {
 	if upTo <= p.ackedSeq {
 		return
@@ -1138,8 +1233,15 @@ func (p *tcpPeer) pruneReplayLocked(upTo uint64) {
 	}
 	for _, b := range p.replay[:drop] {
 		p.replayBytes -= int64(len(b))
+		if !p.replaying {
+			putBuf(b)
+		}
 	}
-	p.replay = append(p.replay[:0], p.replay[drop:]...)
+	n := copy(p.replay, p.replay[drop:])
+	for i := n; i < len(p.replay); i++ {
+		p.replay[i] = nil // drop tail refs so recycled buffers are not pinned
+	}
+	p.replay = p.replay[:n]
 	p.ackedSeq = upTo
 }
 
@@ -1172,14 +1274,83 @@ func (t *TCP) maybeAck(p *tcpPeer) {
 	if p.down || p.conn == nil {
 		return
 	}
-	f := &Frame{Op: OpAck, Src: uint32(t.rank), Seq: n}
-	buf := AppendFrame(make([]byte, 0, 4+frameHeaderLen), f)
-	if beginFrame(p.conn, f) == nil && writeConnChunks(p.conn, buf, t.cfg.Deadline) == nil {
+	if p.writeAckLocked(n) == nil {
 		p.lastAck.Store(n)
 		p.lastAckBytes.Store(b)
 	}
 	// On error: the reader or writer on this conn notices the failure; the
 	// ack retries after the reconnect.
+}
+
+// writeAckLocked sends a cumulative OpAck for the first n data frames,
+// building the bare-header frame in the peer's header scratch (acks are on
+// the per-frame hot path under RetryTransient, so they must not allocate).
+// Caller holds wmu with a live conn.
+func (p *tcpPeer) writeAckLocked(n uint64) error {
+	buf := appendFrameHeaderRaw(p.hdr[:0], OpAck, uint32(p.t.rank), 0, n, 0, nil)
+	if err := beginFrameRaw(p.conn, OpAck, frameHeaderLen); err != nil {
+		return err
+	}
+	return writeConnChunks(p.conn, buf, p.t.cfg.Deadline)
+}
+
+// readFramePooled is ReadFrame with the body drawn from the frame pool
+// instead of a fresh allocation: the receive path is per-frame hot, and the
+// consumer hands data buffers back via Recycle once the payload is copied
+// out. Bodies above the poolable range keep readBody's chunked growth (a
+// lying length prefix must not allocate its claim up front); poolable sizes
+// can be trusted whole, since the pool class bounds the allocation anyway.
+// The pooled body is recycled here whenever the frame does not alias it
+// (bare-header frames and compressed payloads, which inflate into a fresh
+// buffer).
+func readFramePooled(r io.Reader) (*Frame, error) {
+	var pre [4]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint32(pre[:]))
+	if n < frameHeaderLen {
+		return nil, fmt.Errorf("%w: length %d below header size %d", ErrBadFrame, n, frameHeaderLen)
+	}
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("%w: length %d exceeds limit %d", ErrBadFrame, n, MaxFrameSize)
+	}
+	if n > 1<<maxBufBits {
+		body, err := readBody(r, n)
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, fmt.Errorf("%w: truncated frame body: %v", ErrBadFrame, err)
+		}
+		return parseFrameBody(body)
+	}
+	body := getBuf(n)[:n]
+	if _, err := io.ReadFull(r, body); err != nil {
+		putBuf(body)
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("%w: truncated frame body: %v", ErrBadFrame, err)
+	}
+	f, err := parseFrameBody(body)
+	if err != nil {
+		putBuf(body)
+		return nil, err
+	}
+	if len(f.Data) == 0 || &f.Data[0] != &body[frameHeaderLen] {
+		putBuf(body)
+	}
+	return f, nil
+}
+
+// Recycle returns a payload buffer delivered by Recv or Exchange to the
+// frame pool. Optional: an un-recycled buffer is simply garbage. The caller
+// must not touch the buffer afterwards.
+func (t *TCP) Recycle(b []byte) {
+	if cap(b) > 0 {
+		putBuf(b)
+	}
 }
 
 // readLoop dispatches one connection generation's incoming frames until
@@ -1193,7 +1364,7 @@ func (t *TCP) readLoop(p *tcpPeer, conn net.Conn, gen int, done chan struct{}) {
 	defer close(done) // quiesce waits on this before a resume snapshot
 	br := bufio.NewReaderSize(conn, 64<<10)
 	for {
-		f, err := ReadFrame(br)
+		f, err := readFramePooled(br)
 		if err != nil {
 			if p.sawBye() || t.isClosing() {
 				return
@@ -1208,14 +1379,14 @@ func (t *TCP) readLoop(p *tcpPeer, conn net.Conn, gen int, done chan struct{}) {
 		switch f.Op {
 		case OpP2P:
 			p.recvSeq.Add(1)
-			p.recvBytes.Add(uint64(4 + frameHeaderLen + len(f.Data)))
+			p.recvBytes.Add(uint64(f.WireLen)) // encoded size, mirroring the sender's replay-byte ledger
 			t.mbox.put(Message{Src: p.rank, Tag: int(f.Tag), Data: f.Data, Time: f.Time})
 			if t.cfg.Policy == RetryTransient {
 				t.maybeAck(p)
 			}
 		case OpExchange:
 			p.recvSeq.Add(1)
-			p.recvBytes.Add(uint64(4 + frameHeaderLen + len(f.Data)))
+			p.recvBytes.Add(uint64(f.WireLen))
 			t.exq[p.rank].push(f)
 			if t.cfg.Policy == RetryTransient {
 				t.maybeAck(p)
@@ -1299,7 +1470,7 @@ func (t *TCP) Exchange(send [][]byte, now float64) ([][]byte, float64, error) {
 	}
 	recv := make([][]byte, t.size)
 	if send != nil {
-		recv[t.rank] = append([]byte(nil), send[t.rank]...)
+		recv[t.rank] = append(getBuf(len(send[t.rank])), send[t.rank]...)
 	}
 	tmax := now
 	for src := 0; src < t.size; src++ {

@@ -33,8 +33,13 @@ const (
 	Magic = 0x4D494D52
 	// Version is the wire protocol version; both sides must match exactly.
 	// Version 2 added the per-frame CRC-32C and the OpResume/OpAck link
-	// recovery ops.
-	Version = 2
+	// recovery ops. Version 3 added optional frame-level flate compression:
+	// a frame whose op byte carries CompressedFlag holds a deflated payload
+	// (see compress.go). Compression is sender-side and per-frame, so mixed
+	// Compress settings interoperate; the CRC is computed over the
+	// compressed bytes (compress-then-CRC), keeping replay and corruption
+	// detection on the exact wire bytes.
+	Version = 3
 
 	// frameHeaderLen is the encoded size of op+src+tag+seq+time+crc.
 	frameHeaderLen = 1 + 4 + 4 + 8 + 8 + 4
@@ -78,27 +83,40 @@ var ErrBadFrame = errors.New("transport: bad frame")
 
 // Frame is one wire message.
 type Frame struct {
-	Op   byte
+	Op   byte // base opcode; CompressedFlag is stripped during decode
 	Src  uint32
 	Tag  int32
 	Seq  uint64
 	Time float64
 	Data []byte
+	// WireLen is the frame's encoded size on the wire (length prefix +
+	// header + possibly-compressed payload), set by decoding. It is the
+	// receiver-side mirror of the sender's replay-byte accounting, which
+	// counts encoded bytes, so the two stay comparable when compression
+	// makes len(Data) differ from the wire size.
+	WireLen int
+}
+
+// appendFrameHeaderRaw appends the length prefix and header for a frame with
+// the given wire op byte (which may carry CompressedFlag) and payload, whose
+// bytes are NOT appended.
+func appendFrameHeaderRaw(dst []byte, op byte, src uint32, tag int32, seq uint64, t float64, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(frameHeaderLen+len(payload)))
+	start := len(dst)
+	dst = append(dst, op)
+	dst = binary.BigEndian.AppendUint32(dst, src)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(tag))
+	dst = binary.BigEndian.AppendUint64(dst, seq)
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(t))
+	crc := crc32.Update(0, crcTab, dst[start:])
+	crc = crc32.Update(crc, crcTab, payload)
+	return binary.BigEndian.AppendUint32(dst, crc)
 }
 
 // appendFrameHeader appends the length prefix and header of f (for a payload
 // of len(f.Data), whose bytes are NOT appended) to dst.
 func appendFrameHeader(dst []byte, f *Frame) []byte {
-	dst = binary.BigEndian.AppendUint32(dst, uint32(frameHeaderLen+len(f.Data)))
-	start := len(dst)
-	dst = append(dst, f.Op)
-	dst = binary.BigEndian.AppendUint32(dst, f.Src)
-	dst = binary.BigEndian.AppendUint32(dst, uint32(f.Tag))
-	dst = binary.BigEndian.AppendUint64(dst, f.Seq)
-	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(f.Time))
-	crc := crc32.Update(0, crcTab, dst[start:])
-	crc = crc32.Update(crc, crcTab, f.Data)
-	return binary.BigEndian.AppendUint32(dst, crc)
+	return appendFrameHeaderRaw(dst, f.Op, f.Src, f.Tag, f.Seq, f.Time, f.Data)
 }
 
 // AppendFrame appends the encoding of f to dst and returns the result.
@@ -184,8 +202,11 @@ func readBody(r io.Reader, n int) ([]byte, error) {
 }
 
 // parseFrameBody decodes the post-length portion of a frame. body is owned
-// by the caller and the payload is aliased, not copied (ReadFrame passes a
-// fresh buffer; DecodeFrame documents aliasing via the consumed count).
+// by the caller and an uncompressed payload is aliased, not copied (ReadFrame
+// passes a fresh buffer; DecodeFrame documents aliasing via the consumed
+// count); a compressed payload is inflated into a fresh buffer. The CRC is
+// checked before anything else — over the wire bytes, compressed or not — so
+// corruption never reaches the inflater.
 func parseFrameBody(body []byte) (*Frame, error) {
 	const crcOff = frameHeaderLen - 4
 	want := binary.BigEndian.Uint32(body[crcOff:])
@@ -194,18 +215,27 @@ func parseFrameBody(body []byte) (*Frame, error) {
 	if got != want {
 		return nil, fmt.Errorf("%w: crc mismatch (got %#x want %#x, %d bytes)", ErrBadFrame, got, want, len(body))
 	}
+	raw := body[0]
 	f := &Frame{
-		Op:   body[0],
-		Src:  binary.BigEndian.Uint32(body[1:]),
-		Tag:  int32(binary.BigEndian.Uint32(body[5:])),
-		Seq:  binary.BigEndian.Uint64(body[9:]),
-		Time: math.Float64frombits(binary.BigEndian.Uint64(body[17:])),
+		Op:      raw &^ CompressedFlag,
+		Src:     binary.BigEndian.Uint32(body[1:]),
+		Tag:     int32(binary.BigEndian.Uint32(body[5:])),
+		Seq:     binary.BigEndian.Uint64(body[9:]),
+		Time:    math.Float64frombits(binary.BigEndian.Uint64(body[17:])),
+		WireLen: 4 + len(body),
 	}
 	if f.Op == 0 || f.Op > opMax {
 		return nil, fmt.Errorf("%w: unknown op %d", ErrBadFrame, f.Op)
 	}
 	if len(body) > frameHeaderLen {
 		f.Data = body[frameHeaderLen:]
+	}
+	if raw&CompressedFlag != 0 {
+		data, err := decompressPayload(f.Data)
+		if err != nil {
+			return nil, err
+		}
+		f.Data = data
 	}
 	return f, nil
 }

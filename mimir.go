@@ -146,6 +146,11 @@ type TCPOptions struct {
 	// "seed:7,reset:all@frame1". Empty means no injection. The spec is
 	// forwarded to spawned workers so every process plays its part.
 	Faults string
+	// Compress turns on wire v3 frame compression (deflate, per frame,
+	// sender-side). It trades CPU for bytes on the wire: a win on slow or
+	// shared links and highly redundant shuffles, a cost on fast loopback.
+	// Spawned workers inherit it through the environment.
+	Compress bool
 }
 
 // faulted wires opts.Faults into cfg (the connection-level hook) and returns
@@ -187,6 +192,7 @@ func SpawnTCPWorldOpts(size int, opts TCPOptions) (*World, *TCPChildren, error) 
 		Policy:          opts.Policy,
 		ReconnectWindow: opts.ReconnectWindow,
 		Faults:          opts.Faults,
+		Compress:        opts.Compress,
 		WrapConn:        cfg.WrapConn,
 	})
 	if err != nil {
@@ -241,6 +247,7 @@ func NewTCPWorldOpts(addr string, rank, size int, opts TCPOptions) (*World, erro
 		Deadline:        opts.Deadline,
 		Policy:          opts.Policy,
 		ReconnectWindow: opts.ReconnectWindow,
+		Compress:        opts.Compress,
 	}
 	inj, err := faulted(opts, &cfg)
 	if err != nil {

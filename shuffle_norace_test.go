@@ -1,0 +1,9 @@
+//go:build !race
+
+package mimir_test
+
+// raceEnabled reports whether the race detector is on. TestShuffleAllocs
+// skips under -race: the detector instruments every allocation site and
+// sync.Pool behaves differently (it drops items to stress the detector), so
+// AllocsPerRun figures are meaningless there.
+const raceEnabled = false

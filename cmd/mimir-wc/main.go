@@ -17,7 +17,6 @@ import (
 	"log"
 	"os"
 	"sort"
-	"strconv"
 	"strings"
 	"time"
 
@@ -29,30 +28,25 @@ type wcOpts struct {
 	workers       int
 }
 
-// defaultWorkers resolves the -workers default from MIMIR_WORKERS: 0 lets
-// the engine use all cores (GOMAXPROCS), 1 forces the serial path. Results
-// are byte-identical either way.
-func defaultWorkers() int {
-	if v := os.Getenv("MIMIR_WORKERS"); v != "" {
-		if n, err := strconv.Atoi(v); err == nil {
-			return n
-		}
-	}
-	return 0
-}
-
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mimir-wc: ")
+	// Environment-forwarded options seed the flag defaults (the same decode
+	// spawned workers use), so MIMIR_WORKERS / MIMIR_TCP_COMPRESS and the
+	// flags cannot disagree; an explicit flag still wins.
+	envOpts, envErr := mimir.TCPOptionsFromEnv()
 	ranks := flag.Int("ranks", 8, "number of ranks")
 	transportArg := flag.String("transport", "inproc", "rank placement: inproc (goroutines) or tcp (one OS process per rank)")
 	top := flag.Int("top", 20, "how many of the most frequent words to print")
 	hint := flag.Bool("hint", true, "use the KV-hint (strz keys, fixed 8-byte counts)")
 	pr := flag.Bool("pr", true, "use partial reduction instead of convert+reduce")
 	cps := flag.Bool("cps", false, "use KV compression before the shuffle")
-	workers := flag.Int("workers", defaultWorkers(), "per-rank worker pool size (0 = all cores, 1 = serial; default from MIMIR_WORKERS)")
-	compress := flag.Bool("compress", false, "with -transport=tcp: compress wire frames (flate, per frame)")
+	workers := flag.Int("workers", envOpts.Workers, "per-rank worker pool size (0 = all cores, 1 = serial; default from MIMIR_WORKERS)")
+	compress := flag.Bool("compress", envOpts.Compress, "with -transport=tcp: compress wire frames (flate, per frame)")
 	flag.Parse()
+	if envErr != nil {
+		log.Fatal(envErr)
+	}
 	opts := wcOpts{hint: *hint, pr: *pr, cps: *cps, workers: *workers}
 
 	// A copy of this binary forked by -transport=tcp joins the parent's

@@ -19,38 +19,47 @@
 // -metrics FILE writes the per-rank distribution summary (phase times,
 // shuffle bytes, total time) as JSON; "-" means stdout. Worker processes
 // append ".rankN" to the file name.
+//
+// Daemon mode (mimird) keeps the rank mesh standing across jobs instead of
+// running one job and exiting:
+//
+//	mimir-worker -daemon -spawn 4 -admin 127.0.0.1:7077
+//	mimir-worker -daemon -inproc 4 -admin 127.0.0.1:7077
+//
+// Rank 0 serves the JSON-over-TCP admin front door on -admin; submit jobs
+// with cmd/mimirctl. -mem caps the node admission arena (the sum of the
+// memory floors of concurrently running jobs). Spawned daemon workers run
+// the jobsvc control loop instead of a single job and live until the daemon
+// shuts down. SIGINT/SIGTERM drains: queued jobs still run, then the mesh
+// comes down.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
-	"strconv"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mimir"
 	"mimir/internal/driver"
+	"mimir/internal/jobsvc"
 	"mimir/internal/metrics"
+	"mimir/internal/transport"
 	"mimir/internal/workloads"
 )
-
-// defaultWorkers resolves the -workers default from MIMIR_WORKERS: 0 lets
-// the engine use all cores (GOMAXPROCS), 1 forces the serial path. The flag
-// (like all flags) is copied to -spawn children via os.Args, so the whole
-// world runs one pool size; output bytes are identical regardless.
-func defaultWorkers() int {
-	if v := os.Getenv("MIMIR_WORKERS"); v != "" {
-		if n, err := strconv.Atoi(v); err == nil {
-			return n
-		}
-	}
-	return 0
-}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mimir-worker: ")
+	// Environment-forwarded options seed the flag defaults (one decode,
+	// shared with spawn-forwarding): a -spawn child or daemon worker gets
+	// the parent's settings without every flag being copied, and an
+	// explicit flag still wins.
+	envOpts, envErr := mimir.TCPOptionsFromEnv()
 	var (
 		spawn   = flag.Int("spawn", 0, "become rank 0 of an n-process world, forking n-1 local workers")
 		join    = flag.String("join", "", "address of rank 0's bootstrap listener to join")
@@ -59,6 +68,10 @@ func main() {
 		size    = flag.Int("size", 0, "world size (with -join / -listen)")
 		inproc  = flag.Int("inproc", 0, "run n in-process ranks instead of TCP (reference mode)")
 		timeout = flag.Duration("timeout", 30*time.Second, "bootstrap rendezvous timeout")
+
+		daemon = flag.Bool("daemon", false, "run as the mimird job service: keep the mesh standing and accept job submissions")
+		admin  = flag.String("admin", "127.0.0.1:7077", "with -daemon: admin front-door listen address for mimirctl")
+		mem    = flag.Int64("mem", 0, "with -daemon: node admission arena capacity in bytes (0 = unlimited)")
 
 		policyArg = flag.String("fault-policy", "abort", "link fault handling: abort (fail-stop) or retry (reconnect + replay)")
 		faults    = flag.String("faults", "", "deterministic fault-injection spec, e.g. seed:42,kill:rank2@round3")
@@ -71,10 +84,13 @@ func main() {
 		hint    = flag.Bool("hint", true, "use the KV-hint")
 		pr      = flag.Bool("pr", true, "use partial reduction")
 		cps     = flag.Bool("cps", false, "use KV compression")
-		workers = flag.Int("workers", defaultWorkers(), "per-rank worker pool size (0 = all cores, 1 = serial; default from MIMIR_WORKERS)")
+		workers = flag.Int("workers", envOpts.Workers, "per-rank worker pool size (0 = all cores, 1 = serial; default from MIMIR_WORKERS)")
 		mpath   = flag.String("metrics", "", "write per-rank distribution JSON to this file (- = stdout)")
 	)
 	flag.Parse()
+	if envErr != nil {
+		log.Fatal(envErr)
+	}
 
 	cfg := driver.WordCountConfig{
 		TotalBytes: *bytes,
@@ -103,6 +119,22 @@ func main() {
 		Deadline:        *timeout,
 		Faults:          *faults,
 		Compress:        *compress,
+		Workers:         *workers,
+	}
+
+	// Daemon workers come first: a -daemon -spawn child re-executes with the
+	// same flags, so -daemon plus the MIMIR_TCP_* environment means "be a
+	// standing worker rank", not "run one job".
+	if *daemon {
+		if cfg, ok, err := transport.FromEnv(); ok {
+			if err != nil {
+				log.Fatal(err)
+			}
+			runDaemonWorker(cfg)
+			return
+		}
+		runDaemon(*admin, *mem, *spawn, *inproc, transport.SpawnOptions{Options: opts})
+		return
 	}
 
 	// A process re-executed by -spawn joins the parent's world via the
@@ -171,6 +203,58 @@ func runJob(world *mimir.World, cfg driver.WordCountConfig, mpath string) {
 	if err := world.Close(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runDaemonWorker is the life of a spawned daemon worker rank: dial into the
+// standing mesh and serve the jobsvc control loop until the daemon shuts the
+// mesh down. Spec.Crash terminates the process for real (os.Exit), which is
+// the fault the daemon's respawn path exists for.
+func runDaemonWorker(cfg transport.TCPConfig) {
+	tr, err := transport.NewTCP(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = jobsvc.RunWorker(tr, cfg.Rank, jobsvc.WorkerOptions{Exit: os.Exit, Logf: log.Printf})
+	tr.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runDaemon is rank 0's daemon life: build the standing mesh, serve the
+// admin front door, drain on SIGINT/SIGTERM.
+func runDaemon(admin string, mem int64, spawn, inproc int, sopts transport.SpawnOptions) {
+	var factory jobsvc.MeshFactory
+	switch {
+	case spawn > 0:
+		factory = jobsvc.SpawnMesh(spawn, sopts)
+	case inproc > 0:
+		factory = jobsvc.LocalMesh(inproc)
+	default:
+		log.Fatal("-daemon needs -spawn n (process mesh) or -inproc n (in-process mesh)")
+	}
+	srv, err := jobsvc.NewServer(jobsvc.Config{Mesh: factory, MemBytes: mem, Logf: log.Printf})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", admin)
+	if err != nil {
+		srv.Shutdown()
+		log.Fatal(err)
+	}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		log.Print("draining (signal)")
+		srv.Shutdown()
+	}()
+	log.Printf("mimird: %d ranks standing, admin on %s", srv.Size(), ln.Addr())
+	if err := srv.Serve(ln); err != nil {
+		srv.Shutdown()
+		log.Fatal(err)
+	}
+	srv.Shutdown()
 }
 
 func writeMetrics(world *mimir.World, sum *metrics.Summary, mpath string) {

@@ -1,0 +1,102 @@
+// Command mimirctl is the thin client for a running mimird daemon
+// (mimir-worker -daemon): it submits jobs to the standing rank mesh, streams
+// their lifecycle, and fetches daemon status.
+//
+//	mimirctl -addr 127.0.0.1:7077 submit -bytes 1048576 -dist uniform -seed 42
+//	mimirctl -addr 127.0.0.1:7077 status
+//	mimirctl -addr 127.0.0.1:7077 shutdown
+//
+// submit blocks until the job settles: lifecycle events (queued, running) go
+// to stderr, the counted output goes to stdout (or -o FILE), and -metrics
+// FILE saves the job's merged per-rank distribution JSON. The exit status is
+// non-zero when the job fails — including when a worker rank dies mid-job —
+// while the daemon itself stays up for the next submission.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mimir/internal/jobsvc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mimirctl: ")
+	addr := flag.String("addr", "127.0.0.1:7077", "mimird admin address")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mimirctl [-addr HOST:PORT] submit|status|shutdown [flags]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	cl := jobsvc.Dial(*addr)
+	switch flag.Arg(0) {
+	case "submit":
+		submit(cl, flag.Args()[1:])
+	case "status":
+		status(cl)
+	case "shutdown":
+		if err := cl.Shutdown(); err != nil {
+			log.Fatal(err)
+		}
+		log.Print("daemon drained and shut down")
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func submit(cl *jobsvc.Client, args []string) {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var spec jobsvc.Spec
+	fs.Int64Var(&spec.Bytes, "bytes", 1<<20, "total corpus bytes across all ranks")
+	fs.StringVar(&spec.Dist, "dist", "uniform", "corpus distribution: uniform or wikipedia")
+	fs.Uint64Var(&spec.Seed, "seed", 42, "corpus seed")
+	fs.BoolVar(&spec.Hint, "hint", true, "use the KV-hint")
+	fs.BoolVar(&spec.PR, "pr", true, "use partial reduction")
+	fs.BoolVar(&spec.CPS, "cps", false, "use KV compression")
+	fs.IntVar(&spec.Workers, "workers", 0, "per-rank worker pool size (0 = all cores)")
+	fs.Int64Var(&spec.MemBytes, "mem", 0, "job memory floor in bytes: admitted only once the daemon can reserve this much (0 = no reservation)")
+	fs.IntVar(&spec.Crash, "crash", 0, "fault-injection: this worker rank dies when the job starts (tests only)")
+	opath := fs.String("o", "", "write the counted output to this file instead of stdout")
+	mpath := fs.String("metrics", "", "write the job's merged per-rank metrics JSON to this file (- = stdout)")
+	fs.Parse(args)
+
+	res, err := cl.Submit(spec, func(ev jobsvc.Event) {
+		if ev.Event == jobsvc.EvQueued || ev.Event == jobsvc.EvRunning {
+			log.Printf("job %d %s", ev.Job, ev.Event)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("job %d done (%d output bytes)", res.Job, len(res.Output))
+	if *opath != "" {
+		if err := os.WriteFile(*opath, res.Output, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		os.Stdout.Write(res.Output)
+	}
+	if *mpath != "" && len(res.Metrics) > 0 {
+		if *mpath == "-" {
+			os.Stdout.Write(append([]byte(nil), res.Metrics...))
+			fmt.Println()
+		} else if err := os.WriteFile(*mpath, res.Metrics, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func status(cl *jobsvc.Client) {
+	st, err := cl.Status()
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(st)
+}

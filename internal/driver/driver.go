@@ -32,6 +32,11 @@ type WordCountConfig struct {
 	// 0 defaults to GOMAXPROCS, 1 is serial). Output bytes are identical
 	// either way.
 	Workers int
+	// MemBytes caps each rank's engine arena (0 = unlimited). The job
+	// service sets it to the job's admitted memory floor divided by the
+	// world size, so a job that outgrows its reservation fails itself
+	// instead of eating into memory promised to other jobs.
+	MemBytes int64
 }
 
 // WordCount runs cfg on every rank of world and gathers the result at rank
@@ -43,7 +48,7 @@ type WordCountConfig struct {
 func WordCount(world *mpi.World, cfg WordCountConfig, sum *metrics.Summary) ([]byte, error) {
 	var out []byte
 	err := world.Run(func(c *mpi.Comm) error {
-		eng := workloads.NewMimirEngine(c, mem.NewArena(0))
+		eng := workloads.NewMimirEngine(c, mem.NewArena(cfg.MemBytes))
 		eng.Workers = cfg.Workers
 		opts := workloads.StageOpts{}
 		if cfg.Hint {

@@ -38,6 +38,32 @@ func (k *killTransport) Wall() bool        { return k.inner.Wall() }
 func (k *killTransport) Abort(err error)   { k.inner.Abort(err) }
 func (k *killTransport) Close() error      { return k.inner.Close() }
 
+// Open forwards to the inner transport's Mux and wraps the returned channel
+// view, so a kill schedule fires on job channels too (the round counter is
+// per channel view, matching the per-channel collective sequence). A
+// channel view has no Severer, so a kill on it aborts the channel — the
+// job, not the mesh — which is exactly the blast radius a job-level fault
+// should have.
+func (k *killTransport) Open(job uint32) (transport.Transport, error) {
+	m, ok := k.inner.(transport.Mux)
+	if !ok {
+		return nil, fmt.Errorf("faultinject: transport %T is not a Mux", k.inner)
+	}
+	ch, err := m.Open(job)
+	if err != nil {
+		return nil, err
+	}
+	return k.in.Wrap(ch), nil
+}
+
+// Err forwards the inner transport's abort cause.
+func (k *killTransport) Err() error {
+	if r, ok := k.inner.(transport.ErrReporter); ok {
+		return r.Err()
+	}
+	return nil
+}
+
 // FaultStats forwards the inner transport's recovery counters, so the
 // runtime's metrics see through the decorator.
 func (k *killTransport) FaultStats() transport.FaultStats {

@@ -1,0 +1,120 @@
+package jobsvc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client is a thin submitter for the admin front door. Each operation dials
+// its own connection, so one Client is safe for concurrent use and survives
+// daemon restarts.
+type Client struct {
+	// Addr is the daemon's admin address.
+	Addr string
+	// Timeout bounds the dial (0 = 10s). Running jobs stream for as long as
+	// they run; only connection establishment is bounded.
+	Timeout time.Duration
+}
+
+// Dial returns a client for the daemon at addr.
+func Dial(addr string) *Client { return &Client{Addr: addr} }
+
+// Result is a finished job as seen by its submitter.
+type Result struct {
+	Job uint32
+	// Output is the gathered job output ("word count\n" lines, sorted).
+	Output []byte
+	// Metrics is the merged per-rank distribution summary
+	// (metrics.Summary.WriteJSON form) the daemon streamed back.
+	Metrics json.RawMessage
+}
+
+func (c *Client) dial() (net.Conn, error) {
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	return net.DialTimeout("tcp", c.Addr, timeout)
+}
+
+func (c *Client) request(req Request) (net.Conn, *json.Decoder, error) {
+	conn, err := c.dial()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	return conn, json.NewDecoder(conn), nil
+}
+
+// Submit runs spec on the daemon and blocks until the job settles. Every
+// event the daemon streams — queued, running, and the final one — is also
+// handed to onEvent when non-nil, so callers can surface progress.
+func (c *Client) Submit(spec Spec, onEvent func(Event)) (*Result, error) {
+	conn, dec, err := c.request(Request{Op: "submit", Spec: &spec})
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	var job uint32
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("jobsvc: event stream for job %d broke: %w", job, err)
+		}
+		if ev.Job != 0 {
+			job = ev.Job
+		}
+		if onEvent != nil {
+			onEvent(ev)
+		}
+		switch ev.Event {
+		case EvDone:
+			return &Result{Job: ev.Job, Output: []byte(ev.Output), Metrics: ev.Metrics}, nil
+		case EvError:
+			if ev.Job == 0 {
+				return nil, errors.New(ev.Error) // rejected before it was a job
+			}
+			return nil, fmt.Errorf("jobsvc: job %d failed: %s", ev.Job, ev.Error)
+		}
+	}
+}
+
+// Status fetches the daemon-wide view.
+func (c *Client) Status() (*Status, error) {
+	conn, dec, err := c.request(Request{Op: "status"})
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	var ev Event
+	if err := dec.Decode(&ev); err != nil {
+		return nil, err
+	}
+	if ev.Event != EvStatus || ev.Status == nil {
+		return nil, fmt.Errorf("jobsvc: status request answered with %q: %s", ev.Event, ev.Error)
+	}
+	return ev.Status, nil
+}
+
+// Shutdown asks the daemon to drain and exit, blocking until it confirms.
+func (c *Client) Shutdown() error {
+	conn, dec, err := c.request(Request{Op: "shutdown"})
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	var ev Event
+	if err := dec.Decode(&ev); err != nil {
+		return err
+	}
+	if ev.Event != EvOK {
+		return fmt.Errorf("jobsvc: shutdown answered with %q: %s", ev.Event, ev.Error)
+	}
+	return nil
+}

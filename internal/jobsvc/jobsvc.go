@@ -1,0 +1,297 @@
+// Package jobsvc is the long-lived, multi-tenant job service over a standing
+// rank mesh — the "mimird" control plane. Where every other entry point in
+// this repository builds a world, runs exactly one job, and tears the world
+// down, jobsvc keeps the rank mesh (the full TCP link mesh and its worker
+// processes, or an in-process Local world) up across jobs: submitters hand
+// job specs to a JSON-over-TCP front door on the process hosting rank 0,
+// jobs queue behind a memory-admission gate, and admitted jobs run
+// concurrently by multiplexing the one socket mesh through per-job transport
+// channels (transport.Mux, wire v4). This is the paper's service model for
+// large systems: the expensive resource — an established N^2 connection mesh
+// and warmed-up processes — is paid for once and shared by many jobs.
+//
+// The moving parts:
+//
+//   - Server runs on the process hosting rank 0: admin socket, FIFO queue,
+//     admission against a node memory arena, per-job dispatch and result
+//     streaming, and mesh respawn after a fatal fault.
+//   - RunWorker runs on every other rank: a control loop on channel 0 that
+//     starts each announced job on its own channel, concurrently.
+//   - Client is the thin submitter used by cmd/mimirctl and tests.
+//
+// Failure semantics: a job that fails by itself (out of its memory floor, a
+// scripted crash confined to its channel) poisons only its channel — other
+// running jobs and the mesh are untouched. A fault that kills the mesh (a
+// worker process dying) fails every job running at that moment with a clean
+// error, and the server then rebuilds the mesh from its factory; queued jobs
+// wait out the respawn and run on the new mesh.
+package jobsvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"mimir/internal/driver"
+	"mimir/internal/metrics"
+	"mimir/internal/mpi"
+	"mimir/internal/simtime"
+	"mimir/internal/transport"
+	"mimir/internal/workloads"
+)
+
+// Spec describes one submitted job: a distributed WordCount over the
+// deterministic synthetic corpus (the same job driver.WordCount runs), plus
+// the job's memory floor for admission.
+type Spec struct {
+	// Bytes is the total corpus size across all ranks (default 1 MiB).
+	Bytes int64 `json:"bytes,omitempty"`
+	// Dist is the corpus distribution: "uniform" (default) or "wikipedia".
+	Dist string `json:"dist,omitempty"`
+	// Seed is the corpus seed; two jobs with equal (Bytes, Dist, Seed) on
+	// equal-size meshes produce byte-identical output.
+	Seed uint64 `json:"seed,omitempty"`
+	// Engine options (see driver.WordCountConfig).
+	Hint    bool `json:"hint,omitempty"`
+	PR      bool `json:"pr,omitempty"`
+	CPS     bool `json:"cps,omitempty"`
+	Workers int  `json:"workers,omitempty"`
+	// MemBytes is the job's memory floor: the server admits the job only
+	// once it can reserve this many bytes in the node arena, and each rank's
+	// engine arena is capped at MemBytes divided by the world size — the job
+	// cannot eat into memory promised to other jobs. 0 reserves nothing and
+	// runs unlimited.
+	MemBytes int64 `json:"mem_bytes,omitempty"`
+	// Crash is a failure-injection hook for tests: the named rank (>= 1;
+	// rank 0 hosts the server) dies when the job starts — a daemon worker
+	// process exits without ceremony, an in-process rank aborts the mesh,
+	// which is what its process death would have done. 0 means no crash.
+	Crash int `json:"crash,omitempty"`
+}
+
+// normalize fills the defaults a zero field means.
+func (s *Spec) normalize() {
+	if s.Bytes <= 0 {
+		s.Bytes = 1 << 20
+	}
+	if s.Dist == "" {
+		s.Dist = "uniform"
+	}
+}
+
+// validate rejects specs that could never run on a size-rank mesh whose node
+// arena holds memCap bytes.
+func (s Spec) validate(size int, memCap int64) error {
+	if _, err := s.dist(); err != nil {
+		return err
+	}
+	if s.MemBytes < 0 {
+		return fmt.Errorf("jobsvc: negative mem_bytes %d", s.MemBytes)
+	}
+	if memCap > 0 && s.MemBytes > memCap {
+		return fmt.Errorf("jobsvc: mem_bytes %d exceeds the node arena capacity %d; the job would queue forever", s.MemBytes, memCap)
+	}
+	if s.Crash != 0 && (s.Crash < 1 || s.Crash >= size) {
+		return fmt.Errorf("jobsvc: crash rank %d out of range [1, %d)", s.Crash, size)
+	}
+	return nil
+}
+
+func (s Spec) dist() (workloads.Distribution, error) {
+	switch s.Dist {
+	case "uniform":
+		return workloads.Uniform, nil
+	case "wikipedia":
+		return workloads.Wikipedia, nil
+	}
+	return 0, fmt.Errorf("jobsvc: unknown dist %q (want uniform or wikipedia)", s.Dist)
+}
+
+// config maps the spec onto the job driver for a size-rank world.
+func (s Spec) config(size int) (driver.WordCountConfig, error) {
+	dist, err := s.dist()
+	if err != nil {
+		return driver.WordCountConfig{}, err
+	}
+	return driver.WordCountConfig{
+		Dist:       dist,
+		TotalBytes: s.Bytes,
+		Seed:       s.Seed,
+		Hint:       s.Hint,
+		PR:         s.PR,
+		CPS:        s.CPS,
+		Workers:    s.Workers,
+		MemBytes:   s.MemBytes / int64(size),
+	}, nil
+}
+
+// Job states as reported in events and status listings.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateError   = "error"
+)
+
+// Event names on the admin protocol.
+const (
+	EvQueued  = "queued"
+	EvRunning = "running"
+	EvDone    = "done"
+	EvError   = "error"
+	EvStatus  = "status"
+	EvOK      = "ok"
+)
+
+// Request is one admin-socket request: a single JSON object, answered by a
+// stream of Events (submit) or exactly one Event (status, shutdown).
+type Request struct {
+	Op   string `json:"op"` // "submit", "status", or "shutdown"
+	Spec *Spec  `json:"spec,omitempty"`
+}
+
+// Event is one line of an admin-socket reply. A submit streams
+// queued → running → done|error for its job; done carries the gathered
+// output and the merged per-rank metrics distribution.
+type Event struct {
+	Event   string          `json:"event"`
+	Job     uint32          `json:"job,omitempty"`
+	Error   string          `json:"error,omitempty"`
+	Output  string          `json:"output,omitempty"`
+	Metrics json.RawMessage `json:"metrics,omitempty"`
+	Status  *Status         `json:"status,omitempty"`
+}
+
+// Status is the daemon-wide view returned by the status op.
+type Status struct {
+	// Size is the mesh's rank count.
+	Size int `json:"size"`
+	// Respawns counts mesh rebuilds after fatal faults; a healthy service
+	// reports 0 however many jobs it has run.
+	Respawns int `json:"respawns"`
+	// MemUsed / MemCapacity describe the admission arena (reserved job
+	// floors, not live engine pages). Capacity 0 means unlimited.
+	MemUsed     int64 `json:"mem_used"`
+	MemCapacity int64 `json:"mem_capacity"`
+	// Jobs lists every job the server has seen, in submission order.
+	Jobs []JobStatus `json:"jobs"`
+}
+
+// JobStatus is one job's line in a Status listing.
+type JobStatus struct {
+	Job   uint32 `json:"job"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+// Control messages travel rank 0 → worker on channel 0 of the mesh, tagged
+// ctrlTag. Channel 0 carries nothing else while the service runs: every job
+// gets its own channel, so control can never be confused with job traffic.
+const ctrlTag = 1
+
+const (
+	opStart    = "start"
+	opShutdown = "shutdown"
+)
+
+type ctrlMsg struct {
+	Op   string `json:"op"`
+	Job  uint32 `json:"job,omitempty"`
+	Spec *Spec  `json:"spec,omitempty"`
+}
+
+// execJob runs one job on its own channel of the standing mesh. Every
+// process hosting ranks of the mesh calls it with the same (id, spec) — the
+// server for rank 0 (or all ranks on an in-process mesh), RunWorker for each
+// worker rank. The returned output and merged metrics are non-nil only on
+// the process hosting rank 0. exit, when non-nil, implements the Spec.Crash
+// hook by terminating the process; without it a crash is simulated by
+// aborting the mesh, which is exactly what the process death would do.
+func execJob(tr transport.Transport, id uint32, spec Spec, exit func(code int)) ([]byte, *metrics.Summary, error) {
+	if spec.Crash > 0 {
+		for _, r := range tr.LocalRanks() {
+			if r == spec.Crash {
+				if exit != nil {
+					exit(3)
+				}
+				err := fmt.Errorf("%w: jobsvc: rank %d crashed (scripted)", transport.ErrAborted, spec.Crash)
+				tr.Abort(err)
+				return nil, nil, err
+			}
+		}
+	}
+	mux, ok := tr.(transport.Mux)
+	if !ok {
+		return nil, nil, fmt.Errorf("jobsvc: transport %T cannot multiplex jobs", tr)
+	}
+	ch, err := mux.Open(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer ch.Close()
+	// Simulated (in-process) meshes need a network cost model or the clocks
+	// jump to +Inf on the first charged byte; wall-clock transports ignore it.
+	world := mpi.NewWorld(mpi.Config{
+		Transport: ch,
+		Net:       simtime.NetworkModel{Alpha: 1e-7, Beta: 1e9},
+	})
+	cfg, err := spec.config(world.Size())
+	if err != nil {
+		return nil, nil, err
+	}
+	sum := metrics.NewSummary()
+	out, err := driver.WordCount(world, cfg, sum)
+	if err != nil {
+		return nil, nil, err
+	}
+	merged, err := gatherMetrics(world, sum)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, merged, nil
+}
+
+// gatherMetrics folds every rank's summary into one distribution at rank 0.
+// When the world lives in one process the per-rank samples already share a
+// summary; across processes each rank contributes its serialized summary
+// through a Gatherv on the job's channel — the metrics ride the same
+// exactly-once transport the job data did.
+func gatherMetrics(world *mpi.World, sum *metrics.Summary) (*metrics.Summary, error) {
+	if len(world.LocalRanks()) == world.Size() {
+		return sum, nil
+	}
+	var merged *metrics.Summary
+	err := world.Run(func(c *mpi.Comm) error {
+		var buf bytes.Buffer
+		if err := sum.WriteJSON(&buf); err != nil {
+			return err
+		}
+		parts, err := c.Gatherv(buf.Bytes(), 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 0 {
+			return nil
+		}
+		merged = metrics.NewSummary()
+		for _, p := range parts {
+			if err := merged.MergeJSON(bytes.NewReader(p)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return merged, nil
+}
+
+// meshError reports the transport's abort cause, nil while healthy or when
+// the transport cannot say (no ErrReporter).
+func meshError(tr transport.Transport) error {
+	if er, ok := tr.(transport.ErrReporter); ok {
+		return er.Err()
+	}
+	return nil
+}

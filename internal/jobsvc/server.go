@@ -1,0 +1,467 @@
+package jobsvc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"mimir/internal/mem"
+	"mimir/internal/metrics"
+	"mimir/internal/transport"
+)
+
+// Mesh is one incarnation of the standing rank mesh: the rank-0 side's
+// transport plus whatever teardown releases the incarnation's resources
+// (reaping worker processes, joining worker goroutines). Close must be safe
+// to call on a mesh that already died.
+type Mesh struct {
+	Transport transport.Transport
+	Close     func()
+}
+
+// MeshFactory builds a fresh mesh incarnation. The server calls it once at
+// startup and again after every fatal mesh fault; each call must produce a
+// transport hosting rank 0 with the same world size.
+type MeshFactory func() (Mesh, error)
+
+// Config describes a Server.
+type Config struct {
+	// Mesh builds (and rebuilds) the standing mesh. Required.
+	Mesh MeshFactory
+	// MemBytes is the node admission arena capacity: the sum of the memory
+	// floors of all concurrently running jobs never exceeds it. 0 admits
+	// everything immediately.
+	MemBytes int64
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// Server is the rank-0 side of the job service: it owns the standing mesh,
+// the job queue, and the admin front door. Create one with NewServer, serve
+// submitters with Serve (or drive Submit directly), stop with Shutdown.
+type Server struct {
+	cfg   Config
+	arena *mem.Arena
+	size  int
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	mesh       Mesh
+	meshGen    int
+	meshUp     bool
+	respawning bool
+	fatal      error
+	closing    bool
+	nextJob    uint32
+	queue      []*job
+	jobs       map[uint32]*job
+	order      []uint32
+	respawns   int
+
+	jobsWG    sync.WaitGroup
+	schedDone chan struct{}
+	shutOnce  sync.Once
+
+	// ctlMu serializes control sends on the mesh's rank-0 channel-0
+	// endpoint, which concurrent job dispatches would otherwise share.
+	ctlMu sync.Mutex
+
+	lnMu sync.Mutex
+	ln   net.Listener
+}
+
+type job struct {
+	id    uint32
+	spec  Spec
+	state string
+	err   string
+	// events streams this job's lifecycle to its submitter. At most four
+	// events ever flow (queued, running, done|error) before the channel is
+	// closed by whichever finalizer settles the job, so the buffer makes
+	// every send non-blocking: a slow or vanished submitter cannot stall
+	// the scheduler.
+	events chan Event
+}
+
+func (j *job) finish(state, errText string, ev Event) {
+	j.state = state
+	j.err = errText
+	j.events <- ev
+	close(j.events)
+}
+
+// NewServer builds the initial mesh and starts the scheduler. The factory's
+// transport must host rank 0 — the admin front door and the result gather
+// both live there.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Mesh == nil {
+		return nil, errors.New("jobsvc: Config.Mesh is required")
+	}
+	m, err := cfg.Mesh()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkMesh(m); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:       cfg,
+		arena:     mem.NewArena(cfg.MemBytes),
+		size:      m.Transport.Size(),
+		mesh:      m,
+		meshUp:    true,
+		jobs:      make(map[uint32]*job),
+		schedDone: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	go s.scheduler()
+	return s, nil
+}
+
+func checkMesh(m Mesh) error {
+	lr := m.Transport.LocalRanks()
+	if len(lr) == 0 || lr[0] != 0 {
+		if m.Close != nil {
+			m.Close()
+		}
+		return fmt.Errorf("jobsvc: mesh transport hosts ranks %v; the server needs rank 0", lr)
+	}
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Size returns the mesh's rank count.
+func (s *Server) Size() int { return s.size }
+
+// Respawns reports how many times the mesh has been rebuilt after a fatal
+// fault. A service that has only ever run healthy jobs reports 0.
+func (s *Server) Respawns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.respawns
+}
+
+// Submit queues a job and returns its id and event stream. The stream
+// delivers queued → running → done|error and is then closed; the caller
+// must drain it. Jobs run concurrently once admitted, so events of
+// different jobs interleave arbitrarily while each job's own stream stays
+// ordered.
+func (s *Server) Submit(spec Spec) (uint32, <-chan Event, error) {
+	spec.normalize()
+	if err := spec.validate(s.size, s.cfg.MemBytes); err != nil {
+		return 0, nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return 0, nil, errors.New("jobsvc: server is shutting down")
+	}
+	if s.fatal != nil {
+		return 0, nil, fmt.Errorf("jobsvc: mesh is down for good: %w", s.fatal)
+	}
+	s.nextJob++
+	j := &job{id: s.nextJob, spec: spec, state: StateQueued, events: make(chan Event, 8)}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.queue = append(s.queue, j)
+	j.events <- Event{Event: EvQueued, Job: j.id}
+	s.cond.Broadcast()
+	return j.id, j.events, nil
+}
+
+// scheduler admits and dispatches queued jobs in FIFO order. Admission is
+// strict head-of-line: the head job waits until the arena can reserve its
+// memory floor, and jobs behind it wait their turn — a big job queued first
+// is never starved by small jobs slipping past it. Dispatched jobs run
+// concurrently; the scheduler immediately returns to the queue.
+func (s *Server) scheduler() {
+	defer close(s.schedDone)
+	for {
+		s.mu.Lock()
+		var j *job
+		for {
+			if s.fatal != nil || (s.closing && len(s.queue) == 0) {
+				s.mu.Unlock()
+				return
+			}
+			if len(s.queue) > 0 && s.meshUp {
+				head := s.queue[0]
+				if s.arena.TryGrab(head.spec.MemBytes) {
+					j = head
+					s.queue = s.queue[1:]
+					break
+				}
+			}
+			s.cond.Wait()
+		}
+		j.state = StateRunning
+		m, gen := s.mesh, s.meshGen
+		s.jobsWG.Add(1)
+		s.mu.Unlock()
+		j.events <- Event{Event: EvRunning, Job: j.id}
+		go s.run(m, gen, j)
+	}
+}
+
+// run executes one admitted job to completion on mesh incarnation gen and
+// settles it. If the job died because the mesh died, the mesh is respawned.
+func (s *Server) run(m Mesh, gen int, j *job) {
+	defer s.jobsWG.Done()
+	out, sum, err := s.dispatch(m, j)
+	meshErr := meshError(m.Transport)
+
+	s.mu.Lock()
+	s.arena.Free(j.spec.MemBytes)
+	s.cond.Broadcast()
+	if err == nil {
+		ev := Event{Event: EvDone, Job: j.id, Output: string(out)}
+		if sum != nil {
+			ev.Metrics = sumJSON(sum)
+		}
+		j.finish(StateDone, "", ev)
+	} else {
+		j.finish(StateError, err.Error(), Event{Event: EvError, Job: j.id, Error: err.Error()})
+	}
+	s.mu.Unlock()
+
+	if err != nil && meshErr != nil {
+		s.logf("jobsvc: job %d died with the mesh (%v); respawning", j.id, meshErr)
+		s.respawn(gen)
+	} else if err != nil {
+		s.logf("jobsvc: job %d failed: %v", j.id, err)
+	}
+}
+
+// dispatch announces the job to every remote rank over channel 0, then runs
+// rank 0's own share of it.
+func (s *Server) dispatch(m Mesh, j *job) ([]byte, *metrics.Summary, error) {
+	tr := m.Transport
+	msg, err := json.Marshal(ctrlMsg{Op: opStart, Job: j.id, Spec: &j.spec})
+	if err != nil {
+		return nil, nil, err
+	}
+	local := make(map[int]bool)
+	for _, r := range tr.LocalRanks() {
+		local[r] = true
+	}
+	ep := tr.Endpoint(0)
+	s.ctlMu.Lock()
+	for r := 1; r < tr.Size(); r++ {
+		if local[r] {
+			continue // in-process ranks run inside execJob below
+		}
+		if err := ep.Send(r, ctrlTag, msg, 0); err != nil {
+			s.ctlMu.Unlock()
+			return nil, nil, fmt.Errorf("jobsvc: job %d start broadcast: %w", j.id, err)
+		}
+	}
+	s.ctlMu.Unlock()
+	return execJob(tr, j.id, j.spec, nil)
+}
+
+func sumJSON(sum *metrics.Summary) json.RawMessage {
+	var buf []byte
+	w := &sliceWriter{b: &buf}
+	if err := sum.WriteJSON(w); err != nil {
+		return nil
+	}
+	return json.RawMessage(buf)
+}
+
+type sliceWriter struct{ b *[]byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	*w.b = append(*w.b, p...)
+	return len(p), nil
+}
+
+// respawn rebuilds the mesh after incarnation gen died. Exactly one caller
+// wins (jobs failing together all report the same death); the rest return
+// immediately. While the rebuild runs the scheduler dispatches nothing, so
+// queued jobs simply wait out the outage. A factory failure is fatal: every
+// queued job is failed and future submits are refused.
+func (s *Server) respawn(gen int) {
+	s.mu.Lock()
+	if s.meshGen != gen || s.respawning || s.closing {
+		s.mu.Unlock()
+		return
+	}
+	s.respawning = true
+	s.meshUp = false
+	old := s.mesh
+	s.mu.Unlock()
+
+	if old.Close != nil {
+		old.Close()
+	}
+	m, err := s.cfg.Mesh()
+	if err == nil {
+		if cerr := checkMesh(m); cerr != nil {
+			err = cerr
+		} else if m.Transport.Size() != s.size {
+			err = fmt.Errorf("jobsvc: respawned mesh has %d ranks, want %d", m.Transport.Size(), s.size)
+			if m.Close != nil {
+				m.Close()
+			}
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.respawning = false
+	if err != nil {
+		s.fatal = err
+		for _, j := range s.queue {
+			j.finish(StateError, err.Error(),
+				Event{Event: EvError, Job: j.id, Error: "jobsvc: mesh respawn failed: " + err.Error()})
+		}
+		s.queue = nil
+		s.cond.Broadcast()
+		s.logf("jobsvc: mesh respawn failed: %v", err)
+		return
+	}
+	s.mesh = m
+	s.meshGen++
+	s.meshUp = true
+	s.respawns++
+	s.cond.Broadcast()
+	s.logf("jobsvc: mesh respawned (respawn #%d)", s.respawns)
+}
+
+// StatusSnapshot returns the current daemon-wide view.
+func (s *Server) StatusSnapshot() *Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := &Status{
+		Size:        s.size,
+		Respawns:    s.respawns,
+		MemUsed:     s.arena.Used(),
+		MemCapacity: s.cfg.MemBytes,
+	}
+	for _, id := range s.order {
+		j := s.jobs[id]
+		st.Jobs = append(st.Jobs, JobStatus{Job: j.id, State: j.state, Error: j.err})
+	}
+	return st
+}
+
+// Shutdown drains the service: no new submissions, queued jobs still run,
+// running jobs finish, workers are told to exit, and the mesh is torn down.
+// Blocks until all of that is done. Safe to call more than once and
+// concurrently with Serve, whose listener it closes.
+func (s *Server) Shutdown() {
+	s.shutOnce.Do(s.shutdown)
+}
+
+func (s *Server) shutdown() {
+	s.mu.Lock()
+	s.closing = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	<-s.schedDone
+	s.jobsWG.Wait()
+
+	s.mu.Lock()
+	m := s.mesh
+	healthy := s.meshUp && s.fatal == nil && meshError(m.Transport) == nil
+	s.mu.Unlock()
+	if healthy {
+		// Tell the workers this is a shutdown, not a crash, so they exit
+		// their control loops cleanly. Best-effort: a worker that died
+		// anyway is reaped by Mesh.Close.
+		msg, _ := json.Marshal(ctrlMsg{Op: opShutdown})
+		local := make(map[int]bool)
+		for _, r := range m.Transport.LocalRanks() {
+			local[r] = true
+		}
+		ep := m.Transport.Endpoint(0)
+		s.ctlMu.Lock()
+		for r := 1; r < m.Transport.Size(); r++ {
+			if !local[r] {
+				ep.Send(r, ctrlTag, msg, 0)
+			}
+		}
+		s.ctlMu.Unlock()
+	}
+	if m.Close != nil {
+		m.Close()
+	}
+	s.lnMu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.lnMu.Unlock()
+	s.logf("jobsvc: shut down")
+}
+
+func (s *Server) isClosing() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closing
+}
+
+// Serve accepts admin connections until Shutdown closes the listener. Each
+// connection carries one request; submit replies stream the job's events.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isClosing() {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		enc.Encode(Event{Event: EvError, Error: "jobsvc: bad request: " + err.Error()})
+		return
+	}
+	switch req.Op {
+	case "submit":
+		if req.Spec == nil {
+			enc.Encode(Event{Event: EvError, Error: "jobsvc: submit needs a spec"})
+			return
+		}
+		_, events, err := s.Submit(*req.Spec)
+		if err != nil {
+			enc.Encode(Event{Event: EvError, Error: err.Error()})
+			return
+		}
+		for ev := range events {
+			if enc.Encode(ev) != nil {
+				return // submitter hung up; the job runs on regardless
+			}
+		}
+	case "status":
+		enc.Encode(Event{Event: EvStatus, Status: s.StatusSnapshot()})
+	case "shutdown":
+		s.Shutdown()
+		enc.Encode(Event{Event: EvOK})
+	default:
+		enc.Encode(Event{Event: EvError, Error: fmt.Sprintf("jobsvc: unknown op %q", req.Op)})
+	}
+}

@@ -1,0 +1,121 @@
+package jobsvc
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"mimir/internal/transport"
+)
+
+// WorkerOptions configures a worker rank's control loop.
+type WorkerOptions struct {
+	// Exit, when non-nil, implements the Spec.Crash hook by terminating the
+	// process (daemon workers pass os.Exit). When nil a scripted crash
+	// aborts the mesh instead — the observable consequence a process death
+	// would have had — so in-process meshes exercise the same recovery
+	// path.
+	Exit func(code int)
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// RunWorker is a worker rank's life with the job service: a control loop on
+// channel 0 of the standing mesh. Every announced job starts on its own
+// goroutine and its own transport channel, so any number of jobs multiplex
+// the one mesh concurrently. Returns nil after a clean shutdown ctrl
+// message, or the mesh's death once it can no longer be served; either way
+// all running jobs have finished first. The caller still owns tr and should
+// Close it.
+func RunWorker(tr transport.Transport, rank int, opts WorkerOptions) error {
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ep := tr.Endpoint(rank)
+	var jobs sync.WaitGroup
+	defer jobs.Wait()
+	for {
+		m, err := ep.Recv(0, ctrlTag)
+		if err != nil {
+			return fmt.Errorf("jobsvc: rank %d control channel: %w", rank, err)
+		}
+		var c ctrlMsg
+		uerr := json.Unmarshal(m.Data, &c)
+		if r, ok := tr.(interface{ Recycle([]byte) }); ok && len(m.Data) > 0 {
+			r.Recycle(m.Data)
+		}
+		if uerr != nil {
+			return fmt.Errorf("jobsvc: rank %d bad control message: %v", rank, uerr)
+		}
+		switch c.Op {
+		case opStart:
+			if c.Spec == nil {
+				return fmt.Errorf("jobsvc: rank %d start without a spec", rank)
+			}
+			jobs.Add(1)
+			go func(id uint32, spec Spec) {
+				defer jobs.Done()
+				if _, _, err := execJob(tr, id, spec, opts.Exit); err != nil {
+					// Rank 0 observed the same failure through the job's
+					// channel and reports it to the submitter; here it is
+					// only worth a log line.
+					logf("jobsvc: rank %d job %d: %v", rank, id, err)
+				}
+			}(c.Job, *c.Spec)
+		case opShutdown:
+			logf("jobsvc: rank %d shutting down", rank)
+			return nil
+		default:
+			return fmt.Errorf("jobsvc: rank %d unknown control op %q", rank, c.Op)
+		}
+	}
+}
+
+// LocalMesh returns a MeshFactory hosting all ranks in this process on the
+// in-process transport. There are no worker loops: the server's own
+// execJob runs every rank, exactly as driver jobs do on in-process worlds.
+// This is the fast path for tests and for a single-node daemon without
+// process isolation.
+func LocalMesh(size int) MeshFactory {
+	return func() (Mesh, error) {
+		if size < 1 {
+			return Mesh{}, fmt.Errorf("jobsvc: invalid mesh size %d", size)
+		}
+		tr := transport.NewLocal(size)
+		return Mesh{Transport: tr, Close: func() {
+			tr.Abort(fmt.Errorf("%w: jobsvc: mesh closed", transport.ErrAborted))
+			tr.Close()
+		}}, nil
+	}
+}
+
+// SpawnMesh returns a MeshFactory that makes this process rank 0 of a
+// size-rank TCP mesh and forks size-1 copies of this binary as daemon
+// workers (transport.SpawnLocal semantics: the copies must detect the
+// MIMIR_TCP_* environment and call RunWorker). Close tears the incarnation
+// down and reaps the children, killing any that outlive the mesh by more
+// than a grace period.
+func SpawnMesh(size int, opts transport.SpawnOptions) MeshFactory {
+	return func() (Mesh, error) {
+		tr, children, err := transport.SpawnLocalOpts(size, opts)
+		if err != nil {
+			return Mesh{}, err
+		}
+		return Mesh{Transport: tr, Close: func() {
+			tr.Close()
+			done := make(chan struct{})
+			go func() {
+				children.Wait()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(15 * time.Second):
+				children.Kill()
+				<-done
+			}
+		}}, nil
+	}
+}

@@ -140,6 +140,40 @@ func (m *Summary) WriteJSON(w io.Writer) error {
 	return enc.Encode(out)
 }
 
+// MergeJSON folds a WriteJSON document — typically another process's ranks,
+// gathered at rank 0 — into m: counts and sums add, mins and maxes combine,
+// so the merged summary is exactly what one process observing every rank
+// would have recorded. New series keep first-seen order.
+func (m *Summary) MergeJSON(r io.Reader) error {
+	var in struct {
+		Series []seriesJSON `json:"series"`
+	}
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, sj := range in.Series {
+		s, ok := m.series[sj.Name]
+		if !ok {
+			s = &Series{Name: sj.Name, Min: math.Inf(1), Max: math.Inf(-1)}
+			m.series[sj.Name] = s
+			m.order = append(m.order, sj.Name)
+		}
+		s.Count += sj.Count
+		s.Sum += sj.Sum
+		if sj.Count > 0 {
+			if sj.Min < s.Min {
+				s.Min = sj.Min
+			}
+			if sj.Max > s.Max {
+				s.Max = sj.Max
+			}
+		}
+	}
+	return nil
+}
+
 // Sorted returns all series ordered by name (stable output for tests).
 func (m *Summary) Sorted() []*Series {
 	m.mu.Lock()

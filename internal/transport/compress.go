@@ -134,7 +134,7 @@ func decompressPayload(comp []byte) ([]byte, error) {
 func AppendFrameCompressed(dst []byte, f *Frame) ([]byte, bool) {
 	if len(f.Data) >= compressMinSize {
 		if comp, ok := compressPayload(nil, f.Data); ok {
-			dst = appendFrameHeaderRaw(dst, f.Op|CompressedFlag, f.Src, f.Tag, f.Seq, f.Time, comp)
+			dst = appendFrameHeaderRaw(dst, f.Op|CompressedFlag, f.Src, f.Job, f.Tag, f.Seq, f.Time, comp)
 			return append(dst, comp...), true
 		}
 	}

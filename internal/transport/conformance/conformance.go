@@ -126,8 +126,134 @@ func Scenarios() []Scenario {
 		{Name: "exchange-large", Run: scExchangeLarge},
 		{Name: "p2p-ring", Run: scP2PRing},
 		{Name: "p2p-gather-any", Run: scP2PGatherAny},
+		{Name: "mux-jobs-interleaved", Run: scMuxInterleaved},
+		{Name: "mux-abort-isolated", Run: scMuxAbortIsolated},
 		{Name: "abort-propagates", ExpectAbort: true, Run: scAbort},
 	}
+}
+
+// jobStream is one job's worth of traffic on a transport channel: rounds of
+// alltoall exchange plus ring point-to-point, every byte derived from the job
+// id so two jobs sharing a mesh can never mistake each other's frames, ending
+// in a barrier that drains the channel. Returns this rank's deterministic
+// observable bytes.
+func jobStream(w *World, ch transport.Transport, job int) ([]byte, error) {
+	ep := ch.Endpoint(w.Rank)
+	right := (w.Rank + 1) % w.Size
+	left := (w.Rank + w.Size - 1) % w.Size
+	var out []byte
+	for round := 0; round < 3; round++ {
+		round := round
+		send, err := w.pfor(w.Size, func(dst int) ([]byte, error) {
+			return pattern(job*1000+round, w.Rank, dst, 96+32*round), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		recv, _, err := ep.Exchange(send, 0)
+		if err != nil {
+			return nil, err
+		}
+		checked, err := w.pfor(len(recv), func(src int) ([]byte, error) {
+			if err := checkPattern(recv[src], job*1000+round, src, w.Rank, 96+32*round); err != nil {
+				return nil, err
+			}
+			return recv[src], nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range checked {
+			out = append(out, c...)
+		}
+		if err := ep.Send(right, round, pattern(job*2000+round, w.Rank, right, 56), 0); err != nil {
+			return nil, err
+		}
+		m, err := ep.Recv(left, round)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkPattern(m.Data, job*2000+round, left, w.Rank, 56); err != nil {
+			return nil, err
+		}
+		out = append(out, m.Data...)
+	}
+	if _, _, err := ep.Exchange(nil, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// scMuxInterleaved is the concurrent-jobs contract: two independent job
+// streams multiplex one mesh through per-job channels, running concurrently
+// on every rank, and each stream's bytes are exactly what it would have seen
+// alone. This is the scenario the mimird job service leans on.
+func scMuxInterleaved(w *World) ([]byte, error) {
+	mux, ok := w.T.(transport.Mux)
+	if !ok {
+		return nil, fmt.Errorf("transport %T cannot multiplex job channels", w.T)
+	}
+	chA, err := mux.Open(1)
+	if err != nil {
+		return nil, err
+	}
+	chB, err := mux.Open(2)
+	if err != nil {
+		return nil, err
+	}
+	var outA, outB []byte
+	var errA, errB error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); outA, errA = jobStream(w, chA, 1) }()
+	go func() { defer wg.Done(); outB, errB = jobStream(w, chB, 2) }()
+	wg.Wait()
+	if errA != nil {
+		return nil, fmt.Errorf("job 1: %w", errA)
+	}
+	if errB != nil {
+		return nil, fmt.Errorf("job 2: %w", errB)
+	}
+	// Channels are left for the transport's Close to reap: on shared
+	// in-process meshes an early per-rank Close could race another rank's
+	// traffic, and the contract under test is the streams' bytes, not
+	// channel teardown.
+	return append(outA, outB...), nil
+}
+
+// scMuxAbortIsolated is job-failure isolation: aborting one job's channel
+// kills that job on every rank (ErrAborted, never a hang) while a concurrent
+// job and the default channel sail through untouched. The abort fires before
+// any job traffic so its control frames lead every connection — an abort is
+// not replayed after a link fault, so this mirrors how the job service
+// sequences a scripted crash.
+func scMuxAbortIsolated(w *World) ([]byte, error) {
+	mux, ok := w.T.(transport.Mux)
+	if !ok {
+		return nil, fmt.Errorf("transport %T cannot multiplex job channels", w.T)
+	}
+	chA, err := mux.Open(3)
+	if err != nil {
+		return nil, err
+	}
+	chB, err := mux.Open(4)
+	if err != nil {
+		return nil, err
+	}
+	if w.Rank == w.Size-1 {
+		chB.Abort(fmt.Errorf("%w: conformance: scripted job failure", transport.ErrAborted))
+	}
+	if _, _, err := chB.Endpoint(w.Rank).Exchange(nil, 0); !errors.Is(err, transport.ErrAborted) {
+		return nil, fmt.Errorf("aborted job channel: err = %v, want ErrAborted", err)
+	}
+	out, err := jobStream(w, chA, 3)
+	if err != nil {
+		return nil, fmt.Errorf("surviving job: %w", err)
+	}
+	if _, _, err := w.Ep.Exchange(nil, 0); err != nil {
+		return nil, fmt.Errorf("default channel after job abort: %w", err)
+	}
+	return out, nil
 }
 
 // scExchangeRounds runs several full alltoall rounds, verifies every cell
@@ -452,4 +578,97 @@ func RunWorkers(t *testing.T, build Builder, workers int) {
 // LocalBuilder builds the reference world on the in-process transport.
 func LocalBuilder(t testing.TB, size int) []transport.Transport {
 	return []transport.Transport{transport.NewLocal(size)}
+}
+
+// ConcurrentJobs is the multi-tenancy conformance check: it runs job streams
+// 11 and 12 interleaved on one mesh, then each alone on a fresh mesh, and
+// asserts every rank's bytes for each job are identical in both worlds —
+// a job cannot observe its neighbors. This is the property that lets the
+// mimird job service promise solo-identical results for concurrent
+// submissions.
+func ConcurrentJobs(t *testing.T, build Builder) {
+	t.Helper()
+	const jobA, jobB = 11, 12
+	interleaved := runJobStreams(t, build, []int{jobA, jobB})
+	soloA := runJobStreams(t, build, []int{jobA})
+	soloB := runJobStreams(t, build, []int{jobB})
+	for rank := 0; rank < WorldSize; rank++ {
+		if !bytes.Equal(interleaved[jobA][rank], soloA[jobA][rank]) {
+			t.Errorf("job %d rank %d: interleaved bytes differ from the solo run", jobA, rank)
+		}
+		if !bytes.Equal(interleaved[jobB][rank], soloB[jobB][rank]) {
+			t.Errorf("job %d rank %d: interleaved bytes differ from the solo run", jobB, rank)
+		}
+	}
+}
+
+// runJobStreams runs the given job streams concurrently on every rank of a
+// fresh mesh and returns job → per-rank observable bytes.
+func runJobStreams(t *testing.T, build Builder, jobs []int) map[int][][]byte {
+	t.Helper()
+	trs := build(t, WorldSize)
+	defer func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+	}()
+	results := make(map[int][][]byte, len(jobs))
+	for _, job := range jobs {
+		results[job] = make([][]byte, WorldSize)
+	}
+	errs := make([]error, WorldSize)
+	done := make(chan struct{}, WorldSize)
+	started := 0
+	for _, tr := range trs {
+		for _, rank := range tr.LocalRanks() {
+			started++
+			go func(tr transport.Transport, rank int) {
+				defer func() { done <- struct{}{} }()
+				w := &World{T: tr, Ep: tr.Endpoint(rank), Rank: rank, Size: WorldSize, Workers: 1}
+				mux, ok := tr.(transport.Mux)
+				if !ok {
+					errs[rank] = fmt.Errorf("transport %T cannot multiplex job channels", tr)
+					return
+				}
+				jerrs := make([]error, len(jobs))
+				var wg sync.WaitGroup
+				for ji, job := range jobs {
+					ch, err := mux.Open(uint32(job))
+					if err != nil {
+						errs[rank] = err
+						return
+					}
+					wg.Add(1)
+					go func(ji, job int, ch transport.Transport) {
+						defer wg.Done()
+						results[job][rank], jerrs[ji] = jobStream(w, ch, job)
+					}(ji, job, ch)
+				}
+				wg.Wait()
+				for _, err := range jerrs {
+					if err != nil {
+						errs[rank] = err
+						return
+					}
+				}
+			}(tr, rank)
+		}
+	}
+	if started != WorldSize {
+		t.Fatalf("builder produced %d ranks, want %d", started, WorldSize)
+	}
+	watchdog := time.After(60 * time.Second)
+	for i := 0; i < WorldSize; i++ {
+		select {
+		case <-done:
+		case <-watchdog:
+			t.Fatalf("concurrent jobs %v: world hung (ranks finished: %d of %d)", jobs, i, WorldSize)
+		}
+	}
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	return results
 }

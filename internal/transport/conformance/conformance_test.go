@@ -179,6 +179,34 @@ func TestCompressedFaultedTCPConformance(t *testing.T) {
 	t.Logf("faults fired: %+v", fired)
 }
 
+// TestConcurrentJobsLocal: two interleaved job streams on the in-process
+// mesh are byte-identical to each stream running alone.
+func TestConcurrentJobsLocal(t *testing.T) {
+	ConcurrentJobs(t, LocalBuilder)
+}
+
+// TestConcurrentJobsTCP: the same multi-tenancy contract over real sockets.
+func TestConcurrentJobsTCP(t *testing.T) {
+	ConcurrentJobs(t, tcpBuilder(transport.AbortOnFailure, nil))
+}
+
+// TestConcurrentJobsFaultedTCP: two interleaved jobs stay solo-identical
+// while the deterministic fault schedule resets, corrupts, delays, and cuts
+// the shared mesh's connections under both of them.
+func TestConcurrentJobsFaultedTCP(t *testing.T) {
+	spec, err := faultinject.ParseSpec(*faultSpec)
+	if err != nil {
+		t.Fatalf("bad -fault-spec: %v", err)
+	}
+	if len(spec.Kills) > 0 {
+		t.Fatalf("-fault-spec %q kills ranks; conformance needs the world to survive", *faultSpec)
+	}
+	ConcurrentJobs(t, tcpBuilder(transport.RetryTransient, func(rank int, cfg *transport.TCPConfig) {
+		cfg.WrapConn = faultinject.New(spec, rank).WrapConn
+		cfg.BackoffBase = 5 * time.Millisecond
+	}))
+}
+
 // confWorkers is the pool size the Workers conformance variants run at.
 const confWorkers = 4
 

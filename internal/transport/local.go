@@ -9,12 +9,20 @@ import (
 // process and byte movement is memory copying. Collective exchanges go
 // through a generation-counted rendezvous, which is also what synchronizes
 // the ranks' simulated clocks (the runtime reads tmax from Exchange).
+//
+// Like TCP, Local is a Mux: Open returns per-job channel views with
+// independent mailboxes, rendezvous, and abort state, mirroring the TCP
+// frame demux so job-service code and conformance scenarios behave
+// identically on both transports. The Local used directly is channel 0.
 type Local struct {
-	size  int
-	rv    *rendezvous
-	boxes []*mailbox
+	size int
 
-	abortOnce sync.Once
+	ch0   *localChan
+	chmu  sync.Mutex
+	chans map[uint32]*localChan
+
+	mu       sync.Mutex
+	abortErr error
 }
 
 // NewLocal creates an in-process transport for size ranks.
@@ -24,13 +32,73 @@ func NewLocal(size int) *Local {
 	}
 	l := &Local{
 		size:  size,
-		rv:    newRendezvous(size),
-		boxes: make([]*mailbox, size),
+		chans: make(map[uint32]*localChan),
 	}
-	for i := range l.boxes {
-		l.boxes[i] = newMailbox()
-	}
+	l.ch0 = newLocalChan(l, 0)
+	l.chans[0] = l.ch0
 	return l
+}
+
+// localChan is one multiplexing channel of the in-process world: its own
+// rendezvous and per-rank mailboxes, so concurrent jobs synchronize
+// independently. All ranks live in this process, so a local poison is
+// already world-visible for the channel — no broadcast needed.
+type localChan struct {
+	l     *Local
+	job   uint32
+	rv    *rendezvous
+	boxes []*mailbox
+
+	mu       sync.Mutex
+	abortErr error
+}
+
+func newLocalChan(l *Local, job uint32) *localChan {
+	c := &localChan{
+		l:     l,
+		job:   job,
+		rv:    newRendezvous(l.size),
+		boxes: make([]*mailbox, l.size),
+	}
+	for i := range c.boxes {
+		c.boxes[i] = newMailbox()
+	}
+	return c
+}
+
+// chanFor returns the channel for job, creating it on first use (mirroring
+// TCP.chanFor: a world-wide poison is inherited at creation).
+func (l *Local) chanFor(job uint32) *localChan {
+	if job == 0 {
+		return l.ch0
+	}
+	l.chmu.Lock()
+	defer l.chmu.Unlock()
+	c := l.chans[job]
+	if c == nil {
+		c = newLocalChan(l, job)
+		if err := l.Err(); err != nil {
+			c.poison(err)
+		}
+		l.chans[job] = c
+	}
+	return c
+}
+
+// Open implements Mux: the Transport view of one multiplexing channel.
+func (l *Local) Open(job uint32) (Transport, error) {
+	if err := l.Err(); err != nil {
+		return nil, err
+	}
+	return l.chanFor(job), nil
+}
+
+// Err implements ErrReporter: the world-wide abort cause, nil while
+// healthy.
+func (l *Local) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.abortErr
 }
 
 // Size returns the number of ranks.
@@ -45,22 +113,30 @@ func (l *Local) LocalRanks() []int {
 	return ranks
 }
 
-// Endpoint returns the endpoint of the given rank.
+// Endpoint returns the endpoint of the given rank on the default channel.
 func (l *Local) Endpoint(rank int) Endpoint {
-	if rank < 0 || rank >= l.size {
-		panic(fmt.Sprintf("transport: rank %d out of range [0,%d)", rank, l.size))
-	}
-	return &localEndpoint{l: l, rank: rank}
+	return l.ch0.Endpoint(rank)
 }
 
-// Abort poisons all pending and subsequent operations with err.
+// Abort poisons all pending and subsequent operations — on every channel —
+// with err.
 func (l *Local) Abort(err error) {
-	l.abortOnce.Do(func() {
-		l.rv.abort(err)
-		for _, b := range l.boxes {
-			b.abort(err)
-		}
-	})
+	l.mu.Lock()
+	if l.abortErr != nil {
+		l.mu.Unlock()
+		return
+	}
+	l.abortErr = err
+	l.mu.Unlock()
+	l.chmu.Lock()
+	chans := make([]*localChan, 0, len(l.chans))
+	for _, c := range l.chans {
+		chans = append(chans, c)
+	}
+	l.chmu.Unlock()
+	for _, c := range chans {
+		c.poison(err)
+	}
 }
 
 // Wall reports false: the local transport runs in simulated time.
@@ -69,18 +145,85 @@ func (l *Local) Wall() bool { return false }
 // Close is a no-op for the in-process transport.
 func (l *Local) Close() error { return nil }
 
+// poison fails the channel's pending and subsequent operations.
+func (c *localChan) poison(err error) {
+	c.mu.Lock()
+	if c.abortErr != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.abortErr = err
+	c.mu.Unlock()
+	c.rv.abort(err)
+	for _, b := range c.boxes {
+		b.abort(err)
+	}
+}
+
+// Size returns the number of ranks.
+func (c *localChan) Size() int { return c.l.size }
+
+// LocalRanks returns all ranks, like the world's.
+func (c *localChan) LocalRanks() []int { return c.l.LocalRanks() }
+
+// Endpoint returns the endpoint of the given rank on this channel.
+func (c *localChan) Endpoint(rank int) Endpoint {
+	if rank < 0 || rank >= c.l.size {
+		panic(fmt.Sprintf("transport: rank %d out of range [0,%d)", rank, c.l.size))
+	}
+	return &localEndpoint{c: c, rank: rank}
+}
+
+// Abort poisons this channel only — on channel 0, the whole world
+// (matching TCP's channel semantics).
+func (c *localChan) Abort(err error) {
+	if c.job == 0 {
+		c.l.Abort(err)
+		return
+	}
+	c.poison(err)
+}
+
+// Wall reports false: simulated time.
+func (c *localChan) Wall() bool { return false }
+
+// Err implements ErrReporter for the channel: its own poison, falling back
+// to the world's.
+func (c *localChan) Err() error {
+	c.mu.Lock()
+	err := c.abortErr
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return c.l.Err()
+}
+
+// Close deregisters the channel (channel 0 is a no-op, like TCP).
+func (c *localChan) Close() error {
+	if c.job == 0 {
+		return nil
+	}
+	c.l.chmu.Lock()
+	if c.l.chans[c.job] == c {
+		delete(c.l.chans, c.job)
+	}
+	c.l.chmu.Unlock()
+	return nil
+}
+
 type localEndpoint struct {
-	l    *Local
+	c    *localChan
 	rank int
 }
 
 func (e *localEndpoint) Rank() int { return e.rank }
 
 func (e *localEndpoint) Send(dst, tag int, data []byte, now float64) error {
-	if dst < 0 || dst >= e.l.size {
-		return fmt.Errorf("transport: send to rank %d of %d", dst, e.l.size)
+	if dst < 0 || dst >= e.c.l.size {
+		return fmt.Errorf("transport: send to rank %d of %d", dst, e.c.l.size)
 	}
-	return e.l.boxes[dst].put(Message{
+	return e.c.boxes[dst].put(Message{
 		Src:  e.rank,
 		Tag:  tag,
 		Data: append([]byte(nil), data...),
@@ -89,20 +232,20 @@ func (e *localEndpoint) Send(dst, tag int, data []byte, now float64) error {
 }
 
 func (e *localEndpoint) Recv(src, tag int) (Message, error) {
-	return e.l.boxes[e.rank].get(src, tag)
+	return e.c.boxes[e.rank].get(src, tag)
 }
 
 func (e *localEndpoint) TryRecv(src, tag int) (Message, bool, error) {
-	return e.l.boxes[e.rank].tryGet(src, tag)
+	return e.c.boxes[e.rank].tryGet(src, tag)
 }
 
 func (e *localEndpoint) Exchange(send [][]byte, now float64) ([][]byte, float64, error) {
-	if send != nil && len(send) != e.l.size {
-		return nil, 0, fmt.Errorf("transport: exchange send has %d entries, world size is %d", len(send), e.l.size)
+	if send != nil && len(send) != e.c.l.size {
+		return nil, 0, fmt.Errorf("transport: exchange send has %d entries, world size is %d", len(send), e.c.l.size)
 	}
-	recv := make([][]byte, e.l.size)
-	tmax, err := e.l.rv.exchange(e.rank, now, send, func(slots []contribution) {
-		for src := 0; src < e.l.size; src++ {
+	recv := make([][]byte, e.c.l.size)
+	tmax, err := e.c.rv.exchange(e.rank, now, send, func(slots []contribution) {
+		for src := 0; src < e.c.l.size; src++ {
 			theirs := slots[src].send
 			if theirs == nil {
 				continue

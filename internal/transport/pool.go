@@ -1,8 +1,10 @@
 package transport
 
 import (
+	"fmt"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // Size-classed buffer pool for the frame write path. Replay entries and
@@ -27,6 +29,70 @@ const (
 
 var bufPools [maxBufBits - minBufBits + 1]sync.Pool
 
+// Pool misuse detection. The lifecycle rules above are enforced by
+// convention on the hot path (a tracking map per get/put would defeat the
+// point of pooling), but misuse is catastrophic and silent: recycling one
+// buffer twice hands the same backing array to two owners, and the
+// corruption surfaces far from the bug. DebugPool turns on a tracker that
+// panics at the misuse site instead — putBuf of a buffer the pool already
+// holds, or of one it never issued and cannot account for. Tests covering
+// the pooled-buffer lifecycle (double Recycle, reconnect-replay aliasing)
+// enable it; production leaves the single atomic load per call.
+var (
+	poolDebug       atomic.Bool
+	poolDebugMu     sync.Mutex
+	poolDebugPooled map[*byte]bool // backing array → currently held by the pool
+)
+
+// DebugPool enables or disables pool misuse tracking (tests only). Enabling
+// resets the tracker; buffers issued before enabling are treated as unknown
+// and accepted back without complaint (their backing arrays are simply
+// adopted).
+func DebugPool(on bool) {
+	poolDebugMu.Lock()
+	poolDebugPooled = make(map[*byte]bool)
+	poolDebugMu.Unlock()
+	poolDebug.Store(on)
+}
+
+// DebugPoolHeld reports how many distinct tracked buffers the pool currently
+// holds (tests only).
+func DebugPoolHeld() int {
+	poolDebugMu.Lock()
+	defer poolDebugMu.Unlock()
+	n := 0
+	for _, held := range poolDebugPooled {
+		if held {
+			n++
+		}
+	}
+	return n
+}
+
+// bufKey identifies a buffer by its backing array. Capacity is always
+// non-zero for pooled buffers, so the first element of the full-capacity
+// slice is a stable identity even for zero-length handles.
+func bufKey(b []byte) *byte { return &b[:1][0] }
+
+func debugTrackGet(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	poolDebugMu.Lock()
+	poolDebugPooled[bufKey(b)] = false
+	poolDebugMu.Unlock()
+}
+
+func debugTrackPut(b []byte) {
+	poolDebugMu.Lock()
+	defer poolDebugMu.Unlock()
+	k := bufKey(b)
+	if poolDebugPooled[k] {
+		panic(fmt.Sprintf("transport: buffer recycled twice (cap %d): already held by the pool", cap(b)))
+	}
+	poolDebugPooled[k] = true
+}
+
 // bufClass returns the pool index whose buffers have capacity ≥ n, or -1
 // when n is above the poolable range.
 func bufClass(n int) int {
@@ -45,16 +111,25 @@ func getBuf(n int) []byte {
 	if c < 0 {
 		return make([]byte, 0, n)
 	}
+	var b []byte
 	if v := bufPools[c].Get(); v != nil {
-		return v.([]byte)[:0]
+		b = v.([]byte)[:0]
+	} else {
+		b = make([]byte, 0, 1<<(minBufBits+uint(c)))
 	}
-	return make([]byte, 0, 1<<(minBufBits+uint(c)))
+	if poolDebug.Load() {
+		debugTrackGet(b)
+	}
+	return b
 }
 
 func putBuf(b []byte) {
 	n := cap(b)
 	if n < 1<<minBufBits || n > 1<<maxBufBits {
 		return
+	}
+	if poolDebug.Load() {
+		debugTrackPut(b)
 	}
 	// File by the class the capacity fully covers, so a later getBuf for
 	// that class is guaranteed to fit.

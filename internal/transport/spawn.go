@@ -26,16 +26,23 @@ const (
 	// grammar). The transport only forwards it; the facade layer parses it
 	// and wires the injector.
 	EnvFaults = "MIMIR_TCP_FAULTS"
-	// EnvCompress ("1"/"true") turns on wire v3 frame compression
+	// EnvCompress ("1"/"true") turns on wire frame compression
 	// (TCPConfig.Compress). Compression is per-frame and sender-side, so
 	// mixed settings interoperate, but setting it world-wide is what makes
 	// both directions of every link compress.
 	EnvCompress = "MIMIR_TCP_COMPRESS"
+	// EnvDeadline carries the per-I/O deadline as a Go duration string.
+	EnvDeadline = "MIMIR_TCP_DEADLINE"
+	// EnvWorkers carries the per-rank worker pool size (0 = all cores).
+	// Unlike the MIMIR_TCP_* variables it also applies to in-process
+	// worlds, which is why it keeps its own prefix.
+	EnvWorkers = "MIMIR_WORKERS"
 )
 
-// FromEnv reads a worker's TCP configuration from the environment. The
-// second return is false when the process was not launched as a worker
-// (EnvJoin unset).
+// FromEnv reads a worker's TCP configuration from the environment — the
+// join address, rank, and size, plus everything Options carries. The second
+// return is false when the process was not launched as a worker (EnvJoin
+// unset).
 func FromEnv() (TCPConfig, bool, error) {
 	addr := os.Getenv(EnvJoin)
 	if addr == "" {
@@ -49,29 +56,11 @@ func FromEnv() (TCPConfig, bool, error) {
 	if err != nil {
 		return TCPConfig{}, true, fmt.Errorf("transport: bad %s=%q: %v", EnvSize, os.Getenv(EnvSize), err)
 	}
-	cfg := TCPConfig{Addr: addr, Rank: rank, Size: size}
-	if s := os.Getenv(EnvPolicy); s != "" {
-		p, err := ParseFaultPolicy(s)
-		if err != nil {
-			return TCPConfig{}, true, fmt.Errorf("transport: bad %s=%q: %v", EnvPolicy, s, err)
-		}
-		cfg.Policy = p
+	opts, err := OptionsFromEnv()
+	if err != nil {
+		return TCPConfig{}, true, err
 	}
-	if s := os.Getenv(EnvWindow); s != "" {
-		d, err := time.ParseDuration(s)
-		if err != nil || d <= 0 {
-			return TCPConfig{}, true, fmt.Errorf("transport: bad %s=%q", EnvWindow, s)
-		}
-		cfg.ReconnectWindow = d
-	}
-	if s := os.Getenv(EnvCompress); s != "" {
-		on, err := strconv.ParseBool(s)
-		if err != nil {
-			return TCPConfig{}, true, fmt.Errorf("transport: bad %s=%q: %v", EnvCompress, s, err)
-		}
-		cfg.Compress = on
-	}
-	return cfg, true, nil
+	return opts.TCPConfig(addr, rank, size), true, nil
 }
 
 // FaultsFromEnv returns the fault-injection spec string a parent forwarded
@@ -104,24 +93,12 @@ func (c *Children) Kill() {
 	}
 }
 
-// SpawnOptions configures SpawnLocalOpts beyond the world size: the fault
-// policy and reconnect window (forwarded to every worker through the
-// environment), a fault-injection spec string (forwarded verbatim; workers
-// wire their own injectors), and rank 0's own connection hook.
+// SpawnOptions configures SpawnLocalOpts beyond the world size: the
+// world-wide Options (forwarded to every worker through the environment via
+// Options.Env — Faults configures the workers only, not rank 0) and rank
+// 0's own connection hook.
 type SpawnOptions struct {
-	// Deadline is the per-I/O deadline (TCPConfig.Deadline).
-	Deadline time.Duration
-	// Policy selects fail-stop or fail-recover link handling for every
-	// process of the world.
-	Policy FaultPolicy
-	// ReconnectWindow bounds RetryTransient recovery (TCPConfig.ReconnectWindow).
-	ReconnectWindow time.Duration
-	// Faults is a fault-injection spec forwarded to workers via EnvFaults.
-	// It does not configure rank 0 — pass WrapConn for that.
-	Faults string
-	// Compress turns on wire v3 frame compression for rank 0 and, via
-	// EnvCompress, every worker.
-	Compress bool
+	Options
 	// WrapConn is rank 0's TCPConfig.WrapConn hook.
 	WrapConn func(peer int, c net.Conn) net.Conn
 }
@@ -135,7 +112,7 @@ type SpawnOptions struct {
 // Children write their stdout to stderr so rank 0's stdout stays the only
 // place job output appears.
 func SpawnLocal(size int, deadline time.Duration) (*TCP, *Children, error) {
-	return SpawnLocalOpts(size, SpawnOptions{Deadline: deadline})
+	return SpawnLocalOpts(size, SpawnOptions{Options: Options{Deadline: deadline}})
 }
 
 // SpawnLocalOpts is SpawnLocal with fault handling configured: the policy,
@@ -145,14 +122,9 @@ func SpawnLocalOpts(size int, opts SpawnOptions) (*TCP, *Children, error) {
 	if size < 1 {
 		return nil, nil, fmt.Errorf("transport: invalid world size %d", size)
 	}
-	b, err := ListenTCP(TCPConfig{
-		Addr: "127.0.0.1:0", Rank: 0, Size: size,
-		Deadline:        opts.Deadline,
-		Policy:          opts.Policy,
-		ReconnectWindow: opts.ReconnectWindow,
-		Compress:        opts.Compress,
-		WrapConn:        opts.WrapConn,
-	})
+	cfg := opts.Options.TCPConfig("127.0.0.1:0", 0, size)
+	cfg.WrapConn = opts.WrapConn
+	b, err := ListenTCP(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -160,6 +132,8 @@ func SpawnLocalOpts(size int, opts SpawnOptions) (*TCP, *Children, error) {
 	if err != nil {
 		exe = os.Args[0]
 	}
+	// One encode path for everything the workers must share: Options.Env.
+	optEnv := opts.Options.Env()
 	children := &Children{}
 	for rank := 1; rank < size; rank++ {
 		cmd := exec.Command(exe, os.Args[1:]...)
@@ -168,18 +142,7 @@ func SpawnLocalOpts(size int, opts SpawnOptions) (*TCP, *Children, error) {
 			fmt.Sprintf("%s=%d", EnvRank, rank),
 			fmt.Sprintf("%s=%d", EnvSize, size),
 		)
-		if opts.Policy != AbortOnFailure {
-			cmd.Env = append(cmd.Env, EnvPolicy+"="+opts.Policy.String())
-		}
-		if opts.ReconnectWindow > 0 {
-			cmd.Env = append(cmd.Env, EnvWindow+"="+opts.ReconnectWindow.String())
-		}
-		if opts.Faults != "" {
-			cmd.Env = append(cmd.Env, EnvFaults+"="+opts.Faults)
-		}
-		if opts.Compress {
-			cmd.Env = append(cmd.Env, EnvCompress+"=1")
-		}
+		cmd.Env = append(cmd.Env, optEnv...)
 		cmd.Stdout = os.Stderr
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {

@@ -140,9 +140,19 @@ type TCP struct {
 	addrs []string     // mesh address table (reconnect targets); set before start
 	ln    net.Listener // persistent listener for re-accepts (RetryTransient only)
 
-	mbox *mailbox     // incoming point-to-point messages
-	exq  []*exchQueue // per-source collective contributions; exq[rank] == nil
-	seq  uint64       // this rank's collective call counter (owning goroutine only)
+	// Multiplexing channels (wire v4): frames demux to the channel named by
+	// their Job header field. Channel 0 is the default — the TCP used
+	// directly as a Transport/Endpoint is its own channel-0 view, so
+	// single-job worlds never see the indirection. chmu guards chans; ch0 is
+	// immutable after construction.
+	ch0   *tcpChan
+	chmu  sync.Mutex
+	chans map[uint32]*tcpChan
+	// chAborts records every locally-originated channel abort (job → cause).
+	// Abort frames are control frames — never acked, never replayed — so a
+	// link fault can swallow one; install re-asserts these on every fresh
+	// connection to make job aborts durable. Guarded by chmu.
+	chAborts map[uint32][]byte
 
 	started atomic.Bool // mesh is up; link failures become recoverable
 
@@ -323,7 +333,7 @@ func (p *tcpPeer) writeFrame(f *Frame) error {
 		// Owned encoded copy: may outlive the caller's Data. The replay
 		// ledger owns buf from the append below until pruneReplayLocked
 		// recycles it.
-		buf = appendFrameHeaderRaw(getBuf(4+frameHeaderLen+len(payload)), op, f.Src, f.Tag, f.Seq, f.Time, payload)
+		buf = appendFrameHeaderRaw(getBuf(4+frameHeaderLen+len(payload)), op, f.Src, f.Job, f.Tag, f.Seq, f.Time, payload)
 		buf = append(buf, payload...)
 	}
 
@@ -353,7 +363,7 @@ func (p *tcpPeer) writeFrame(f *Frame) error {
 		if buf != nil {
 			err = writeConnChunks(p.conn, buf, t.cfg.Deadline)
 		} else {
-			hdr := appendFrameHeaderRaw(p.hdr[:0], op, f.Src, f.Tag, f.Seq, f.Time, payload)
+			hdr := appendFrameHeaderRaw(p.hdr[:0], op, f.Src, f.Job, f.Tag, f.Seq, f.Time, payload)
 			err = p.writeConnVectored(p.conn, hdr, payload, t.cfg.Deadline)
 		}
 	}
@@ -482,6 +492,267 @@ func (e *exchQueue) abort(err error) {
 	}
 }
 
+// tcpChan is one multiplexing channel of the mesh (wire v4): an independent
+// job's view of the world, with its own point-to-point mailbox, collective
+// queues and sequence counter, and its own abort state. All channels share
+// the physical links — frames carry the channel id in the Job header field
+// and the reader demuxes on it — so the link-level machinery (replay
+// ledger, cumulative acks, reconnect recovery) is channel-agnostic: a
+// reconnect replays every channel's frames in their original link order and
+// the exactly-once guarantee holds per channel for free.
+//
+// Channel 0 is the default/control channel: TCP's own Transport/Endpoint
+// methods are that channel, and an abort on it poisons the whole mesh. A
+// non-zero channel's Abort poisons only that channel, on every process —
+// the job-failure isolation the multi-tenant job service builds on.
+type tcpChan struct {
+	t   *TCP
+	job uint32
+
+	mbox *mailbox     // incoming point-to-point messages
+	exq  []*exchQueue // per-source collective contributions; exq[rank] == nil
+	seq  uint64       // this channel's collective call counter (owning goroutine only)
+
+	mu       sync.Mutex
+	abortErr error
+}
+
+func newTCPChan(t *TCP, job uint32) *tcpChan {
+	c := &tcpChan{
+		t:    t,
+		job:  job,
+		mbox: newMailbox(),
+		exq:  make([]*exchQueue, t.size),
+	}
+	for i := range c.exq {
+		if i != t.rank {
+			c.exq[i] = newExchQueue()
+		}
+	}
+	return c
+}
+
+// chanFor returns the channel for job, creating it on first use. Creation is
+// get-or-create from both directions: Open may run before or after the
+// first frame for the channel arrives (the reader creates it too, so early
+// frames queue instead of dropping). A mesh-wide poison is inherited at
+// creation, so a channel opened on a dead mesh is born poisoned.
+func (t *TCP) chanFor(job uint32) *tcpChan {
+	if job == 0 {
+		return t.ch0
+	}
+	t.chmu.Lock()
+	defer t.chmu.Unlock()
+	c := t.chans[job]
+	if c == nil {
+		c = newTCPChan(t, job)
+		if err := t.abortError(); err != nil {
+			c.poison(err)
+		}
+		t.chans[job] = c
+	}
+	return c
+}
+
+// Open implements Mux: the Transport view of one multiplexing channel.
+// Opening the same job twice returns the same channel. Channel 0 is the
+// mesh's own default channel (t itself delegates to it).
+func (t *TCP) Open(job uint32) (Transport, error) {
+	if err := t.abortError(); err != nil {
+		return nil, err
+	}
+	if t.isClosing() {
+		return nil, fmt.Errorf("transport: world is closed")
+	}
+	return t.chanFor(job), nil
+}
+
+// Err implements ErrReporter: the mesh-wide abort cause, nil while the mesh
+// is healthy. Job-channel aborts do not poison the mesh and are not
+// reported here — use the channel view's own Err.
+func (t *TCP) Err() error { return t.abortError() }
+
+// abortError returns the channel's poison, falling back to the mesh's.
+func (c *tcpChan) abortError() error {
+	c.mu.Lock()
+	err := c.abortErr
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return c.t.abortError()
+}
+
+// poison fails the channel's local pending and subsequent operations,
+// without notifying peers.
+func (c *tcpChan) poison(err error) bool {
+	c.mu.Lock()
+	if c.abortErr != nil {
+		c.mu.Unlock()
+		return false
+	}
+	c.abortErr = err
+	c.mu.Unlock()
+	c.mbox.abort(err)
+	for _, q := range c.exq {
+		if q != nil {
+			q.abort(err)
+		}
+	}
+	return true
+}
+
+// Abort poisons the channel and broadcasts the cause to every peer's view
+// of it. On channel 0 this is the whole-mesh abort; on a job channel only
+// that job fails — running jobs on other channels are untouched.
+func (c *tcpChan) Abort(err error) {
+	if c.job == 0 {
+		c.t.Abort(err)
+		return
+	}
+	if !c.poison(err) {
+		return
+	}
+	cause := []byte(err.Error())
+	c.t.chmu.Lock()
+	if c.t.chAborts == nil {
+		c.t.chAborts = make(map[uint32][]byte)
+	}
+	c.t.chAborts[c.job] = cause
+	c.t.chmu.Unlock()
+	f := &Frame{Op: OpAbort, Src: uint32(c.t.rank), Job: c.job, Data: cause}
+	for _, p := range c.t.peers {
+		if p != nil {
+			p.writeFrame(f) // best effort now; install re-asserts on reconnect
+		}
+	}
+}
+
+// A channel is a full Transport/Endpoint view of the mesh, sharing the
+// links and their fault machinery.
+func (c *tcpChan) Size() int              { return c.t.size }
+func (c *tcpChan) LocalRanks() []int      { return []int{c.t.rank} }
+func (c *tcpChan) Wall() bool             { return true }
+func (c *tcpChan) Rank() int              { return c.t.rank }
+func (c *tcpChan) Policy() FaultPolicy    { return c.t.Policy() }
+func (c *tcpChan) FaultStats() FaultStats { return c.t.FaultStats() }
+func (c *tcpChan) Recycle(b []byte)       { c.t.Recycle(b) }
+func (c *tcpChan) Err() error             { return c.abortError() }
+
+func (c *tcpChan) Endpoint(rank int) Endpoint {
+	if rank != c.t.rank {
+		panic(fmt.Sprintf("transport: rank %d is not local to this process (hosting %d)", rank, c.t.rank))
+	}
+	return c
+}
+
+// Close deregisters the channel locally: no wire traffic, no effect on
+// peers or other channels. Frames still in flight for the job re-create the
+// channel on arrival (get-or-create), where they sit unread until the id is
+// reused — harmless for monotonically assigned job ids. Closing channel 0
+// is a no-op; close the mesh with TCP.Close.
+func (c *tcpChan) Close() error {
+	if c.job == 0 {
+		return nil
+	}
+	t := c.t
+	t.chmu.Lock()
+	if t.chans[c.job] == c {
+		delete(t.chans, c.job)
+	}
+	t.chmu.Unlock()
+	return nil
+}
+
+// Send implements Endpoint on this channel. A dead link fails the mesh, not
+// just the channel: physical transport failure is world-scoped.
+func (c *tcpChan) Send(dst, tag int, data []byte, now float64) error {
+	t := c.t
+	if err := c.abortError(); err != nil {
+		return err
+	}
+	if dst < 0 || dst >= t.size {
+		return fmt.Errorf("transport: send to rank %d of %d", dst, t.size)
+	}
+	if dst == t.rank {
+		return c.mbox.put(Message{Src: t.rank, Tag: tag, Data: append([]byte(nil), data...), Time: now})
+	}
+	f := &Frame{Op: OpP2P, Src: uint32(t.rank), Job: c.job, Tag: int32(tag), Time: now, Data: data}
+	if err := t.peers[dst].writeFrame(f); err != nil {
+		err = fmt.Errorf("%w: write to rank %d: %v", ErrAborted, dst, err)
+		t.Abort(err)
+		return err
+	}
+	return nil
+}
+
+// Recv implements Endpoint on this channel.
+func (c *tcpChan) Recv(src, tag int) (Message, error) {
+	return c.mbox.get(src, tag)
+}
+
+// TryRecv implements Endpoint on this channel.
+func (c *tcpChan) TryRecv(src, tag int) (Message, bool, error) {
+	return c.mbox.tryGet(src, tag)
+}
+
+// Exchange implements Endpoint on this channel: scatter this rank's
+// contributions over the mesh, then gather one contribution per peer for
+// the same collective call. The SPMD contract holds per channel — each
+// channel counts its own collective calls, so concurrent jobs on different
+// channels need no cross-job ordering. A protocol violation aborts only
+// this channel.
+func (c *tcpChan) Exchange(send [][]byte, now float64) ([][]byte, float64, error) {
+	t := c.t
+	if err := c.abortError(); err != nil {
+		return nil, 0, err
+	}
+	if send != nil && len(send) != t.size {
+		return nil, 0, fmt.Errorf("transport: exchange send has %d entries, world size is %d", len(send), t.size)
+	}
+	seq := c.seq
+	c.seq++
+	for dst := 0; dst < t.size; dst++ {
+		if dst == t.rank {
+			continue
+		}
+		var payload []byte
+		if send != nil {
+			payload = send[dst]
+		}
+		f := &Frame{Op: OpExchange, Src: uint32(t.rank), Job: c.job, Seq: seq, Time: now, Data: payload}
+		if err := t.peers[dst].writeFrame(f); err != nil {
+			err = fmt.Errorf("%w: exchange write to rank %d: %v", ErrAborted, dst, err)
+			t.Abort(err)
+			return nil, 0, err
+		}
+	}
+	recv := make([][]byte, t.size)
+	if send != nil {
+		recv[t.rank] = append(getBuf(len(send[t.rank])), send[t.rank]...)
+	}
+	tmax := now
+	for src := 0; src < t.size; src++ {
+		if src == t.rank {
+			continue
+		}
+		f, err := c.exq[src].pop(seq)
+		if err != nil {
+			// A protocol violation is ours to announce; a poisoned queue
+			// already carries the abort cause.
+			if c.abortError() == nil {
+				c.Abort(err)
+			}
+			return nil, 0, err
+		}
+		recv[src] = f.Data
+		if f.Time > tmax {
+			tmax = f.Time
+		}
+	}
+	return recv, tmax, nil
+}
+
 // NewTCP attaches this process to a multi-process world: rank 0 listens on
 // cfg.Addr and completes the bootstrap, every other rank dials it. NewTCP
 // returns only once the full mesh is established and all ranks have passed
@@ -507,14 +778,10 @@ func newTCPBase(cfg TCPConfig) *TCP {
 		rank:  cfg.Rank,
 		size:  cfg.Size,
 		peers: make([]*tcpPeer, cfg.Size),
-		mbox:  newMailbox(),
-		exq:   make([]*exchQueue, cfg.Size),
+		chans: make(map[uint32]*tcpChan),
 	}
-	for i := range t.exq {
-		if i != t.rank {
-			t.exq[i] = newExchQueue()
-		}
-	}
+	t.ch0 = newTCPChan(t, 0)
+	t.chans[0] = t.ch0
 	return t
 }
 
@@ -846,8 +1113,9 @@ func (t *TCP) abortError() error {
 	return t.abortErr
 }
 
-// poison fails all local pending and subsequent operations with err,
-// without notifying peers. It also stops accepting reconnects.
+// poison fails all local pending and subsequent operations — on every
+// channel — with err, without notifying peers. It also stops accepting
+// reconnects. Channels created afterwards inherit the poison in chanFor.
 func (t *TCP) poison(err error) bool {
 	t.mu.Lock()
 	if t.abortErr != nil {
@@ -860,11 +1128,14 @@ func (t *TCP) poison(err error) bool {
 	if ln != nil && t.cfg.Policy == RetryTransient {
 		ln.Close()
 	}
-	t.mbox.abort(err)
-	for _, q := range t.exq {
-		if q != nil {
-			q.abort(err)
-		}
+	t.chmu.Lock()
+	chans := make([]*tcpChan, 0, len(t.chans))
+	for _, c := range t.chans {
+		chans = append(chans, c)
+	}
+	t.chmu.Unlock()
+	for _, c := range chans {
+		c.poison(err)
 	}
 	return true
 }
@@ -1166,6 +1437,30 @@ func (t *TCP) install(p *tcpPeer, conn net.Conn, theirRecv uint64) error {
 	t.readers.Add(1)
 	go t.readLoop(p, conn, gen, p.readerDone)
 
+	fail := func(err error) error {
+		conn.Close()
+		p.conn = nil
+		p.doneReplaying()
+		// If this side had not yet declared the link down (an incoming
+		// reconnect replaced a conn we still believed healthy), declare
+		// it now so the reconnect window is enforced.
+		if !p.down {
+			p.down = true
+			p.downSince = time.Now()
+			t.linkFailures.Add(1)
+		}
+		if !p.recovering {
+			p.recovering = true
+			t.readers.Add(1)
+			if t.rank > p.rank {
+				go t.redialLoop(p, err)
+			} else {
+				go t.watchLink(p, err)
+			}
+		}
+		return err
+	}
+
 	for _, buf := range pending {
 		// Op is the first header byte after the length prefix (flag bits
 		// masked for the marker), and the prefix itself is the true
@@ -1176,32 +1471,35 @@ func (t *TCP) install(p *tcpPeer, conn net.Conn, theirRecv uint64) error {
 			err = writeConnChunks(conn, buf, t.cfg.Deadline)
 		}
 		if err != nil {
-			conn.Close()
-			p.conn = nil
-			p.doneReplaying()
-			// If this side had not yet declared the link down (an incoming
-			// reconnect replaced a conn we still believed healthy), declare
-			// it now so the reconnect window is enforced.
-			if !p.down {
-				p.down = true
-				p.downSince = time.Now()
-				t.linkFailures.Add(1)
-			}
-			if !p.recovering {
-				p.recovering = true
-				t.readers.Add(1)
-				if t.rank > p.rank {
-					go t.redialLoop(p, err)
-				} else {
-					go t.watchLink(p, err)
-				}
-			}
-			return fmt.Errorf("transport: replay to rank %d: %w", p.rank, err)
+			return fail(fmt.Errorf("transport: replay to rank %d: %w", p.rank, err))
 		}
 		t.replayedFrames.Add(1)
 		t.replayedBytes.Add(uint64(len(buf)))
 	}
 	p.doneReplaying()
+
+	// Re-assert locally-originated channel aborts. An abort is a control
+	// frame — never acked, never replayed — so the fault that forced this
+	// reconnect may have swallowed one, and a peer that missed it would wait
+	// on the dead job forever. Poisoning an already-poisoned channel is a
+	// no-op, so duplicates are free.
+	t.chmu.Lock()
+	aborts := make(map[uint32][]byte, len(t.chAborts))
+	for job, cause := range t.chAborts {
+		aborts[job] = cause
+	}
+	t.chmu.Unlock()
+	for job, cause := range aborts {
+		hdr := appendFrameHeaderRaw(p.hdr[:0], OpAbort, uint32(t.rank), job, 0, 0, 0, cause)
+		err := beginFrameRaw(conn, OpAbort, frameHeaderLen+len(cause))
+		if err == nil {
+			err = p.writeConnVectored(conn, hdr, cause, t.cfg.Deadline)
+		}
+		if err != nil {
+			return fail(fmt.Errorf("transport: re-assert abort of job %d to rank %d: %w", job, p.rank, err))
+		}
+	}
+
 	p.down = false
 	p.recovering = false
 	t.reconnects.Add(1)
@@ -1287,7 +1585,7 @@ func (t *TCP) maybeAck(p *tcpPeer) {
 // the per-frame hot path under RetryTransient, so they must not allocate).
 // Caller holds wmu with a live conn.
 func (p *tcpPeer) writeAckLocked(n uint64) error {
-	buf := appendFrameHeaderRaw(p.hdr[:0], OpAck, uint32(p.t.rank), 0, n, 0, nil)
+	buf := appendFrameHeaderRaw(p.hdr[:0], OpAck, uint32(p.t.rank), 0, 0, n, 0, nil)
 	if err := beginFrameRaw(p.conn, OpAck, frameHeaderLen); err != nil {
 		return err
 	}
@@ -1380,21 +1678,28 @@ func (t *TCP) readLoop(p *tcpPeer, conn net.Conn, gen int, done chan struct{}) {
 		case OpP2P:
 			p.recvSeq.Add(1)
 			p.recvBytes.Add(uint64(f.WireLen)) // encoded size, mirroring the sender's replay-byte ledger
-			t.mbox.put(Message{Src: p.rank, Tag: int(f.Tag), Data: f.Data, Time: f.Time})
+			t.chanFor(f.Job).mbox.put(Message{Src: p.rank, Tag: int(f.Tag), Data: f.Data, Time: f.Time})
 			if t.cfg.Policy == RetryTransient {
 				t.maybeAck(p)
 			}
 		case OpExchange:
 			p.recvSeq.Add(1)
 			p.recvBytes.Add(uint64(f.WireLen))
-			t.exq[p.rank].push(f)
+			t.chanFor(f.Job).exq[p.rank].push(f)
 			if t.cfg.Policy == RetryTransient {
 				t.maybeAck(p)
 			}
 		case OpAck:
 			p.handleAck(f.Seq)
 		case OpAbort:
-			t.poison(fmt.Errorf("%w: rank %d: %s", ErrAborted, p.rank, f.Data))
+			// A channel-0 abort poisons the whole mesh; a job abort poisons
+			// only that job's channel — other jobs keep running.
+			cause := fmt.Errorf("%w: rank %d: %s", ErrAborted, p.rank, f.Data)
+			if f.Job == 0 {
+				t.poison(cause)
+			} else {
+				t.chanFor(f.Job).poison(cause)
+			}
 		case OpBye:
 			p.markBye()
 		default:
@@ -1410,88 +1715,28 @@ func (t *TCP) isClosing() bool {
 	return t.closing
 }
 
-// Send implements Endpoint. Under AbortOnFailure a write that cannot make
-// progress within the connection deadline aborts the world; under
-// RetryTransient it triggers reconnect and replay instead.
+// Send implements Endpoint on the default channel. Under AbortOnFailure a
+// write that cannot make progress within the connection deadline aborts the
+// world; under RetryTransient it triggers reconnect and replay instead.
 func (t *TCP) Send(dst, tag int, data []byte, now float64) error {
-	if err := t.abortError(); err != nil {
-		return err
-	}
-	if dst < 0 || dst >= t.size {
-		return fmt.Errorf("transport: send to rank %d of %d", dst, t.size)
-	}
-	if dst == t.rank {
-		return t.mbox.put(Message{Src: t.rank, Tag: tag, Data: append([]byte(nil), data...), Time: now})
-	}
-	f := &Frame{Op: OpP2P, Src: uint32(t.rank), Tag: int32(tag), Time: now, Data: data}
-	if err := t.peers[dst].writeFrame(f); err != nil {
-		err = fmt.Errorf("%w: write to rank %d: %v", ErrAborted, dst, err)
-		t.Abort(err)
-		return err
-	}
-	return nil
+	return t.ch0.Send(dst, tag, data, now)
 }
 
-// Recv implements Endpoint.
+// Recv implements Endpoint on the default channel.
 func (t *TCP) Recv(src, tag int) (Message, error) {
-	return t.mbox.get(src, tag)
+	return t.ch0.Recv(src, tag)
 }
 
-// TryRecv implements Endpoint.
+// TryRecv implements Endpoint on the default channel.
 func (t *TCP) TryRecv(src, tag int) (Message, bool, error) {
-	return t.mbox.tryGet(src, tag)
+	return t.ch0.TryRecv(src, tag)
 }
 
-// Exchange implements Endpoint: scatter this rank's contributions over the
-// mesh, then gather one contribution per peer for the same collective call.
+// Exchange implements Endpoint on the default channel: scatter this rank's
+// contributions over the mesh, then gather one contribution per peer for
+// the same collective call.
 func (t *TCP) Exchange(send [][]byte, now float64) ([][]byte, float64, error) {
-	if err := t.abortError(); err != nil {
-		return nil, 0, err
-	}
-	if send != nil && len(send) != t.size {
-		return nil, 0, fmt.Errorf("transport: exchange send has %d entries, world size is %d", len(send), t.size)
-	}
-	seq := t.seq
-	t.seq++
-	for dst := 0; dst < t.size; dst++ {
-		if dst == t.rank {
-			continue
-		}
-		var payload []byte
-		if send != nil {
-			payload = send[dst]
-		}
-		f := &Frame{Op: OpExchange, Src: uint32(t.rank), Seq: seq, Time: now, Data: payload}
-		if err := t.peers[dst].writeFrame(f); err != nil {
-			err = fmt.Errorf("%w: exchange write to rank %d: %v", ErrAborted, dst, err)
-			t.Abort(err)
-			return nil, 0, err
-		}
-	}
-	recv := make([][]byte, t.size)
-	if send != nil {
-		recv[t.rank] = append(getBuf(len(send[t.rank])), send[t.rank]...)
-	}
-	tmax := now
-	for src := 0; src < t.size; src++ {
-		if src == t.rank {
-			continue
-		}
-		f, err := t.exq[src].pop(seq)
-		if err != nil {
-			// A protocol violation is ours to announce; a poisoned queue
-			// already carries the abort cause.
-			if t.abortError() == nil {
-				t.Abort(err)
-			}
-			return nil, 0, err
-		}
-		recv[src] = f.Data
-		if f.Time > tmax {
-			tmax = f.Time
-		}
-	}
-	return recv, tmax, nil
+	return t.ch0.Exchange(send, now)
 }
 
 // Close announces a clean shutdown to every peer and tears the mesh down.

@@ -277,11 +277,11 @@ func TestTCPReconnectResumeWaitsForDrainingReader(t *testing.T) {
 	// mbox.put (its recvSeq increment already done), stranding the rest of
 	// the bufio gulp undelivered — the reviewer's "old reader still
 	// delivering buffered frames" state, held open for as long as needed.
-	trs[0].mbox.mu.Lock()
+	trs[0].ch0.mbox.mu.Lock()
 	ep1 := trs[1].Endpoint(1)
 	for i := 0; i < msgs; i++ {
 		if err := ep1.Send(0, 9, payload(i), 0); err != nil {
-			trs[0].mbox.mu.Unlock()
+			trs[0].ch0.mbox.mu.Unlock()
 			t.Fatalf("send %d: %v", i, err)
 		}
 	}
@@ -300,7 +300,7 @@ func TestTCPReconnectResumeWaitsForDrainingReader(t *testing.T) {
 	time.Sleep(pause)
 
 	// Release the parked reader only now, well after the reconnect started.
-	trs[0].mbox.mu.Unlock()
+	trs[0].ch0.mbox.mu.Unlock()
 
 	ep0 := trs[0].Endpoint(0)
 	for i := 0; i < msgs; i++ {

@@ -135,6 +135,29 @@ type Endpoint interface {
 	Exchange(send [][]byte, now float64) (recv [][]byte, tmax float64, err error)
 }
 
+// Mux is implemented by transports that can multiplex independent jobs over
+// one standing world (wire v4): Open returns a Transport view bound to a
+// channel — its own point-to-point matching, collective sequencing, and
+// abort state over the shared links. Channel 0 is the transport's own
+// default/control channel (the transport used directly IS that channel);
+// opening the same non-zero channel twice returns the same view. Aborting a
+// non-zero channel fails only that channel's operations on every rank — the
+// underlying world and all other channels keep running — which is the
+// job-failure isolation the long-lived job service (internal/jobsvc) builds
+// on. Closing a channel view deregisters it locally and touches no peer.
+// Both Local and TCP implement Mux.
+type Mux interface {
+	Open(job uint32) (Transport, error)
+}
+
+// ErrReporter is implemented by transports and channel views that expose
+// their abort cause without attempting an operation: nil while healthy. The
+// job service uses it to tell a failed job (its channel poisoned) from a
+// failed mesh (the transport itself poisoned).
+type ErrReporter interface {
+	Err() error
+}
+
 // Transport moves bytes between the ranks of one world. Implementations are
 // safe for concurrent use by all local ranks.
 type Transport interface {

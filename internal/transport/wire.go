@@ -13,21 +13,22 @@ import (
 // direction (magic, protocol version, world size, rank, advertised listen
 // address), after which the stream is a sequence of length-prefixed frames:
 //
-//	[u32 length][u8 op][u32 src][i32 tag][u64 seq][f64 time][u32 crc][payload]
+//	[u32 length][u8 op][u32 src][u32 job][i32 tag][u64 seq][f64 time][u32 crc][payload]
 //
 // length counts everything after itself (header + payload), all integers are
 // big-endian, and time is an IEEE-754 bit pattern. src names the sending
-// rank, tag is the point-to-point tag (OpP2P only), seq is the collective
-// sequence number (OpExchange; both sides count their collective calls, so a
-// mismatch means the SPMD contract was broken) or the link-level cumulative
-// frame count (OpResume/OpAck). crc is the CRC-32C of the header fields
-// after length plus the payload: supercomputer interconnects corrupt bytes,
-// TCP's 16-bit checksum misses some of them, and an undetected flip would
-// silently break the byte-identical-output guarantee. Any burst error of 32
-// bits or fewer — in particular any single corrupted byte — is guaranteed to
-// be detected and surfaces as ErrBadFrame, which the fault-tolerant
-// transport treats as a link failure (reconnect + replay) rather than
-// delivering bad data.
+// rank, job is the multiplexing channel the frame belongs to (0 is the
+// default/control channel; see Mux), tag is the point-to-point tag (OpP2P
+// only), seq is the collective sequence number (OpExchange; both sides of a
+// channel count their collective calls, so a mismatch means the SPMD
+// contract was broken) or the link-level cumulative frame count
+// (OpResume/OpAck). crc is the CRC-32C of the header fields after length
+// plus the payload: supercomputer interconnects corrupt bytes, TCP's 16-bit
+// checksum misses some of them, and an undetected flip would silently break
+// the byte-identical-output guarantee. Any burst error of 32 bits or fewer —
+// in particular any single corrupted byte — is guaranteed to be detected and
+// surfaces as ErrBadFrame, which the fault-tolerant transport treats as a
+// link failure (reconnect + replay) rather than delivering bad data.
 const (
 	// Magic identifies a Mimir transport connection ("MIMR").
 	Magic = 0x4D494D52
@@ -38,11 +39,13 @@ const (
 	// (see compress.go). Compression is sender-side and per-frame, so mixed
 	// Compress settings interoperate; the CRC is computed over the
 	// compressed bytes (compress-then-CRC), keeping replay and corruption
-	// detection on the exact wire bytes.
-	Version = 3
+	// detection on the exact wire bytes. Version 4 added the job field: a
+	// channel id that lets independent jobs multiplex one standing mesh
+	// (frame demux by job; see Mux).
+	Version = 4
 
-	// frameHeaderLen is the encoded size of op+src+tag+seq+time+crc.
-	frameHeaderLen = 1 + 4 + 4 + 8 + 8 + 4
+	// frameHeaderLen is the encoded size of op+src+job+tag+seq+time+crc.
+	frameHeaderLen = 1 + 4 + 4 + 4 + 8 + 8 + 4
 	// HeaderLen is the frame header size after the length prefix, exported
 	// for fault-injection tooling that corrupts frames at byte granularity.
 	HeaderLen = frameHeaderLen
@@ -85,6 +88,7 @@ var ErrBadFrame = errors.New("transport: bad frame")
 type Frame struct {
 	Op   byte // base opcode; CompressedFlag is stripped during decode
 	Src  uint32
+	Job  uint32 // multiplexing channel (0 = default/control channel)
 	Tag  int32
 	Seq  uint64
 	Time float64
@@ -100,11 +104,12 @@ type Frame struct {
 // appendFrameHeaderRaw appends the length prefix and header for a frame with
 // the given wire op byte (which may carry CompressedFlag) and payload, whose
 // bytes are NOT appended.
-func appendFrameHeaderRaw(dst []byte, op byte, src uint32, tag int32, seq uint64, t float64, payload []byte) []byte {
+func appendFrameHeaderRaw(dst []byte, op byte, src, job uint32, tag int32, seq uint64, t float64, payload []byte) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, uint32(frameHeaderLen+len(payload)))
 	start := len(dst)
 	dst = append(dst, op)
 	dst = binary.BigEndian.AppendUint32(dst, src)
+	dst = binary.BigEndian.AppendUint32(dst, job)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(tag))
 	dst = binary.BigEndian.AppendUint64(dst, seq)
 	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(t))
@@ -116,7 +121,7 @@ func appendFrameHeaderRaw(dst []byte, op byte, src uint32, tag int32, seq uint64
 // appendFrameHeader appends the length prefix and header of f (for a payload
 // of len(f.Data), whose bytes are NOT appended) to dst.
 func appendFrameHeader(dst []byte, f *Frame) []byte {
-	return appendFrameHeaderRaw(dst, f.Op, f.Src, f.Tag, f.Seq, f.Time, f.Data)
+	return appendFrameHeaderRaw(dst, f.Op, f.Src, f.Job, f.Tag, f.Seq, f.Time, f.Data)
 }
 
 // AppendFrame appends the encoding of f to dst and returns the result.
@@ -219,9 +224,10 @@ func parseFrameBody(body []byte) (*Frame, error) {
 	f := &Frame{
 		Op:      raw &^ CompressedFlag,
 		Src:     binary.BigEndian.Uint32(body[1:]),
-		Tag:     int32(binary.BigEndian.Uint32(body[5:])),
-		Seq:     binary.BigEndian.Uint64(body[9:]),
-		Time:    math.Float64frombits(binary.BigEndian.Uint64(body[17:])),
+		Job:     binary.BigEndian.Uint32(body[5:]),
+		Tag:     int32(binary.BigEndian.Uint32(body[9:])),
+		Seq:     binary.BigEndian.Uint64(body[13:]),
+		Time:    math.Float64frombits(binary.BigEndian.Uint64(body[21:])),
 		WireLen: 4 + len(body),
 	}
 	if f.Op == 0 || f.Op > opMax {

@@ -131,27 +131,18 @@ const (
 // ParseFaultPolicy parses "abort" or "retry" (the -fault-policy flag values).
 var ParseFaultPolicy = transport.ParseFaultPolicy
 
-// TCPOptions configures a multi-process world's fault handling.
-type TCPOptions struct {
-	// Policy selects how every process reacts to link faults.
-	Policy FaultPolicy
-	// ReconnectWindow bounds RetryTransient recovery per link; a peer that
-	// stays unreachable longer aborts the world. 0 means the transport's
-	// default (10s).
-	ReconnectWindow time.Duration
-	// Deadline is the per-I/O deadline. 0 means the default (10s).
-	Deadline time.Duration
-	// Faults is a deterministic fault-injection spec in the
-	// internal/faultinject grammar, e.g. "seed:42,kill:rank2@round3" or
-	// "seed:7,reset:all@frame1". Empty means no injection. The spec is
-	// forwarded to spawned workers so every process plays its part.
-	Faults string
-	// Compress turns on wire v3 frame compression (deflate, per frame,
-	// sender-side). It trades CPU for bytes on the wire: a win on slow or
-	// shared links and highly redundant shuffles, a cost on fast loopback.
-	// Spawned workers inherit it through the environment.
-	Compress bool
-}
+// TCPOptionsFromEnv decodes the TCPOptions a parent forwarded through the
+// environment (the single decode shared with spawned workers); unset
+// variables leave zero defaults. Commands use it to seed flag defaults so
+// flags, environment, and spawn-forwarding cannot disagree.
+var TCPOptionsFromEnv = transport.OptionsFromEnv
+
+// TCPOptions configures a multi-process world: fault handling, deadlines,
+// fault injection, wire compression, and the per-rank worker pool size. It
+// is the transport's consolidated Options struct — one encode/decode
+// (transport.Options.Env / transport.OptionsFromEnv) carries every field to
+// spawned workers, so no launch path can silently drop a setting.
+type TCPOptions = transport.Options
 
 // faulted wires opts.Faults into cfg (the connection-level hook) and returns
 // the injector, or nil when no faults are scheduled.
@@ -188,12 +179,8 @@ func SpawnTCPWorldOpts(size int, opts TCPOptions) (*World, *TCPChildren, error) 
 		return nil, nil, err
 	}
 	tr, children, err := transport.SpawnLocalOpts(size, transport.SpawnOptions{
-		Deadline:        opts.Deadline,
-		Policy:          opts.Policy,
-		ReconnectWindow: opts.ReconnectWindow,
-		Faults:          opts.Faults,
-		Compress:        opts.Compress,
-		WrapConn:        cfg.WrapConn,
+		Options:  opts,
+		WrapConn: cfg.WrapConn,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -242,13 +229,7 @@ func NewTCPWorld(addr string, rank, size int, deadline time.Duration) (*World, e
 // spawn path there is no environment forwarding: every process of an
 // explicit rendezvous must be launched with the same options.
 func NewTCPWorldOpts(addr string, rank, size int, opts TCPOptions) (*World, error) {
-	cfg := transport.TCPConfig{
-		Addr: addr, Rank: rank, Size: size,
-		Deadline:        opts.Deadline,
-		Policy:          opts.Policy,
-		ReconnectWindow: opts.ReconnectWindow,
-		Compress:        opts.Compress,
-	}
+	cfg := opts.TCPConfig(addr, rank, size)
 	inj, err := faulted(opts, &cfg)
 	if err != nil {
 		return nil, err

@@ -33,6 +33,13 @@ var tcpTestConfig = driver.WordCountConfig{
 }
 
 func TestMain(m *testing.M) {
+	// The jobsvc daemon worker joins the mesh raw — no World, no job — and
+	// runs the control loop until the daemon shuts it down, so it must be
+	// dispatched before TCPWorldFromEnv claims the bootstrap connection.
+	if os.Getenv(testModeEnv) == "jobsvc-worker" {
+		runJobsvcWorker()
+		return
+	}
 	world, ok, err := mimir.TCPWorldFromEnv()
 	if !ok {
 		os.Exit(m.Run())

@@ -69,9 +69,11 @@ func main() {
 		inproc  = flag.Int("inproc", 0, "run n in-process ranks instead of TCP (reference mode)")
 		timeout = flag.Duration("timeout", 30*time.Second, "bootstrap rendezvous timeout")
 
-		daemon = flag.Bool("daemon", false, "run as the mimird job service: keep the mesh standing and accept job submissions")
-		admin  = flag.String("admin", "127.0.0.1:7077", "with -daemon: admin front-door listen address for mimirctl")
-		mem    = flag.Int64("mem", 0, "with -daemon: node admission arena capacity in bytes (0 = unlimited)")
+		daemon     = flag.Bool("daemon", false, "run as the mimird job service: keep the mesh standing and accept job submissions")
+		admin      = flag.String("admin", "127.0.0.1:7077", "with -daemon: admin front-door listen address for mimirctl")
+		mem        = flag.Int64("mem", 0, "with -daemon: node admission arena capacity in bytes (0 = unlimited)")
+		joinDaemon = flag.String("join-daemon", "", "with -daemon: join a running daemon at this admin address as an elastic worker instead of hosting one")
+		joinToken  = flag.String("join-token", "", "with -join-daemon: the join token (mimirctl join-token)")
 
 		policyArg = flag.String("fault-policy", "abort", "link fault handling: abort (fail-stop) or retry (reconnect + replay)")
 		faults    = flag.String("faults", "", "deterministic fault-injection spec, e.g. seed:42,kill:rank2@round3")
@@ -131,6 +133,13 @@ func main() {
 				log.Fatal(err)
 			}
 			runDaemonWorker(cfg)
+			return
+		}
+		if *joinDaemon != "" {
+			if err := jobsvc.JoinDaemon(*joinDaemon, *joinToken, opts,
+				jobsvc.WorkerOptions{Exit: os.Exit, Logf: log.Printf}); err != nil {
+				log.Fatal(err)
+			}
 			return
 		}
 		runDaemon(*admin, *mem, *spawn, *inproc, transport.SpawnOptions{Options: opts})
@@ -206,28 +215,30 @@ func runJob(world *mimir.World, cfg driver.WordCountConfig, mpath string) {
 }
 
 // runDaemonWorker is the life of a spawned daemon worker rank: dial into the
-// standing mesh and serve the jobsvc control loop until the daemon shuts the
-// mesh down. Spec.Crash terminates the process for real (os.Exit), which is
-// the fault the daemon's respawn path exists for.
+// standing mesh and serve the jobsvc control loop, following the service
+// across epochs (resizes, crash recoveries) until it is retired or the
+// daemon shuts the mesh down. Spec.Crash terminates the process for real
+// (os.Exit), which is the fault the daemon's crash-transition path exists
+// for.
 func runDaemonWorker(cfg transport.TCPConfig) {
-	tr, err := transport.NewTCP(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	err = jobsvc.RunWorker(tr, cfg.Rank, jobsvc.WorkerOptions{Exit: os.Exit, Logf: log.Printf})
-	tr.Close()
-	if err != nil {
+	if err := jobsvc.RunWorkerLoop(cfg, jobsvc.WorkerOptions{Exit: os.Exit, Logf: log.Printf}); err != nil {
 		log.Fatal(err)
 	}
 }
 
 // runDaemon is rank 0's daemon life: build the standing mesh, serve the
-// admin front door, drain on SIGINT/SIGTERM.
+// admin front door, drain on SIGINT/SIGTERM. The admin listener binds
+// before the mesh comes up so spawned workers know where to rejoin after a
+// fault.
 func runDaemon(admin string, mem int64, spawn, inproc int, sopts transport.SpawnOptions) {
+	ln, err := net.Listen("tcp", admin)
+	if err != nil {
+		log.Fatal(err)
+	}
 	var factory jobsvc.MeshFactory
 	switch {
 	case spawn > 0:
-		factory = jobsvc.SpawnMesh(spawn, sopts)
+		factory = jobsvc.SpawnMesh(spawn, ln.Addr().String(), sopts)
 	case inproc > 0:
 		factory = jobsvc.LocalMesh(inproc)
 	default:
@@ -235,11 +246,6 @@ func runDaemon(admin string, mem int64, spawn, inproc int, sopts transport.Spawn
 	}
 	srv, err := jobsvc.NewServer(jobsvc.Config{Mesh: factory, MemBytes: mem, Logf: log.Printf})
 	if err != nil {
-		log.Fatal(err)
-	}
-	ln, err := net.Listen("tcp", admin)
-	if err != nil {
-		srv.Shutdown()
 		log.Fatal(err)
 	}
 	sigs := make(chan os.Signal, 1)

@@ -6,6 +6,16 @@
 //	mimirctl -addr 127.0.0.1:7077 status
 //	mimirctl -addr 127.0.0.1:7077 shutdown
 //
+// Elastic membership verbs drive the daemon's resize path — the mesh grows
+// or shrinks at the next epoch barrier, without a restart and without
+// touching queued jobs:
+//
+//	mimirctl grow 6          # resize the standing mesh up to 6 ranks
+//	mimirctl shrink 3        # resize it down to 3 ranks
+//	mimirctl members         # committed view + full membership history
+//	mimirctl join-token      # mint the token an external worker joins with
+//	mimirctl leave 5         # retire member id 5 at the next barrier
+//
 // submit blocks until the job settles: lifecycle events (queued, running) go
 // to stderr, the counted output goes to stdout (or -o FILE), and -metrics
 // FILE saves the job's merged per-rank distribution JSON. The exit status is
@@ -19,8 +29,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 
 	"mimir/internal/jobsvc"
+	"mimir/internal/membership"
 )
 
 func main() {
@@ -28,7 +40,7 @@ func main() {
 	log.SetPrefix("mimirctl: ")
 	addr := flag.String("addr", "127.0.0.1:7077", "mimird admin address")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: mimirctl [-addr HOST:PORT] submit|status|shutdown [flags]")
+		fmt.Fprintln(os.Stderr, "usage: mimirctl [-addr HOST:PORT] submit|status|grow|shrink|members|join-token|leave|shutdown [flags]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -38,6 +50,20 @@ func main() {
 		submit(cl, flag.Args()[1:])
 	case "status":
 		status(cl)
+	case "grow":
+		resize(cl, flag.Arg(1), +1)
+	case "shrink":
+		resize(cl, flag.Arg(1), -1)
+	case "members":
+		members(cl)
+	case "join-token":
+		token, err := cl.JoinToken()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(token)
+	case "leave":
+		leave(cl, flag.Arg(1))
 	case "shutdown":
 		if err := cl.Shutdown(); err != nil {
 			log.Fatal(err)
@@ -46,6 +72,74 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// resize drives grow/shrink: both are the same admin op; dir only sanity-
+// checks the direction against the daemon's current size so "grow 3" on a
+// 6-rank mesh fails loudly instead of silently shrinking.
+func resize(cl *jobsvc.Client, arg string, dir int) {
+	target, err := strconv.Atoi(arg)
+	if err != nil || target < 1 {
+		log.Fatalf("grow/shrink need a target rank count, got %q", arg)
+	}
+	if st, err := cl.Status(); err == nil {
+		if dir > 0 && target < st.Size {
+			log.Fatalf("grow %d would shrink the %d-rank mesh; use shrink", target, st.Size)
+		}
+		if dir < 0 && target > st.Size {
+			log.Fatalf("shrink %d would grow the %d-rank mesh; use grow", target, st.Size)
+		}
+	}
+	view, err := cl.Resize(target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("epoch %d committed: mesh is %d ranks", view.Epoch, view.Size())
+	printView(view)
+}
+
+func members(cl *jobsvc.Client) {
+	view, history, err := cl.Members()
+	if err != nil {
+		log.Fatal(err)
+	}
+	printView(view)
+	for _, ev := range history {
+		line := fmt.Sprintf("%4d  epoch %-3d %-14s", ev.Seq, ev.Epoch, ev.Kind)
+		if ev.Member != 0 {
+			line += fmt.Sprintf(" member %d", ev.Member)
+		}
+		if ev.Size != 0 {
+			line += fmt.Sprintf(" size %d", ev.Size)
+		}
+		if ev.Detail != "" {
+			line += "  " + ev.Detail
+		}
+		fmt.Println(line)
+	}
+}
+
+func leave(cl *jobsvc.Client, arg string) {
+	id, err := strconv.ParseUint(arg, 10, 64)
+	if err != nil || id == 0 {
+		log.Fatalf("leave needs a member id, got %q", arg)
+	}
+	view, err := cl.Leave(membership.MemberID(id))
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("member %d retired; epoch %d committed: mesh is %d ranks", id, view.Epoch, view.Size())
+	printView(view)
+}
+
+func printView(view *membership.View) {
+	for _, mb := range view.Members {
+		kind := mb.Kind
+		if kind == "" {
+			kind = "?"
+		}
+		fmt.Printf("rank %-3d member %-4d %s\n", mb.Rank, mb.ID, kind)
 	}
 }
 

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+
+	"mimir/internal/kvbuf"
+	"mimir/internal/mem"
+	"mimir/internal/mpi"
+	"mimir/internal/pfs"
+)
+
+// The rebalancer's primitive contract: a checkpoint written by an N-rank
+// world, repartitioned to M ranks, restores on an M-rank world with output
+// identical to never having resized at all.
+
+// runCkptWCAt is runCkptWC generalized over world size: runs WordCount on a
+// size-rank world under the given checkpoint name and returns merged counts
+// plus the restored flag.
+func runCkptWCAt(t *testing.T, fs *pfs.FS, name string, size int,
+	modify func(*Config)) (counts map[string]uint64, restored bool, err error) {
+	t.Helper()
+	w := mpi.NewWorld(mpi.Config{Size: size, Net: testNet()})
+	arena := mem.NewArena(0)
+	var mu sync.Mutex
+	counts = map[string]uint64{}
+	err = w.Run(func(c *mpi.Comm) error {
+		cfg := Config{Arena: arena, Checkpoint: &Checkpoint{FS: fs, Name: name}}
+		if modify != nil {
+			modify(&cfg)
+		}
+		var mine []Record
+		for i, l := range testText {
+			if i%size == c.Rank() {
+				mine = append(mine, Record{Val: []byte(l)})
+			}
+		}
+		out, err := NewJob(c, cfg).Run(SliceInput(mine), wcMap, wcReduce)
+		if err != nil {
+			return err
+		}
+		defer out.Free()
+		mu.Lock()
+		defer mu.Unlock()
+		if out.Stats.RestoredFromCheckpoint {
+			restored = true
+		}
+		return out.Scan(func(k, v []byte) error {
+			counts[string(k)] += BytesUint64(v)
+			return nil
+		})
+	})
+	return counts, restored, err
+}
+
+func TestRepartitionCheckpointRestoreAtNewSize(t *testing.T) {
+	want := refWordCount(testText)
+	for _, tc := range []struct{ from, to int }{
+		{3, 5}, // grow
+		{5, 2}, // shrink
+		{4, 4}, // no-op resize still round-trips
+		{3, 1}, // collapse to a single rank
+		{1, 4}, // expand from a single rank
+	} {
+		t.Run(fmt.Sprintf("%dto%d", tc.from, tc.to), func(t *testing.T) {
+			fs := ckptFS()
+			name := fmt.Sprintf("resize-%d-%d", tc.from, tc.to)
+			ck := Checkpoint{FS: fs, Name: name}
+			// Seed: an N-rank run writes the checkpoint.
+			got, restored, err := runCkptWCAt(t, fs, name, tc.from, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if restored {
+				t.Fatal("seed run claims to have restored")
+			}
+			checkWC(t, got, want)
+
+			st, err := RepartitionCheckpoint(fs, nil, ck, kvbuf.DefaultHint(), tc.from, tc.to, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ck.Exists(tc.to) {
+				t.Fatal("repartitioned checkpoint incomplete at new size")
+			}
+			if tc.to < tc.from && fs.Size(fmt.Sprintf("ckpt/%s/rank%d", name, tc.to)) > 0 {
+				t.Fatal("old rank file beyond the new size survived")
+			}
+
+			// Every record landed on the rank the engine's partitioner
+			// would send it to at the new size — restore-time placement is
+			// exactly live-shuffle placement.
+			var records int64
+			for r := 0; r < tc.to; r++ {
+				data, err := fs.ReadAll(nil, fmt.Sprintf("ckpt/%s/rank%d", name, r))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if binary.LittleEndian.Uint64(data) != ckptMagic {
+					t.Fatalf("rank %d: bad magic after repartition", r)
+				}
+				payload := data[16:]
+				for pos := 0; pos < len(payload); {
+					k, _, n, err := kvbuf.DefaultHint().Decode(payload[pos:])
+					if err != nil {
+						t.Fatalf("rank %d: corrupt record after repartition: %v", r, err)
+					}
+					if dest := int(kvbuf.HashKey(k) % uint64(tc.to)); dest != r {
+						t.Fatalf("key %q on rank %d, partitioner says %d", k, r, dest)
+					}
+					pos += n
+					records++
+				}
+			}
+			if records != st.Records {
+				t.Fatalf("stats.Records = %d, files hold %d", st.Records, records)
+			}
+			if st.OldSize != tc.from || st.NewSize != tc.to {
+				t.Fatalf("stats sizes %d->%d, want %d->%d", st.OldSize, st.NewSize, tc.from, tc.to)
+			}
+			if tc.from == tc.to && st.BytesMoved != 0 {
+				t.Fatalf("no-op resize moved %d bytes", st.BytesMoved)
+			}
+
+			// Restore on the new world size: byte-identical merged output.
+			got2, restored2, err := runCkptWCAt(t, fs, name, tc.to, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !restored2 {
+				t.Fatal("resized world did not restore from the repartitioned checkpoint")
+			}
+			checkWC(t, got2, want)
+		})
+	}
+}
+
+func TestRepartitionCheckpointHintAndPR(t *testing.T) {
+	// The rebalancer must honor the job's Hint (records are re-encoded
+	// verbatim, not re-interpreted) and compose with partial reduction.
+	hint := kvbuf.Hint{Key: kvbuf.StrZ(), Val: kvbuf.Fixed(8)}
+	mod := func(cfg *Config) {
+		cfg.Hint = hint
+		cfg.PartialReduce = wcCombine
+	}
+	fs := ckptFS()
+	ck := Checkpoint{FS: fs, Name: "resize-hint"}
+	want := refWordCount(testText)
+	if got, _, err := runCkptWCAt(t, fs, ck.Name, 3, mod); err != nil {
+		t.Fatal(err)
+	} else {
+		checkWC(t, got, want)
+	}
+	if _, err := RepartitionCheckpoint(fs, nil, ck, hint, 3, 5, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, restored, err := runCkptWCAt(t, fs, ck.Name, 5, mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored {
+		t.Fatal("hinted PR world did not restore after repartition")
+	}
+	checkWC(t, got, want)
+}
+
+func TestRepartitionCheckpointCustomPartitioner(t *testing.T) {
+	// A job with a custom partitioner must rebalance under the same one.
+	everythingToLast := func(key []byte, nranks int) int { return nranks - 1 }
+	fs := ckptFS()
+	ck := Checkpoint{FS: fs, Name: "resize-part"}
+	if _, _, err := runCkptWCAt(t, fs, ck.Name, 2, func(cfg *Config) { cfg.Partitioner = everythingToLast }); err != nil {
+		t.Fatal(err)
+	}
+	st, err := RepartitionCheckpoint(fs, nil, ck, kvbuf.DefaultHint(), 2, 3, everythingToLast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records == 0 {
+		t.Fatal("no records repartitioned")
+	}
+	data, err := fs.ReadAll(nil, "ckpt/resize-part/rank2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := binary.LittleEndian.Uint64(data[8:]); int64(n) != st.Records {
+		t.Fatalf("custom partitioner: rank 2 holds %d of %d records, want all", n, st.Records)
+	}
+}
+
+func TestRepartitionCheckpointRejectsCorruption(t *testing.T) {
+	fs := ckptFS()
+	ck := Checkpoint{FS: fs, Name: "resize-bad"}
+	if _, _, err := runCkptWCAt(t, fs, ck.Name, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot rank 0's file, corrupt rank 1's, and verify the rebalance
+	// fails without touching the intact source files.
+	before, err := fs.ReadAll(nil, "ckpt/resize-bad/rank0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Remove("ckpt/resize-bad/rank1")
+	fs.Append(nil, "ckpt/resize-bad/rank1", make([]byte, 64))
+	if _, err := RepartitionCheckpoint(fs, nil, ck, kvbuf.DefaultHint(), 2, 4, nil); err == nil {
+		t.Fatal("corrupt source checkpoint repartitioned silently")
+	}
+	after, err := fs.ReadAll(nil, "ckpt/resize-bad/rank0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("failed repartition modified an intact source file")
+	}
+}

@@ -37,6 +37,12 @@ type WordCountConfig struct {
 	// world size, so a job that outgrows its reservation fails itself
 	// instead of eating into memory promised to other jobs.
 	MemBytes int64
+	// Checkpoint enables post-shuffle checkpoint/restore for the stage
+	// (see core.Config.Checkpoint). A restored run produces output
+	// byte-identical to a fresh one at the same world size; the elastic job
+	// service repartitions checkpoints when the world resizes
+	// (core.RepartitionCheckpoint) so restore works across sizes too.
+	Checkpoint *core.Checkpoint
 }
 
 // WordCount runs cfg on every rank of world and gathers the result at rank
@@ -50,7 +56,7 @@ func WordCount(world *mpi.World, cfg WordCountConfig, sum *metrics.Summary) ([]b
 	err := world.Run(func(c *mpi.Comm) error {
 		eng := workloads.NewMimirEngine(c, mem.NewArena(cfg.MemBytes))
 		eng.Workers = cfg.Workers
-		opts := workloads.StageOpts{}
+		opts := workloads.StageOpts{Checkpoint: cfg.Checkpoint}
 		if cfg.Hint {
 			opts.Hint = workloads.WCHint()
 		}

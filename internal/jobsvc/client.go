@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net"
 	"time"
+
+	"mimir/internal/membership"
 )
 
 // Client is a thin submitter for the admin front door. Each operation dials
@@ -30,6 +32,11 @@ type Result struct {
 	// Metrics is the merged per-rank distribution summary
 	// (metrics.Summary.WriteJSON form) the daemon streamed back.
 	Metrics json.RawMessage
+	// Epoch and Size identify the mesh incarnation the job ran on; output
+	// is byte-identical per (spec, Size) whatever resizes happened around
+	// the run.
+	Epoch uint64
+	Size  int
 }
 
 func (c *Client) dial() (net.Conn, error) {
@@ -75,7 +82,8 @@ func (c *Client) Submit(spec Spec, onEvent func(Event)) (*Result, error) {
 		}
 		switch ev.Event {
 		case EvDone:
-			return &Result{Job: ev.Job, Output: []byte(ev.Output), Metrics: ev.Metrics}, nil
+			return &Result{Job: ev.Job, Output: []byte(ev.Output), Metrics: ev.Metrics,
+				Epoch: ev.Epoch, Size: ev.Size}, nil
 		case EvError:
 			if ev.Job == 0 {
 				return nil, errors.New(ev.Error) // rejected before it was a job
@@ -100,6 +108,62 @@ func (c *Client) Status() (*Status, error) {
 		return nil, fmt.Errorf("jobsvc: status request answered with %q: %s", ev.Event, ev.Error)
 	}
 	return ev.Status, nil
+}
+
+// one reads one non-stream admin op's single reply.
+func (c *Client) one(req Request, want string) (Event, error) {
+	conn, dec, err := c.request(req)
+	if err != nil {
+		return Event{}, err
+	}
+	defer conn.Close()
+	var ev Event
+	if err := dec.Decode(&ev); err != nil {
+		return Event{}, err
+	}
+	if ev.Event != want {
+		return Event{}, fmt.Errorf("jobsvc: %s answered with %q: %s", req.Op, ev.Event, ev.Error)
+	}
+	return ev, nil
+}
+
+// Resize grows or shrinks the daemon's mesh to size ranks without
+// restarting it, blocking through the epoch barrier. Returns the committed
+// membership view.
+func (c *Client) Resize(size int) (*membership.View, error) {
+	ev, err := c.one(Request{Op: "resize", Size: size}, EvResized)
+	if err != nil {
+		return nil, err
+	}
+	return ev.View, nil
+}
+
+// Members fetches the committed membership view and the full event history.
+func (c *Client) Members() (*membership.View, []membership.Event, error) {
+	ev, err := c.one(Request{Op: "members"}, EvMembers)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ev.View, ev.History, nil
+}
+
+// JoinToken mints a generic join token external workers present to join.
+func (c *Client) JoinToken() (string, error) {
+	ev, err := c.one(Request{Op: "join-token"}, EvToken)
+	if err != nil {
+		return "", err
+	}
+	return ev.Token, nil
+}
+
+// Leave retires one member at the next epoch barrier, shrinking the mesh by
+// one, and returns the committed view.
+func (c *Client) Leave(member membership.MemberID) (*membership.View, error) {
+	ev, err := c.one(Request{Op: "leave", Member: member}, EvResized)
+	if err != nil {
+		return nil, err
+	}
+	return ev.View, nil
 }
 
 // Shutdown asks the daemon to drain and exit, blocking until it confirms.

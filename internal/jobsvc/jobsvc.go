@@ -32,9 +32,13 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"mimir/internal/core"
 	"mimir/internal/driver"
+	"mimir/internal/kvbuf"
+	"mimir/internal/membership"
 	"mimir/internal/metrics"
 	"mimir/internal/mpi"
+	"mimir/internal/pfs"
 	"mimir/internal/simtime"
 	"mimir/internal/transport"
 	"mimir/internal/workloads"
@@ -67,6 +71,13 @@ type Spec struct {
 	// process exits without ceremony, an in-process rank aborts the mesh,
 	// which is what its process death would have done. 0 means no crash.
 	Crash int `json:"crash,omitempty"`
+	// Checkpoint, when non-empty, names a post-shuffle checkpoint in the
+	// server's file system: the first job with the name writes it, later
+	// jobs with the same name restore from it (skipping input, map, and
+	// aggregate), and elastic resizes repartition it so restore works at
+	// the new world size. Only fully in-process meshes can run checkpointed
+	// jobs — worker processes have no access to the server's simulated FS.
+	Checkpoint string `json:"checkpoint,omitempty"`
 }
 
 // normalize fills the defaults a zero field means.
@@ -107,6 +118,15 @@ func (s Spec) dist() (workloads.Distribution, error) {
 	return 0, fmt.Errorf("jobsvc: unknown dist %q (want uniform or wikipedia)", s.Dist)
 }
 
+// ckptHint returns the KV-hint encoding the spec's checkpoint files use —
+// what a resize must decode them with to repartition.
+func (s Spec) ckptHint() kvbuf.Hint {
+	if s.Hint {
+		return workloads.WCHint()
+	}
+	return kvbuf.DefaultHint()
+}
+
 // config maps the spec onto the job driver for a size-rank world.
 func (s Spec) config(size int) (driver.WordCountConfig, error) {
 	dist, err := s.dist()
@@ -141,18 +161,33 @@ const (
 	EvError   = "error"
 	EvStatus  = "status"
 	EvOK      = "ok"
+	// Elastic-membership events.
+	EvResized = "resized" // a resize transition committed
+	EvMembers = "members" // membership view + history reply
+	EvToken   = "token"   // a minted join token
+	EvJoined  = "joined"  // a join request got a seat (carries the remesh)
+	EvRemesh  = "remesh"  // a rejoin request's attachment to the live epoch
+	EvRetired = "retired" // the member no longer holds a seat: exit
 )
 
 // Request is one admin-socket request: a single JSON object, answered by a
-// stream of Events (submit) or exactly one Event (status, shutdown).
+// stream of Events (submit) or exactly one Event (everything else). The ops:
+// "submit", "status", "shutdown", plus the elastic-membership family —
+// "resize" (Size), "members", "join-token", "join" (Token, Addr), "rejoin"
+// (Member, Token), and "leave" (Member).
 type Request struct {
-	Op   string `json:"op"` // "submit", "status", or "shutdown"
-	Spec *Spec  `json:"spec,omitempty"`
+	Op     string              `json:"op"`
+	Spec   *Spec               `json:"spec,omitempty"`
+	Size   int                 `json:"size,omitempty"`
+	Member membership.MemberID `json:"member,omitempty"`
+	Token  string              `json:"token,omitempty"`
+	Addr   string              `json:"addr,omitempty"`
 }
 
 // Event is one line of an admin-socket reply. A submit streams
 // queued → running → done|error for its job; done carries the gathered
-// output and the merged per-rank metrics distribution.
+// output, the merged per-rank metrics distribution, and the epoch/size of
+// the mesh incarnation the job ran on (output is byte-identical per size).
 type Event struct {
 	Event   string          `json:"event"`
 	Job     uint32          `json:"job,omitempty"`
@@ -160,14 +195,25 @@ type Event struct {
 	Output  string          `json:"output,omitempty"`
 	Metrics json.RawMessage `json:"metrics,omitempty"`
 	Status  *Status         `json:"status,omitempty"`
+	// Membership fields.
+	Epoch   uint64              `json:"epoch,omitempty"`
+	Size    int                 `json:"size,omitempty"`
+	Member  membership.MemberID `json:"member,omitempty"`
+	Token   string              `json:"token,omitempty"`
+	Remesh  *Remesh             `json:"remesh,omitempty"`
+	View    *membership.View    `json:"view,omitempty"`
+	History []membership.Event  `json:"history,omitempty"`
 }
 
 // Status is the daemon-wide view returned by the status op.
 type Status struct {
 	// Size is the mesh's rank count.
 	Size int `json:"size"`
+	// Epoch is the committed membership epoch.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Respawns counts mesh rebuilds after fatal faults; a healthy service
-	// reports 0 however many jobs it has run.
+	// reports 0 however many jobs it has run. Elastic resizes are not
+	// respawns — they advance the epoch without a fault.
 	Respawns int `json:"respawns"`
 	// MemUsed / MemCapacity describe the admission arena (reserved job
 	// floors, not live engine pages). Capacity 0 means unlimited.
@@ -192,12 +238,32 @@ const ctrlTag = 1
 const (
 	opStart    = "start"
 	opShutdown = "shutdown"
+	// opRemesh directs a worker to finish its running jobs, drop this mesh
+	// incarnation, and join the next one at the carried seat (graceful
+	// resize). opRetire directs it to finish and exit: its seat is gone.
+	opRemesh = "remesh"
+	opRetire = "retire"
 )
 
 type ctrlMsg struct {
-	Op   string `json:"op"`
-	Job  uint32 `json:"job,omitempty"`
-	Spec *Spec  `json:"spec,omitempty"`
+	Op     string  `json:"op"`
+	Job    uint32  `json:"job,omitempty"`
+	Spec   *Spec   `json:"spec,omitempty"`
+	Remesh *Remesh `json:"remesh,omitempty"`
+}
+
+func ctrlJSON(c ctrlMsg) ([]byte, error) { return json.Marshal(c) }
+
+// Remesh is a worker's attachment to the next mesh incarnation: where to
+// dial, which seat to take, and the epoch the handshake must carry. It
+// travels either as an opRemesh control directive (graceful resize) or as
+// the reply to an admin rejoin/join request (crash recovery, external
+// joiners).
+type Remesh struct {
+	Addr  string `json:"addr"`
+	Rank  int    `json:"rank"`
+	Size  int    `json:"size"`
+	Epoch uint64 `json:"epoch"`
 }
 
 // execJob runs one job on its own channel of the standing mesh. Every
@@ -207,7 +273,9 @@ type ctrlMsg struct {
 // the process hosting rank 0. exit, when non-nil, implements the Spec.Crash
 // hook by terminating the process; without it a crash is simulated by
 // aborting the mesh, which is exactly what the process death would do.
-func execJob(tr transport.Transport, id uint32, spec Spec, exit func(code int)) ([]byte, *metrics.Summary, error) {
+// fs is the server's checkpoint file system (nil on worker processes;
+// Spec.Checkpoint is only admitted on fully in-process meshes).
+func execJob(tr transport.Transport, id uint32, spec Spec, exit func(code int), fs *pfs.FS) ([]byte, *metrics.Summary, error) {
 	if spec.Crash > 0 {
 		for _, r := range tr.LocalRanks() {
 			if r == spec.Crash {
@@ -238,6 +306,9 @@ func execJob(tr transport.Transport, id uint32, spec Spec, exit func(code int)) 
 	cfg, err := spec.config(world.Size())
 	if err != nil {
 		return nil, nil, err
+	}
+	if spec.Checkpoint != "" && fs != nil {
+		cfg.Checkpoint = &core.Checkpoint{FS: fs, Name: spec.Checkpoint}
 	}
 	sum := metrics.NewSummary()
 	out, err := driver.WordCount(world, cfg, sum)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mimir/internal/driver"
+	"mimir/internal/membership"
 	"mimir/internal/metrics"
 	"mimir/internal/mpi"
 	"mimir/internal/simtime"
@@ -44,14 +45,19 @@ func testSpec(seed uint64) Spec {
 }
 
 // tcpMesh is a MeshFactory building an in-process TCP mesh: one *TCP per
-// rank over real loopback sockets, with ranks 1..size-1 running RunWorker
+// rank over real loopback sockets, with worker ranks running RunWorker
 // control loops on their own goroutines — the full daemon control plane
-// without forking processes.
+// without forking processes. Every incarnation is rebuilt from scratch at
+// the spec's size and epoch (goroutine workers are free, like LocalMesh).
 func tcpMesh(size int) MeshFactory {
-	return func() (Mesh, error) {
+	return NewMeshFactory(size, membership.KindLocal, func(spec MeshSpec) (Mesh, error) {
+		n := spec.Size
+		if n == 0 {
+			n = size
+		}
 		cfg := func(rank int, addr string) transport.TCPConfig {
 			return transport.TCPConfig{
-				Addr: addr, Rank: rank, Size: size,
+				Addr: addr, Rank: rank, Size: n, Epoch: spec.Epoch,
 				BootstrapTimeout: 30 * time.Second,
 			}
 		}
@@ -59,10 +65,10 @@ func tcpMesh(size int) MeshFactory {
 		if err != nil {
 			return Mesh{}, err
 		}
-		trs := make([]transport.Transport, size)
-		errs := make([]error, size)
+		trs := make([]transport.Transport, n)
+		errs := make([]error, n)
 		var bwg sync.WaitGroup
-		for r := 1; r < size; r++ {
+		for r := 1; r < n; r++ {
 			bwg.Add(1)
 			go func(r int) {
 				defer bwg.Done()
@@ -77,19 +83,26 @@ func tcpMesh(size int) MeshFactory {
 			}
 		}
 		var wwg sync.WaitGroup
-		for r := 1; r < size; r++ {
+		for r := 1; r < n; r++ {
 			wwg.Add(1)
 			go func(r int) {
 				defer wwg.Done()
-				RunWorker(trs[r], r, WorkerOptions{}) // error means mesh death; Close reaps us
+				// Remesh directives and mesh death both end the incarnation;
+				// either way this goroutine is done and Close reaps it.
+				RunWorker(trs[r], r, WorkerOptions{})
 				trs[r].Close()
 			}(r)
 		}
 		return Mesh{Transport: trs[0], Close: func() {
+			// Abort propagates to the worker ranks' transports, unblocking
+			// their control loops; a plain Close would leave them parked in
+			// recv forever (nobody sends shutdown directives to a mesh that
+			// is being replaced).
+			trs[0].Abort(fmt.Errorf("%w: jobsvc: mesh closed", transport.ErrAborted))
 			trs[0].Close()
 			wwg.Wait()
 		}}, nil
-	}
+	})
 }
 
 func newTestServer(t *testing.T, factory MeshFactory, memBytes int64) *Server {

@@ -3,10 +3,23 @@ package jobsvc
 import (
 	"encoding/json"
 	"fmt"
+	"net"
+	"os"
+	"strconv"
 	"sync"
 	"time"
 
+	"mimir/internal/membership"
 	"mimir/internal/transport"
+)
+
+// Environment variables an elastic daemon worker reads in addition to the
+// MIMIR_TCP_* world attachment: the admin address it rejoins through after a
+// fault, and the member credential it authenticates with.
+const (
+	EnvAdmin       = "MIMIR_ADMIN"
+	EnvMember      = "MIMIR_MEMBER"
+	EnvMemberToken = "MIMIR_MEMBER_TOKEN"
 )
 
 // WorkerOptions configures a worker rank's control loop.
@@ -21,14 +34,16 @@ type WorkerOptions struct {
 	Logf func(format string, args ...any)
 }
 
-// RunWorker is a worker rank's life with the job service: a control loop on
-// channel 0 of the standing mesh. Every announced job starts on its own
-// goroutine and its own transport channel, so any number of jobs multiplex
-// the one mesh concurrently. Returns nil after a clean shutdown ctrl
-// message, or the mesh's death once it can no longer be served; either way
-// all running jobs have finished first. The caller still owns tr and should
-// Close it.
-func RunWorker(tr transport.Transport, rank int, opts WorkerOptions) error {
+// RunWorker is a worker rank's life with one mesh incarnation: a control
+// loop on channel 0 of the standing mesh. Every announced job starts on its
+// own goroutine and its own transport channel, so any number of jobs
+// multiplex the one mesh concurrently. It returns when the incarnation
+// ends: (nil, nil) after a clean shutdown or retire directive, a non-nil
+// Remesh after a graceful resize directive (the worker's seat in the next
+// incarnation), or (nil, err) once the mesh can no longer be served. Either
+// way all running jobs have finished first. The caller still owns tr and
+// should Close it.
+func RunWorker(tr transport.Transport, rank int, opts WorkerOptions) (*Remesh, error) {
 	logf := opts.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
@@ -39,7 +54,7 @@ func RunWorker(tr transport.Transport, rank int, opts WorkerOptions) error {
 	for {
 		m, err := ep.Recv(0, ctrlTag)
 		if err != nil {
-			return fmt.Errorf("jobsvc: rank %d control channel: %w", rank, err)
+			return nil, fmt.Errorf("jobsvc: rank %d control channel: %w", rank, err)
 		}
 		var c ctrlMsg
 		uerr := json.Unmarshal(m.Data, &c)
@@ -47,17 +62,17 @@ func RunWorker(tr transport.Transport, rank int, opts WorkerOptions) error {
 			r.Recycle(m.Data)
 		}
 		if uerr != nil {
-			return fmt.Errorf("jobsvc: rank %d bad control message: %v", rank, uerr)
+			return nil, fmt.Errorf("jobsvc: rank %d bad control message: %v", rank, uerr)
 		}
 		switch c.Op {
 		case opStart:
 			if c.Spec == nil {
-				return fmt.Errorf("jobsvc: rank %d start without a spec", rank)
+				return nil, fmt.Errorf("jobsvc: rank %d start without a spec", rank)
 			}
 			jobs.Add(1)
 			go func(id uint32, spec Spec) {
 				defer jobs.Done()
-				if _, _, err := execJob(tr, id, spec, opts.Exit); err != nil {
+				if _, _, err := execJob(tr, id, spec, opts.Exit, nil); err != nil {
 					// Rank 0 observed the same failure through the job's
 					// channel and reports it to the submitter; here it is
 					// only worth a log line.
@@ -66,56 +81,165 @@ func RunWorker(tr transport.Transport, rank int, opts WorkerOptions) error {
 			}(c.Job, *c.Spec)
 		case opShutdown:
 			logf("jobsvc: rank %d shutting down", rank)
+			return nil, nil
+		case opRetire:
+			logf("jobsvc: rank %d retired", rank)
+			return nil, nil
+		case opRemesh:
+			if c.Remesh == nil {
+				return nil, fmt.Errorf("jobsvc: rank %d remesh without a seat", rank)
+			}
+			// The epoch barrier: running jobs finish on the incarnation they
+			// started on before the worker moves to the next one.
+			jobs.Wait()
+			logf("jobsvc: rank %d remeshing to rank %d of %d (epoch %d)",
+				rank, c.Remesh.Rank, c.Remesh.Size, c.Remesh.Epoch)
+			return c.Remesh, nil
+		default:
+			return nil, fmt.Errorf("jobsvc: rank %d unknown control op %q", rank, c.Op)
+		}
+	}
+}
+
+// RunWorkerLoop is an elastic daemon worker's whole life: it joins the mesh
+// incarnation described by cfg, serves it with RunWorker, and follows the
+// service across epochs — remesh directives carry it to the next
+// incarnation directly, and when an incarnation dies under it (a crash
+// transition) it rejoins through the admin socket with its member
+// credential (EnvAdmin/EnvMember/EnvMemberToken). Returns nil when the
+// worker is cleanly shut down or retired.
+func RunWorkerLoop(cfg transport.TCPConfig, opts WorkerOptions) error {
+	member, _ := strconv.ParseUint(os.Getenv(EnvMember), 10, 64)
+	return workerEpochs(cfg, os.Getenv(EnvAdmin), membership.MemberID(member), os.Getenv(EnvMemberToken), opts)
+}
+
+// JoinDaemon turns this process into an external elastic worker: it asks
+// the daemon at admin for a seat with a join token (mimirctl join-token),
+// waits out the transition that seats it, and then serves the mesh exactly
+// like a forked daemon worker — following resizes, rejoining after faults —
+// until it is retired or the daemon shuts down.
+func JoinDaemon(admin, token string, topts transport.Options, opts WorkerOptions) error {
+	ev, err := adminRequest(admin, Request{Op: "join", Token: token, Addr: "external"}, 3*time.Minute)
+	if err != nil {
+		return fmt.Errorf("jobsvc: join via %s: %w", admin, err)
+	}
+	if ev.Event != EvJoined || ev.Remesh == nil || ev.Member == 0 {
+		return fmt.Errorf("jobsvc: join via %s answered with %q: %s", admin, ev.Event, ev.Error)
+	}
+	cfg := topts.TCPConfig(ev.Remesh.Addr, ev.Remesh.Rank, ev.Remesh.Size)
+	cfg.Epoch = ev.Remesh.Epoch
+	if opts.Logf != nil {
+		opts.Logf("jobsvc: joined as member %d, rank %d of %d (epoch %d)",
+			ev.Member, ev.Remesh.Rank, ev.Remesh.Size, ev.Remesh.Epoch)
+	}
+	return workerEpochs(cfg, admin, ev.Member, ev.Token, opts)
+}
+
+// workerEpochs drives RunWorker across incarnations. A worker without a
+// rejoin credential (admin == "" or no member identity) lives and dies with
+// its first incarnation, like the pre-elastic daemon did.
+func workerEpochs(cfg transport.TCPConfig, admin string, member membership.MemberID, token string, opts WorkerOptions) error {
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	// rejoin asks the admin socket where this member's seat went. It
+	// returns false (done) when the member is retired or has no credential.
+	rejoin := func(cause error) (bool, error) {
+		if admin == "" || member == 0 || token == "" {
+			return false, cause
+		}
+		rm, err := rejoinAttach(admin, member, token)
+		if err != nil {
+			return false, fmt.Errorf("jobsvc: member %d lost the mesh (%v) and could not rejoin: %w", member, cause, err)
+		}
+		if rm == nil {
+			logf("jobsvc: member %d retired", member)
+			return false, nil
+		}
+		cfg.Addr, cfg.Rank, cfg.Size, cfg.Epoch = rm.Addr, rm.Rank, rm.Size, rm.Epoch
+		return true, nil
+	}
+	const maxConsecutiveFailures = 5
+	failures := 0
+	for {
+		tr, err := transport.NewTCP(cfg)
+		if err != nil {
+			// The incarnation we were headed for never came up (a failed
+			// transition attempt): ask the admin socket for the current one.
+			failures++
+			if failures >= maxConsecutiveFailures {
+				return fmt.Errorf("jobsvc: member %d: %d consecutive attach failures, last: %w", member, failures, err)
+			}
+			again, err2 := rejoin(err)
+			if !again {
+				return err2
+			}
+			continue
+		}
+		failures = 0
+		rm, err := RunWorker(tr, cfg.Rank, opts)
+		tr.Close()
+		switch {
+		case rm != nil:
+			cfg.Addr, cfg.Rank, cfg.Size, cfg.Epoch = rm.Addr, rm.Rank, rm.Size, rm.Epoch
+		case err == nil:
 			return nil
 		default:
-			return fmt.Errorf("jobsvc: rank %d unknown control op %q", rank, c.Op)
-		}
-	}
-}
-
-// LocalMesh returns a MeshFactory hosting all ranks in this process on the
-// in-process transport. There are no worker loops: the server's own
-// execJob runs every rank, exactly as driver jobs do on in-process worlds.
-// This is the fast path for tests and for a single-node daemon without
-// process isolation.
-func LocalMesh(size int) MeshFactory {
-	return func() (Mesh, error) {
-		if size < 1 {
-			return Mesh{}, fmt.Errorf("jobsvc: invalid mesh size %d", size)
-		}
-		tr := transport.NewLocal(size)
-		return Mesh{Transport: tr, Close: func() {
-			tr.Abort(fmt.Errorf("%w: jobsvc: mesh closed", transport.ErrAborted))
-			tr.Close()
-		}}, nil
-	}
-}
-
-// SpawnMesh returns a MeshFactory that makes this process rank 0 of a
-// size-rank TCP mesh and forks size-1 copies of this binary as daemon
-// workers (transport.SpawnLocal semantics: the copies must detect the
-// MIMIR_TCP_* environment and call RunWorker). Close tears the incarnation
-// down and reaps the children, killing any that outlive the mesh by more
-// than a grace period.
-func SpawnMesh(size int, opts transport.SpawnOptions) MeshFactory {
-	return func() (Mesh, error) {
-		tr, children, err := transport.SpawnLocalOpts(size, opts)
-		if err != nil {
-			return Mesh{}, err
-		}
-		return Mesh{Transport: tr, Close: func() {
-			tr.Close()
-			done := make(chan struct{})
-			go func() {
-				children.Wait()
-				close(done)
-			}()
-			select {
-			case <-done:
-			case <-time.After(15 * time.Second):
-				children.Kill()
-				<-done
+			again, err2 := rejoin(err)
+			if !again {
+				return err2
 			}
-		}}, nil
+		}
 	}
+}
+
+// adminRequest performs one request/one reply on the admin socket.
+func adminRequest(admin string, req Request, deadline time.Duration) (Event, error) {
+	conn, err := net.DialTimeout("tcp", admin, 10*time.Second)
+	if err != nil {
+		return Event{}, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(deadline))
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		return Event{}, err
+	}
+	var ev Event
+	if err := json.NewDecoder(conn).Decode(&ev); err != nil {
+		return Event{}, err
+	}
+	return ev, nil
+}
+
+// rejoinAttach asks the daemon where member's seat is now. It retries
+// transient failures (the server itself may be mid-transition); a retire
+// answer returns (nil, nil).
+func rejoinAttach(admin string, member membership.MemberID, token string) (*Remesh, error) {
+	var lastErr error
+	for attempt := 0; attempt < 8; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * 250 * time.Millisecond)
+		}
+		ev, err := adminRequest(admin, Request{Op: "rejoin", Member: member, Token: token}, 2*time.Minute)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch ev.Event {
+		case EvRetired:
+			return nil, nil
+		case EvRemesh:
+			if ev.Remesh != nil {
+				return ev.Remesh, nil
+			}
+			lastErr = fmt.Errorf("jobsvc: remesh reply without a seat")
+		case EvError:
+			// A rejected credential will not improve with retries.
+			return nil, fmt.Errorf("jobsvc: rejoin refused: %s", ev.Error)
+		default:
+			lastErr = fmt.Errorf("jobsvc: rejoin answered with %q", ev.Event)
+		}
+	}
+	return nil, lastErr
 }

@@ -1,0 +1,71 @@
+package membership
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Join tokens let an external worker prove it was invited without the
+// control plane trusting the network: the daemon holds a random secret and
+// hands out HMAC-SHA256 tokens over it. Two flavors share one format:
+//
+//	mimir1.<member-id>.<base64url(hmac)>
+//
+// A generic join token carries member ID 0 ("any new worker may join");
+// a rejoin token carries a specific member ID, so a crashed survivor can
+// re-authenticate as itself but cannot hijack another member's seat.
+
+const tokenPrefix = "mimir1"
+
+// SecretLen is the size of a daemon join secret in bytes.
+const SecretLen = 32
+
+// NewSecret draws a fresh daemon secret from crypto/rand.
+func NewSecret() ([]byte, error) {
+	s := make([]byte, SecretLen)
+	if _, err := rand.Read(s); err != nil {
+		return nil, fmt.Errorf("membership: generating join secret: %w", err)
+	}
+	return s, nil
+}
+
+func tokenMAC(secret []byte, id MemberID) []byte {
+	mac := hmac.New(sha256.New, secret)
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(id))
+	mac.Write([]byte(tokenPrefix))
+	mac.Write(buf[:])
+	return mac.Sum(nil)
+}
+
+// Token mints a token binding the given member ID (0 = generic join).
+func Token(secret []byte, id MemberID) string {
+	return fmt.Sprintf("%s.%d.%s", tokenPrefix, id,
+		base64.RawURLEncoding.EncodeToString(tokenMAC(secret, id)))
+}
+
+// VerifyToken checks a token against the secret and returns the member ID
+// it is bound to (0 for a generic join token).
+func VerifyToken(secret []byte, token string) (MemberID, error) {
+	parts := strings.Split(token, ".")
+	if len(parts) != 3 || parts[0] != tokenPrefix {
+		return 0, fmt.Errorf("membership: malformed join token")
+	}
+	var id MemberID
+	if _, err := fmt.Sscanf(parts[1], "%d", &id); err != nil {
+		return 0, fmt.Errorf("membership: malformed join token member id")
+	}
+	got, err := base64.RawURLEncoding.DecodeString(parts[2])
+	if err != nil {
+		return 0, fmt.Errorf("membership: malformed join token mac")
+	}
+	if !hmac.Equal(got, tokenMAC(secret, id)) {
+		return 0, fmt.Errorf("membership: join token rejected")
+	}
+	return id, nil
+}

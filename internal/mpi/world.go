@@ -193,6 +193,17 @@ func (w *World) FaultPolicy() FaultPolicy {
 	return AbortOnFailure
 }
 
+// Epoch reports the mesh incarnation the world's transport belongs to
+// (internal/membership): 0 for fixed worlds and transports without epoch
+// tracking. A job service stamps each job's result with the epoch it ran
+// on, so clients can tell which world-size incarnation produced it.
+func (w *World) Epoch() uint64 {
+	if er, ok := w.tr.(transport.EpochReporter); ok {
+		return er.Epoch()
+	}
+	return 0
+}
+
 // abort terminates all communication in the world with the given cause.
 func (w *World) abort(cause error) {
 	w.abortOnce.Do(func() {

@@ -37,6 +37,9 @@ const (
 	// Unlike the MIMIR_TCP_* variables it also applies to in-process
 	// worlds, which is why it keeps its own prefix.
 	EnvWorkers = "MIMIR_WORKERS"
+	// EnvEpoch carries the mesh epoch (TCPConfig.Epoch) so a worker forked
+	// for an elastic world joins the right incarnation. Unset means 0.
+	EnvEpoch = "MIMIR_TCP_EPOCH"
 )
 
 // FromEnv reads a worker's TCP configuration from the environment — the
@@ -60,7 +63,15 @@ func FromEnv() (TCPConfig, bool, error) {
 	if err != nil {
 		return TCPConfig{}, true, err
 	}
-	return opts.TCPConfig(addr, rank, size), true, nil
+	cfg := opts.TCPConfig(addr, rank, size)
+	if s := os.Getenv(EnvEpoch); s != "" {
+		epoch, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return TCPConfig{}, true, fmt.Errorf("transport: bad %s=%q: %v", EnvEpoch, s, err)
+		}
+		cfg.Epoch = epoch
+	}
+	return cfg, true, nil
 }
 
 // FaultsFromEnv returns the fault-injection spec string a parent forwarded

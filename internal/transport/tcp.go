@@ -21,6 +21,13 @@ type TCPConfig struct {
 	Rank int
 	// Size is the world size (total processes).
 	Size int
+	// Epoch is the mesh incarnation this rank belongs to. Elastic
+	// membership (internal/membership) rebuilds the mesh under a strictly
+	// higher epoch on every world change; both sides of every connection —
+	// bootstrap, mesh, and reconnect — must present the same epoch in the
+	// wire-v5 handshake or the connection is rejected. Fixed-size worlds
+	// that never resize leave it 0.
+	Epoch uint64
 	// Deadline bounds connection progress: the per-connection handshake and
 	// every chunk of a frame write (a peer that cannot accept writeChunk
 	// bytes for this long is treated as failed). 0 means 10 seconds.
@@ -631,6 +638,7 @@ func (c *tcpChan) Abort(err error) {
 // A channel is a full Transport/Endpoint view of the mesh, sharing the
 // links and their fault machinery.
 func (c *tcpChan) Size() int              { return c.t.size }
+func (c *tcpChan) Epoch() uint64          { return c.t.cfg.Epoch }
 func (c *tcpChan) LocalRanks() []int      { return []int{c.t.rank} }
 func (c *tcpChan) Wall() bool             { return true }
 func (c *tcpChan) Rank() int              { return c.t.rank }
@@ -856,6 +864,11 @@ func ListenTCP(cfg TCPConfig) (*Bootstrap, error) {
 // Addr returns the bound bootstrap address workers must dial.
 func (b *Bootstrap) Addr() string { return b.ln.Addr().String() }
 
+// Close abandons a bootstrap whose world will never be completed, releasing
+// its listener. Only for bootstraps that are not going to be Accept-ed
+// (Accept owns the listener's lifecycle once called).
+func (b *Bootstrap) Close() error { return b.ln.Close() }
+
 // Accept waits for every worker to register, distributes the address table,
 // and returns rank 0's transport once the whole world is up. Under
 // RetryTransient the listener stays open for the life of the transport to
@@ -914,6 +927,13 @@ func (b *Bootstrap) admit(t *TCP, conn net.Conn, addrs []string) (int, error) {
 	if h.Size != b.cfg.Size {
 		return 0, fmt.Errorf("transport: rank %d joined with world size %d, want %d", h.Rank, h.Size, b.cfg.Size)
 	}
+	if h.Epoch != b.cfg.Epoch {
+		// A straggler from another mesh incarnation must not poison this
+		// epoch's bootstrap: drop the connection (the dialer sees EOF in
+		// place of a hello reply and gives up) and keep accepting.
+		conn.Close()
+		return 0, nil
+	}
 	if h.Rank <= 0 || h.Rank >= b.cfg.Size {
 		return 0, fmt.Errorf("transport: bootstrap join from invalid rank %d", h.Rank)
 	}
@@ -923,7 +943,7 @@ func (b *Bootstrap) admit(t *TCP, conn net.Conn, addrs []string) (int, error) {
 	if h.Addr == "" {
 		return 0, fmt.Errorf("transport: rank %d advertised no mesh address", h.Rank)
 	}
-	if err := writeHello(conn, hello{Rank: 0, Size: b.cfg.Size}); err != nil {
+	if err := writeHello(conn, hello{Rank: 0, Size: b.cfg.Size, Epoch: b.cfg.Epoch}); err != nil {
 		return 0, fmt.Errorf("transport: bootstrap handshake reply to rank %d: %w", h.Rank, err)
 	}
 	conn.SetDeadline(time.Time{})
@@ -967,7 +987,7 @@ func dialTCP(cfg TCPConfig) (*TCP, error) {
 	}
 
 	conn0.SetDeadline(time.Now().Add(cfg.Deadline))
-	if err := writeHello(conn0, hello{Rank: cfg.Rank, Size: cfg.Size, Addr: ln.Addr().String()}); err != nil {
+	if err := writeHello(conn0, hello{Rank: cfg.Rank, Size: cfg.Size, Epoch: cfg.Epoch, Addr: ln.Addr().String()}); err != nil {
 		conn0.Close()
 		return fail(fmt.Errorf("transport: rank %d bootstrap handshake: %w", cfg.Rank, err))
 	}
@@ -976,10 +996,10 @@ func dialTCP(cfg TCPConfig) (*TCP, error) {
 		conn0.Close()
 		return fail(fmt.Errorf("transport: rank %d bootstrap handshake reply: %w", cfg.Rank, err))
 	}
-	if h.Rank != 0 || h.Size != cfg.Size {
+	if h.Rank != 0 || h.Size != cfg.Size || h.Epoch != cfg.Epoch {
 		conn0.Close()
-		return fail(fmt.Errorf("transport: rank %d bootstrap reply from rank %d size %d, want rank 0 size %d",
-			cfg.Rank, h.Rank, h.Size, cfg.Size))
+		return fail(fmt.Errorf("transport: rank %d bootstrap reply from rank %d size %d epoch %d, want rank 0 size %d epoch %d",
+			cfg.Rank, h.Rank, h.Size, h.Epoch, cfg.Size, cfg.Epoch))
 	}
 	// The table may take as long as the slowest rank's join, not one
 	// write: bound it by the bootstrap deadline.
@@ -1009,10 +1029,10 @@ func dialTCP(cfg TCPConfig) (*TCP, error) {
 			return fail(fmt.Errorf("transport: rank %d dialing rank %d at %s: %w", cfg.Rank, r, addrs[r], err))
 		}
 		conn.SetDeadline(time.Now().Add(cfg.Deadline))
-		if err := writeHello(conn, hello{Rank: cfg.Rank, Size: cfg.Size}); err == nil {
+		if err := writeHello(conn, hello{Rank: cfg.Rank, Size: cfg.Size, Epoch: cfg.Epoch}); err == nil {
 			h, err = readHello(conn)
-			if err == nil && (h.Rank != r || h.Size != cfg.Size) {
-				err = fmt.Errorf("transport: mesh reply from rank %d size %d, want rank %d", h.Rank, h.Size, r)
+			if err == nil && (h.Rank != r || h.Size != cfg.Size || h.Epoch != cfg.Epoch) {
+				err = fmt.Errorf("transport: mesh reply from rank %d size %d epoch %d, want rank %d epoch %d", h.Rank, h.Size, h.Epoch, r, cfg.Epoch)
 			}
 		}
 		if err != nil {
@@ -1033,12 +1053,14 @@ func dialTCP(cfg TCPConfig) (*TCP, error) {
 			switch {
 			case h.Size != cfg.Size:
 				err = fmt.Errorf("world size %d, want %d", h.Size, cfg.Size)
+			case h.Epoch != cfg.Epoch:
+				err = fmt.Errorf("stale epoch %d, want %d", h.Epoch, cfg.Epoch)
 			case h.Rank <= cfg.Rank || h.Rank >= cfg.Size:
 				err = fmt.Errorf("unexpected mesh dial from rank %d", h.Rank)
 			case t.peers[h.Rank] != nil:
 				err = fmt.Errorf("rank %d connected twice", h.Rank)
 			default:
-				err = writeHello(conn, hello{Rank: cfg.Rank, Size: cfg.Size})
+				err = writeHello(conn, hello{Rank: cfg.Rank, Size: cfg.Size, Epoch: cfg.Epoch})
 			}
 		}
 		if err != nil {
@@ -1075,6 +1097,10 @@ func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
 
 // Size returns the world size.
 func (t *TCP) Size() int { return t.size }
+
+// Epoch returns the mesh incarnation this transport belongs to (0 for
+// fixed-size worlds); see TCPConfig.Epoch and the EpochReporter interface.
+func (t *TCP) Epoch() uint64 { return t.cfg.Epoch }
 
 // LocalRanks returns this process's single rank.
 func (t *TCP) LocalRanks() []int { return []int{t.rank} }
@@ -1256,7 +1282,7 @@ func (t *TCP) redialOnce(p *tcpPeer) error {
 		return err
 	}
 	conn.SetDeadline(time.Now().Add(t.cfg.Deadline))
-	if err := writeHello(conn, hello{Rank: t.rank, Size: t.size}); err != nil {
+	if err := writeHello(conn, hello{Rank: t.rank, Size: t.size, Epoch: t.cfg.Epoch}); err != nil {
 		conn.Close()
 		return err
 	}
@@ -1265,9 +1291,9 @@ func (t *TCP) redialOnce(p *tcpPeer) error {
 		conn.Close()
 		return err
 	}
-	if h.Rank != p.rank || h.Size != t.size {
+	if h.Rank != p.rank || h.Size != t.size || h.Epoch != t.cfg.Epoch {
 		conn.Close()
-		return fmt.Errorf("transport: reconnect reply from rank %d size %d, want rank %d", h.Rank, h.Size, p.rank)
+		return fmt.Errorf("transport: reconnect reply from rank %d size %d epoch %d, want rank %d epoch %d", h.Rank, h.Size, h.Epoch, p.rank, t.cfg.Epoch)
 	}
 	// The previous generation's reader must be fully drained before the
 	// resume snapshot, or frames it is still delivering arrive twice.
@@ -1337,12 +1363,12 @@ func (t *TCP) handleReaccept(conn net.Conn) {
 	}
 	conn.SetDeadline(time.Now().Add(t.cfg.Deadline))
 	h, err := readHello(conn)
-	if err != nil || h.Size != t.size || h.Rank <= t.rank || h.Rank >= t.size || t.peers[h.Rank] == nil {
+	if err != nil || h.Size != t.size || h.Epoch != t.cfg.Epoch || h.Rank <= t.rank || h.Rank >= t.size || t.peers[h.Rank] == nil {
 		conn.Close()
 		return
 	}
 	p := t.peers[h.Rank]
-	if err := writeHello(conn, hello{Rank: t.rank, Size: t.size}); err != nil {
+	if err := writeHello(conn, hello{Rank: t.rank, Size: t.size, Epoch: t.cfg.Epoch}); err != nil {
 		conn.Close()
 		return
 	}

@@ -150,6 +150,16 @@ type Mux interface {
 	Open(job uint32) (Transport, error)
 }
 
+// EpochReporter is implemented by transports (and channel views) that
+// belong to an epoch-versioned elastic world (internal/membership): Epoch
+// returns the mesh incarnation this transport was built for. Transports
+// without the method are epoch 0 — a fixed world that never resizes. The
+// runtime surfaces it through mpi.World.Epoch so jobs can report which
+// incarnation they ran on.
+type EpochReporter interface {
+	Epoch() uint64
+}
+
 // ErrReporter is implemented by transports and channel views that expose
 // their abort cause without attempting an operation: nil while healthy. The
 // job service uses it to tell a failed job (its channel poisoned) from a

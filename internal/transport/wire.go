@@ -41,8 +41,13 @@ const (
 	// compressed bytes (compress-then-CRC), keeping replay and corruption
 	// detection on the exact wire bytes. Version 4 added the job field: a
 	// channel id that lets independent jobs multiplex one standing mesh
-	// (frame demux by job; see Mux).
-	Version = 4
+	// (frame demux by job; see Mux). Version 5 added the epoch field to the
+	// handshake: elastic membership rebuilds the mesh under a new epoch
+	// number on every world change, and both sides of a connection must
+	// agree on it exactly — a straggler from an earlier incarnation is
+	// rejected at the handshake, so its frames can never reach a newer
+	// world (see TCPConfig.Epoch).
+	Version = 5
 
 	// frameHeaderLen is the encoded size of op+src+job+tag+seq+time+crc.
 	frameHeaderLen = 1 + 4 + 4 + 4 + 8 + 8 + 4
@@ -264,9 +269,13 @@ func WriteFrame(w io.Writer, f *Frame) error {
 // hello is the per-connection handshake. The dialer sends its hello first,
 // the acceptor validates it and replies with its own. Addr is the dialer's
 // advertised mesh listener ("" on mesh connections, where the listener is
-// already known).
+// already known). Epoch names the mesh incarnation the sender belongs to
+// (0 for fixed-size worlds that never resize); the receiver rejects any
+// mismatch, so frames from a stale epoch are transitively rejected — they
+// can only arrive over a connection whose handshake already failed.
 type hello struct {
 	Rank, Size int
+	Epoch      uint64
 	Addr       string
 }
 
@@ -276,11 +285,12 @@ func writeHello(w io.Writer, h hello) error {
 	if len(h.Addr) > maxHelloAddr {
 		return fmt.Errorf("transport: advertised address of %d bytes exceeds %d", len(h.Addr), maxHelloAddr)
 	}
-	buf := make([]byte, 0, 15+len(h.Addr))
+	buf := make([]byte, 0, 23+len(h.Addr))
 	buf = binary.BigEndian.AppendUint32(buf, Magic)
 	buf = append(buf, Version)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(h.Rank))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(h.Size))
+	buf = binary.BigEndian.AppendUint64(buf, h.Epoch)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(h.Addr)))
 	buf = append(buf, h.Addr...)
 	_, err := w.Write(buf)
@@ -288,7 +298,7 @@ func writeHello(w io.Writer, h hello) error {
 }
 
 func readHello(r io.Reader) (hello, error) {
-	var fixed [15]byte
+	var fixed [23]byte
 	if _, err := io.ReadFull(r, fixed[:]); err != nil {
 		return hello{}, fmt.Errorf("transport: handshake read: %w", err)
 	}
@@ -299,10 +309,11 @@ func readHello(r io.Reader) (hello, error) {
 		return hello{}, fmt.Errorf("transport: protocol version %d, want %d", v, Version)
 	}
 	h := hello{
-		Rank: int(binary.BigEndian.Uint32(fixed[5:])),
-		Size: int(binary.BigEndian.Uint32(fixed[9:])),
+		Rank:  int(binary.BigEndian.Uint32(fixed[5:])),
+		Size:  int(binary.BigEndian.Uint32(fixed[9:])),
+		Epoch: binary.BigEndian.Uint64(fixed[13:]),
 	}
-	alen := int(binary.BigEndian.Uint16(fixed[13:]))
+	alen := int(binary.BigEndian.Uint16(fixed[21:]))
 	if alen > maxHelloAddr {
 		return hello{}, fmt.Errorf("transport: advertised address of %d bytes exceeds %d", alen, maxHelloAddr)
 	}

@@ -22,6 +22,9 @@ type StageOpts struct {
 	Combiner core.CombineFunc
 	// PartialReduce replaces convert+reduce (Mimir only).
 	PartialReduce core.CombineFunc
+	// Checkpoint enables post-shuffle checkpointing / restore for the stage
+	// (Mimir only; see core.Config.Checkpoint).
+	Checkpoint *core.Checkpoint
 }
 
 // StageStats aggregates one rank's counters for one stage.
@@ -171,6 +174,7 @@ func (e *MimirEngine) RunStage(opts StageOpts, input core.Input, mapFn core.MapF
 		Hint:            opts.Hint,
 		Combiner:        opts.Combiner,
 		PartialReduce:   opts.PartialReduce,
+		Checkpoint:      opts.Checkpoint,
 		SerialAggregate: e.SerialAggregate,
 		OutOfCore:       e.OutOfCore,
 		SpillFS:         e.SpillFS,

@@ -30,21 +30,15 @@ const daemonRanks = 4
 
 // runJobsvcWorker is the re-exec entry point for MIMIR_TEST_MODE=
 // jobsvc-worker: join the daemon's mesh as the rank named by the
-// environment and serve jobs until the shutdown order (or mesh death).
+// environment and serve jobs — following the service across epochs via
+// remesh directives and admin rejoins — until retired or shut down.
 func runJobsvcWorker() {
 	cfg, ok, err := transport.FromEnv()
 	if !ok || err != nil {
 		fmt.Fprintln(os.Stderr, "jobsvc worker bootstrap:", err)
 		os.Exit(1)
 	}
-	tr, err := transport.NewTCP(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "jobsvc worker join:", err)
-		os.Exit(1)
-	}
-	err = jobsvc.RunWorker(tr, cfg.Rank, jobsvc.WorkerOptions{Exit: os.Exit})
-	tr.Close()
-	if err != nil {
+	if err := jobsvc.RunWorkerLoop(cfg, jobsvc.WorkerOptions{Exit: os.Exit}); err != nil {
 		fmt.Fprintln(os.Stderr, "jobsvc worker:", err)
 		os.Exit(1)
 	}
@@ -88,8 +82,15 @@ func TestDaemonMultiProcess(t *testing.T) {
 	}
 	t.Setenv(testModeEnv, "jobsvc-worker") // inherited by the spawned ranks
 
+	// Admin listener first: spawned workers get its address as their rejoin
+	// rendezvous, so it must exist before the mesh comes up.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
 	s, err := jobsvc.NewServer(jobsvc.Config{
-		Mesh: jobsvc.SpawnMesh(daemonRanks, transport.SpawnOptions{}),
+		Mesh: jobsvc.SpawnMesh(daemonRanks, addr, transport.SpawnOptions{}),
 		Logf: t.Logf,
 	})
 	if err != nil {
@@ -97,13 +98,8 @@ func TestDaemonMultiProcess(t *testing.T) {
 	}
 	defer s.Shutdown()
 
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- s.Serve(ln) }()
-	addr := ln.Addr().String()
 
 	// Phase 1: 20 submissions from 4 concurrent clients through the real
 	// admin socket. Seeds repeat across clients on purpose — equal specs

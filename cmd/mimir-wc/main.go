@@ -1,7 +1,7 @@
 // Command mimir-wc counts words in real files with the Mimir engine,
 // spreading the work over MPI ranks.
 //
-//	mimir-wc [-ranks 8] [-transport inproc|tcp] [-top 20] [-hint] [-pr] [-cps] file...
+//	mimir-wc [-ranks 8] [-transport inproc|tcp] [-top 20] [-hint] [-pr] [-cps] [-partitioner sample] file...
 //
 // With no files it reads standard input. The default transport runs the
 // ranks as goroutines in this process; -transport=tcp runs each rank as its
@@ -26,6 +26,7 @@ import (
 type wcOpts struct {
 	hint, pr, cps bool
 	workers       int
+	partitioner   mimir.Partitioner
 }
 
 func main() {
@@ -43,11 +44,16 @@ func main() {
 	cps := flag.Bool("cps", false, "use KV compression before the shuffle")
 	workers := flag.Int("workers", envOpts.Workers, "per-rank worker pool size (0 = all cores, 1 = serial; default from MIMIR_WORKERS)")
 	compress := flag.Bool("compress", envOpts.Compress, "with -transport=tcp: compress wire frames (flate, per frame)")
+	partArg := flag.String("partitioner", "", "key->rank strategy: hash (default) or sample (sampled weighted ranges)")
 	flag.Parse()
 	if envErr != nil {
 		log.Fatal(envErr)
 	}
-	opts := wcOpts{hint: *hint, pr: *pr, cps: *cps, workers: *workers}
+	part, err := mimir.PartitionerByName(*partArg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := wcOpts{hint: *hint, pr: *pr, cps: *cps, workers: *workers, partitioner: part}
 
 	// A copy of this binary forked by -transport=tcp joins the parent's
 	// world via the environment; it reads the same files and exits quietly
@@ -141,7 +147,7 @@ func runWC(world *mimir.World, lines [][]byte, opts wcOpts) (map[string]uint64, 
 	counts := map[string]uint64{}
 	gotRankZero := false
 	err := world.Run(func(c *mimir.Comm) error {
-		cfg := mimir.Config{Arena: arena, Workers: opts.workers}
+		cfg := mimir.Config{Arena: arena, Workers: opts.workers, Partitioner: opts.partitioner}
 		if opts.hint {
 			cfg.Hint = mimir.Hint{Key: mimir.StrZ(), Val: mimir.Fixed(8)}
 		}

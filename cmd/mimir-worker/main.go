@@ -13,8 +13,8 @@
 // Processes re-executed by -spawn find their world through the MIMIR_TCP_*
 // environment automatically. The counted output (one "word count" line per
 // distinct word, sorted) goes to rank 0's stdout and is byte-identical
-// across launch modes for the same -size/-bytes/-dist/-seed, which is what
-// the CI smoke test asserts.
+// across launch modes for the same -size/-bytes/-dist (or -zipf)/-seed and
+// -partitioner, which is what the CI smoke test asserts.
 //
 // -metrics FILE writes the per-rank distribution summary (phase times,
 // shuffle bytes, total time) as JSON; "-" means stdout. Worker processes
@@ -80,12 +80,15 @@ func main() {
 		window    = flag.Duration("reconnect-window", 0, "with -fault-policy retry: give up on an unreachable peer after this long (0 = default 10s)")
 		compress  = flag.Bool("compress", false, "compress TCP wire frames (flate, per frame); trades CPU for bytes on the wire")
 
-		bytes   = flag.Int64("bytes", 1<<20, "total corpus bytes across all ranks")
-		distArg = flag.String("dist", "uniform", "corpus distribution: uniform or wikipedia")
-		seed    = flag.Uint64("seed", 42, "corpus seed")
-		hint    = flag.Bool("hint", true, "use the KV-hint")
-		pr      = flag.Bool("pr", true, "use partial reduction")
-		cps     = flag.Bool("cps", false, "use KV compression")
+		bytes      = flag.Int64("bytes", 1<<20, "total corpus bytes across all ranks")
+		distArg    = flag.String("dist", "uniform", "corpus distribution: uniform or wikipedia")
+		zipf       = flag.Float64("zipf", -1, "use the zipf corpus with this exponent instead of -dist (>= 0 enables; 0 = uniform draw, 1.1 = heavy skew)")
+		contention = flag.Float64("contention", 0, "with -zipf: probability mass diverted to the hottest word (0..1)")
+		partArg    = flag.String("partitioner", "", "key->rank strategy: hash (default) or sample (sampled weighted ranges)")
+		seed       = flag.Uint64("seed", 42, "corpus seed")
+		hint       = flag.Bool("hint", true, "use the KV-hint")
+		pr         = flag.Bool("pr", true, "use partial reduction")
+		cps        = flag.Bool("cps", false, "use KV compression")
 		workers = flag.Int("workers", envOpts.Workers, "per-rank worker pool size (0 = all cores, 1 = serial; default from MIMIR_WORKERS)")
 		mpath   = flag.String("metrics", "", "write per-rank distribution JSON to this file (- = stdout)")
 	)
@@ -95,12 +98,18 @@ func main() {
 	}
 
 	cfg := driver.WordCountConfig{
-		TotalBytes: *bytes,
-		Seed:       *seed,
-		Hint:       *hint,
-		PR:         *pr,
-		CPS:        *cps,
-		Workers:    *workers,
+		TotalBytes:  *bytes,
+		Seed:        *seed,
+		Hint:        *hint,
+		PR:          *pr,
+		CPS:         *cps,
+		Workers:     *workers,
+		Partitioner: *partArg,
+	}
+	if *zipf >= 0 {
+		cfg.UseZipf = true
+		cfg.ZipfSkew = *zipf
+		cfg.Contention = *contention
 	}
 	switch *distArg {
 	case "uniform":
@@ -109,6 +118,9 @@ func main() {
 		cfg.Dist = workloads.Wikipedia
 	default:
 		log.Fatalf("unknown -dist %q (want uniform or wikipedia)", *distArg)
+	}
+	if _, err := mimir.PartitionerByName(*partArg); err != nil {
+		log.Fatal(err)
 	}
 
 	policy, err := mimir.ParseFaultPolicy(*policyArg)

@@ -14,6 +14,7 @@ import (
 
 	"mimir/internal/kvbuf"
 	"mimir/internal/mem"
+	"mimir/internal/partition"
 	"mimir/internal/pfs"
 	"mimir/internal/spill"
 )
@@ -188,11 +189,15 @@ type Config struct {
 	// spill policy the store serializes container access and only the map
 	// fan-out applies.
 	Workers int
-	// Partitioner overrides the hash function that assigns keys to ranks
-	// ("Users can provide alternative hash functions that suit their
-	// needs"). It must return a destination in [0, nranks) and be identical
-	// on every rank. Nil uses FNV-1a hashing of the key bytes.
-	Partitioner func(key []byte, nranks int) int
+	// Partitioner overrides the strategy that assigns keys to ranks ("Users
+	// can provide alternative hash functions that suit their needs"). Nil
+	// uses FNV-1a hashing of the key bytes (partition.HashPartitioner);
+	// partition.Func adapts a plain key→rank function; a planning
+	// partitioner such as partition.SamplePartitioner stages early map
+	// output, samples it, and plans weighted range boundaries on the job's
+	// collectives before the first exchange. Destinations must be in
+	// [0, nranks) and identical on every rank.
+	Partitioner partition.Partitioner
 	// Costs are the simulated compute costs.
 	Costs Costs
 }

@@ -7,6 +7,7 @@ import (
 	"mimir/internal/kvbuf"
 	"mimir/internal/mem"
 	"mimir/internal/mpi"
+	"mimir/internal/partition"
 	"mimir/internal/simtime"
 	"mimir/internal/spill"
 )
@@ -45,6 +46,15 @@ type Job struct {
 	prSeq uint64
 	// cpsBkt is the KV compression bucket, when enabled.
 	cpsBkt *kvbuf.Bucket
+
+	// Partition planning state. asn is the job's key→rank assignment (nil
+	// means legacy FNV-1a hashing). A planning partitioner stages early map
+	// output in planStage until the plan runs; splitSeq numbers a split
+	// key's emissions so they round-robin over the key's split set.
+	asn         partition.Assignment
+	planPending bool
+	planStage   *kvbuf.KVC
+	splitSeq    map[string]uint64
 
 	// Per-phase parallel-time accumulators for the worker pool (max rule).
 	parMap, parAggr, parConvert, parReduce parAcc
@@ -223,6 +233,10 @@ func (j *Job) cleanup() {
 		j.cpsBkt.Free()
 		j.cpsBkt = nil
 	}
+	if j.planStage != nil {
+		j.planStage.Free()
+		j.planStage = nil
+	}
 }
 
 // mapAggregate runs the interleaved map + aggregate phases (Figure 4).
@@ -295,6 +309,21 @@ func (j *Job) mapAggregate(input Input, mapFn MapFunc) error {
 		}
 	}
 
+	// Resolve the partitioning strategy. A non-planning partitioner (hash,
+	// func) yields its assignment immediately; a planning one (sample)
+	// stages early map output in a KV container until enough is buffered to
+	// sample, then plans on the job's collectives — which are every rank's
+	// first collectives after startup, before any exchange, so the SPMD
+	// collective order stays identical on all ranks.
+	if j.cfg.Partitioner != nil {
+		if j.cfg.Partitioner.NeedsPlan() {
+			j.planPending = true
+			j.planStage = newKVCForJob(j)
+		} else if j.asn, err = j.cfg.Partitioner.Plan(j.comm, nil, false); err != nil {
+			return err
+		}
+	}
+
 	if j.workers() > 1 {
 		// Worker-pool map: buffer input records, fan each batch out over
 		// contiguous chunks, replay the staged output in worker order —
@@ -328,6 +357,14 @@ func (j *Job) mapAggregate(input Input, mapFn MapFunc) error {
 		}
 		j.cpsBkt.Free()
 		j.cpsBkt = nil
+	}
+
+	// A small job may finish its input without ever filling the plan
+	// staging budget; plan now so the staged KVs flow into the exchange.
+	if j.planPending {
+		if err := j.runPlan(); err != nil {
+			return err
+		}
 	}
 
 	// Final rounds: keep exchanging until every rank agrees it has nothing
@@ -421,19 +458,31 @@ func (j *Job) drainCombiner() error {
 
 // insertSend places one encoded KV into the partition of its destination
 // rank, suspending the map for an exchange round when the partition is full.
+// While a plan is pending, KVs are staged in a container instead — no bytes
+// may enter the send buffer before the assignment exists, or they would ride
+// an exchange the planning collectives must precede.
 func (j *Job) insertSend(k, v []byte) error {
 	n := j.cfg.Hint.EncodedSize(k, v)
 	if n > j.partSize {
 		return fmt.Errorf("core: KV of %d bytes exceeds send partition of %d bytes", n, j.partSize)
 	}
-	var dest int
-	if j.cfg.Partitioner != nil {
-		dest = j.cfg.Partitioner(k, j.comm.Size())
-		if dest < 0 || dest >= j.comm.Size() {
-			return fmt.Errorf("core: partitioner returned rank %d of %d", dest, j.comm.Size())
+	if j.planPending {
+		if err := j.planStage.Append(k, v); err != nil {
+			return err
 		}
-	} else {
-		dest = int(kvbuf.HashKey(k) % uint64(j.comm.Size()))
+		// Plan once a comm buffer's worth is staged: enough to sample, small
+		// enough to keep staging memory bounded. Ranks reach this point at
+		// different times; the collectives inside Plan block until all ranks
+		// arrive (the slow ones plan at end of input), so this cannot
+		// deadlock and the collective order stays identical everywhere.
+		if j.planStage.Bytes() >= int64(j.cfg.CommBuf) {
+			return j.runPlan()
+		}
+		return nil
+	}
+	dest, err := j.destFor(k)
+	if err != nil {
+		return err
 	}
 	if j.partOffs[j.active][dest]+n > j.partSize {
 		if j.cfg.SerialAggregate {
@@ -455,6 +504,82 @@ func (j *Job) insertSend(k, v []byte) error {
 	j.partOffs[j.active][dest] += n
 	j.stats.MapOutKVs++
 	j.stats.MapOutBytes += int64(n)
+	return nil
+}
+
+// destFor resolves one KV's destination rank under the job's assignment
+// (legacy FNV-1a when none). Split keys advance a per-key sequence counter
+// so their emissions round-robin over the split set; the counters live on
+// the serial insert path (worker-pool output is replayed serially), so the
+// sequence — and every routed byte — is deterministic.
+func (j *Job) destFor(k []byte) (int, error) {
+	if j.asn == nil {
+		return int(kvbuf.HashKey(k) % uint64(j.comm.Size())), nil
+	}
+	var seq uint64
+	if j.splitSeq != nil && j.asn.SplitWidth(k) > 1 {
+		seq = j.splitSeq[string(k)]
+		j.splitSeq[string(k)] = seq + 1
+	}
+	dest := j.asn.Dest(k, seq)
+	if dest < 0 || dest >= j.comm.Size() {
+		return 0, fmt.Errorf("core: partitioner returned rank %d of %d", dest, j.comm.Size())
+	}
+	return dest, nil
+}
+
+// runPlan executes a planning partitioner: stride-sample the staged map
+// output, hand the sample to Plan (all-gather + broadcast on the job's
+// collectives, charged to the aggregate phase like every other exchange),
+// then drain the staged KVs through the now-routed insert path. Hot-key
+// splitting is enabled only when the job partially reduces (the merge
+// callback re-merges split partials) and does not checkpoint (checkpointed
+// state must stay repartitionable by key alone).
+func (j *Job) runPlan() error {
+	tStart := j.comm.Clock().Now()
+	defer func() {
+		j.stats.Phases.Aggregate += j.comm.Clock().Now() - tStart
+	}()
+	j.planPending = false
+	limit := partition.SampleKeysPerRank
+	if sc, ok := j.cfg.Partitioner.(interface{ SampleCap() int }); ok && sc.SampleCap() > 0 {
+		limit = sc.SampleCap()
+	}
+	total := int(j.planStage.NumKV())
+	stride := 1
+	if total > limit {
+		stride = (total + limit - 1) / limit
+	}
+	var sample [][]byte
+	var sampleBytes int
+	i := 0
+	err := j.planStage.Scan(func(k, _ []byte) error {
+		if i%stride == 0 {
+			sample = append(sample, append([]byte(nil), k...))
+			sampleBytes += len(k)
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Drawing the sample is a pass over the staged keys.
+	j.charge(float64(sampleBytes)*j.cfg.Costs.KVPerByte, simtime.Compute)
+	split := j.cfg.PartialReduce != nil && j.cfg.Checkpoint == nil
+	if j.asn, err = j.cfg.Partitioner.Plan(j.comm, sample, split); err != nil {
+		return err
+	}
+	if j.asn.Splits() {
+		j.splitSeq = make(map[string]uint64)
+	}
+	stage := j.planStage
+	j.planStage = nil
+	if err := stage.Drain(j.insertSend); err != nil {
+		stage.Free()
+		return err
+	}
+	stage.Free()
 	return nil
 }
 
@@ -633,8 +758,19 @@ func (j *Job) finish(reduceFn ReduceFunc) (*Output, error) {
 		defer func() {
 			j.stats.Phases.Reduce = j.comm.Clock().Now() - tReduce
 		}()
+		// Split keys hold partials on several ranks; route them to the
+		// key's home for re-merging via the partial-reduction callback.
+		// The assignment is broadcast-identical, so every rank constructs
+		// the merge (and runs its Alltoallv) iff any key is split.
+		var merge *splitMerge
+		if j.asn != nil && j.asn.Splits() {
+			merge = newSplitMerge(j)
+		}
 		out := kvbuf.NewKVCOn(j.pageStore(), j.cfg.Arena, j.cfg.PageSize, j.cfg.Hint)
 		err := j.prScan(func(k, v []byte) error {
+			if merge != nil && j.asn.SplitWidth(k) > 1 {
+				return merge.add(k, v)
+			}
 			j.charge(j.cfg.Costs.PerRecord+float64(len(k)+len(v))*j.cfg.Costs.ReducePerByte, simtime.Compute)
 			return out.Append(k, v)
 		})
@@ -645,6 +781,9 @@ func (j *Job) finish(reduceFn ReduceFunc) (*Output, error) {
 		if j.prShard != nil {
 			j.prShard.Free()
 			j.prShard = nil
+		}
+		if err == nil && merge != nil {
+			err = merge.mergeAppend(out)
 		}
 		if err != nil {
 			out.Free()

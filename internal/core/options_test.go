@@ -9,6 +9,7 @@ import (
 
 	"mimir/internal/mem"
 	"mimir/internal/mpi"
+	"mimir/internal/partition"
 )
 
 func TestCustomPartitioner(t *testing.T) {
@@ -23,7 +24,7 @@ func TestCustomPartitioner(t *testing.T) {
 	err := w.Run(func(c *mpi.Comm) error {
 		job := NewJob(c, Config{
 			Arena:       arena,
-			Partitioner: func(key []byte, nranks int) int { return 0 },
+			Partitioner: partition.Func(func(key []byte, nranks int) int { return 0 }),
 		})
 		var mine []Record
 		for i, l := range testText {
@@ -64,7 +65,7 @@ func TestPartitionerOutOfRange(t *testing.T) {
 	err := w.Run(func(c *mpi.Comm) error {
 		job := NewJob(c, Config{
 			Arena:       arena,
-			Partitioner: func(key []byte, nranks int) int { return nranks },
+			Partitioner: partition.Func(func(key []byte, nranks int) int { return nranks }),
 		})
 		_, err := job.Run(SliceInput([]Record{{Val: []byte("x")}}), wcMap, wcReduce)
 		return err

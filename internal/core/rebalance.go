@@ -36,8 +36,12 @@ type RepartitionStats struct {
 
 // RepartitionCheckpoint rewrites checkpoint name from oldSize per-rank files
 // to newSize per-rank files under the same name, rehashing every key with
-// the engine's default partitioner (kvbuf.HashKey mod size — jobs using a
-// custom Config.Partitioner must pass it as part; nil means the default).
+// the engine's default partitioner (kvbuf.HashKey mod size — jobs routed by
+// a custom non-planning Config.Partitioner must pass the equivalent key→rank
+// function as part; nil means the default). Planning partitioners never
+// checkpoint split state: the engine plans with splitting disabled whenever
+// Config.Checkpoint is set, so checkpointed keys always live whole on one
+// rank and remain repartitionable by key alone.
 // New payloads are staged under temporary names and validated against the
 // per-rank record-count headers before any old file is overwritten, so a
 // corrupt or truncated source checkpoint is detected before it is damaged.

@@ -9,6 +9,7 @@ import (
 	"mimir/internal/kvbuf"
 	"mimir/internal/mem"
 	"mimir/internal/mpi"
+	"mimir/internal/partition"
 	"mimir/internal/pfs"
 )
 
@@ -171,7 +172,7 @@ func TestRepartitionCheckpointCustomPartitioner(t *testing.T) {
 	everythingToLast := func(key []byte, nranks int) int { return nranks - 1 }
 	fs := ckptFS()
 	ck := Checkpoint{FS: fs, Name: "resize-part"}
-	if _, _, err := runCkptWCAt(t, fs, ck.Name, 2, func(cfg *Config) { cfg.Partitioner = everythingToLast }); err != nil {
+	if _, _, err := runCkptWCAt(t, fs, ck.Name, 2, func(cfg *Config) { cfg.Partitioner = partition.Func(everythingToLast) }); err != nil {
 		t.Fatal(err)
 	}
 	st, err := RepartitionCheckpoint(fs, nil, ck, kvbuf.DefaultHint(), 2, 3, everythingToLast)

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mimir/internal/simtime"
+)
+
+// splitMerge re-merges the partials of hot-split keys. A split key's KVs
+// fanned out over several ranks during the aggregate, so after partial
+// reduction each rank in the split set holds one partial per split key.
+// Every rank routes its partials to the key's home rank — Dest(key, 0) —
+// over one extra Alltoallv, and the home folds them together with the same
+// commutative partial-reduction callback, so the final unique-key output is
+// byte-identical (after canonical re-sort) to a run that never split.
+type splitMerge struct {
+	j    *Job
+	send [][]byte          // encoded partials bound for each key's home rank
+	own  map[string][]byte // partials homed on this rank, keyed by key bytes
+	keys []string          // insertion-ordered home keys (sorted before output)
+}
+
+func newSplitMerge(j *Job) *splitMerge {
+	return &splitMerge{
+		j:    j,
+		send: make([][]byte, j.comm.Size()),
+		own:  make(map[string][]byte),
+	}
+}
+
+// add routes one split-key partial: kept locally when this rank is the
+// key's home, otherwise encoded into the home's send slice. Each rank's
+// partial-reduction bucket holds at most one partial per key, so add sees
+// every split key at most once per rank.
+func (m *splitMerge) add(k, v []byte) error {
+	j := m.j
+	home := j.asn.Dest(k, 0)
+	if home < 0 || home >= j.comm.Size() {
+		return fmt.Errorf("core: split home rank %d of %d", home, j.comm.Size())
+	}
+	if home == j.comm.Rank() {
+		ks := string(k)
+		if _, dup := m.own[ks]; !dup {
+			m.keys = append(m.keys, ks)
+		}
+		m.own[ks] = append([]byte(nil), v...)
+		return nil
+	}
+	var err error
+	m.send[home], err = j.cfg.Hint.Encode(m.send[home], k, v)
+	return err
+}
+
+// mergeAppend exchanges the routed partials, folds arrivals into this
+// rank's own partials via the partial-reduction callback, and appends the
+// merged split keys to out in sorted key order (deterministic regardless of
+// arrival interleaving). Runs on every rank whenever the assignment splits
+// at all — the Alltoallv is collective.
+func (m *splitMerge) mergeAppend(out interface{ Append(k, v []byte) error }) error {
+	j := m.j
+	recv, err := j.comm.Alltoallv(m.send)
+	if err != nil {
+		return err
+	}
+	var recvBytes int
+	for src := 0; src < len(recv); src++ { // src-ascending: deterministic fold order
+		chunk := recv[src]
+		recvBytes += len(chunk)
+		for pos := 0; pos < len(chunk); {
+			k, v, n, err := j.cfg.Hint.Decode(chunk[pos:])
+			if err != nil {
+				return fmt.Errorf("core: bad split-merge chunk: %w", err)
+			}
+			ks := string(k)
+			if existing, ok := m.own[ks]; ok {
+				merged, err := j.cfg.PartialReduce(k, existing, v)
+				if err != nil {
+					return err
+				}
+				// The callback may return a slice aliasing either input;
+				// keep an owned copy.
+				m.own[ks] = append(m.own[ks][:0:0], merged...)
+			} else {
+				m.keys = append(m.keys, ks)
+				m.own[ks] = append([]byte(nil), v...)
+			}
+			pos += n
+		}
+	}
+	j.comm.Recycle(recv)
+	j.charge(float64(recvBytes)*j.cfg.Costs.ReducePerByte, simtime.Compute)
+	sort.Strings(m.keys)
+	for _, ks := range m.keys {
+		v := m.own[ks]
+		j.charge(j.cfg.Costs.PerRecord+float64(len(ks)+len(v))*j.cfg.Costs.ReducePerByte, simtime.Compute)
+		if err := out.Append([]byte(ks), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

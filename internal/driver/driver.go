@@ -14,6 +14,7 @@ import (
 	"mimir/internal/mem"
 	"mimir/internal/metrics"
 	"mimir/internal/mpi"
+	"mimir/internal/partition"
 	"mimir/internal/workloads"
 )
 
@@ -43,6 +44,14 @@ type WordCountConfig struct {
 	// service repartitions checkpoints when the world resizes
 	// (core.RepartitionCheckpoint) so restore works across sizes too.
 	Checkpoint *core.Checkpoint
+	// UseZipf switches the corpus from Dist to the parameterized zipf
+	// generator with ZipfSkew and Contention (workloads.ZipfTextInput).
+	UseZipf    bool
+	ZipfSkew   float64
+	Contention float64
+	// Partitioner selects the key→rank strategy by name ("" or "hash" =
+	// FNV-1a, "sample" = sampled weighted ranges; see partition.ByName).
+	Partitioner string
 }
 
 // WordCount runs cfg on every rank of world and gathers the result at rank
@@ -52,10 +61,15 @@ type WordCountConfig struct {
 // When sum is non-nil, every local rank records its stage stats and total
 // time into it (the per-rank distribution view).
 func WordCount(world *mpi.World, cfg WordCountConfig, sum *metrics.Summary) ([]byte, error) {
+	part, err := partition.ByName(cfg.Partitioner)
+	if err != nil {
+		return nil, err
+	}
 	var out []byte
-	err := world.Run(func(c *mpi.Comm) error {
+	err = world.Run(func(c *mpi.Comm) error {
 		eng := workloads.NewMimirEngine(c, mem.NewArena(cfg.MemBytes))
 		eng.Workers = cfg.Workers
+		eng.Partitioner = part
 		opts := workloads.StageOpts{Checkpoint: cfg.Checkpoint}
 		if cfg.Hint {
 			opts.Hint = workloads.WCHint()
@@ -66,7 +80,14 @@ func WordCount(world *mpi.World, cfg WordCountConfig, sum *metrics.Summary) ([]b
 		if cfg.CPS {
 			opts.Combiner = workloads.WordCountCombine
 		}
-		input := workloads.TextInput(nil, c.Clock(), cfg.Dist, cfg.Seed, cfg.TotalBytes, c.Rank(), c.Size())
+		var input core.Input
+		if cfg.UseZipf {
+			input = workloads.ZipfTextInput(nil, c.Clock(),
+				workloads.ZipfConfig{Skew: cfg.ZipfSkew, Contention: cfg.Contention},
+				cfg.Seed, cfg.TotalBytes, c.Rank(), c.Size())
+		} else {
+			input = workloads.TextInput(nil, c.Clock(), cfg.Dist, cfg.Seed, cfg.TotalBytes, c.Rank(), c.Size())
+		}
 		var mine bytes.Buffer
 		stats, err := eng.RunStage(opts, input, workloads.WordCountMap, workloads.WordCountReduce,
 			func(k, v []byte) error {
@@ -87,7 +108,7 @@ func WordCount(world *mpi.World, cfg WordCountConfig, sum *metrics.Summary) ([]b
 		if c.Rank() != 0 {
 			return nil
 		}
-		// Ranks hold disjoint (hash-partitioned) key sets in engine order;
+		// Ranks hold disjoint partitioned key sets in engine order;
 		// one global sort by word makes the output canonical.
 		var lines []string
 		for _, buf := range gathered {

@@ -32,6 +32,7 @@ var All = []struct {
 	{"fig13", Fig13, "Optimization ladder on Mira"},
 	{"fig14", Fig14, "Weak scalability of the ladder on Mira"},
 	{"figspill", FigSpill, "Out-of-core: Mimir spill vs MR-MPI modes"},
+	{"figskew", FigSkew, "Skew matrix: hash vs sample partitioning"},
 }
 
 // Fig1 reproduces Figure 1: single-node execution time of WordCount with

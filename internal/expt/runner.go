@@ -20,6 +20,7 @@ import (
 	"mimir/internal/metrics"
 	"mimir/internal/mpi"
 	"mimir/internal/mrmpi"
+	"mimir/internal/partition"
 	"mimir/internal/pfs"
 	"mimir/internal/platform"
 	"mimir/internal/spill"
@@ -38,12 +39,14 @@ const (
 // Bench selects one of the paper's benchmarks.
 type Bench int
 
-// The paper's three benchmarks (WordCount appears with two datasets).
+// The paper's three benchmarks (WordCount appears with two datasets), plus
+// the parameterized zipf WordCount the skew matrix sweeps.
 const (
 	WCUniform Bench = iota
 	WCWikipedia
 	OC
 	BFS
+	WCZipf
 )
 
 // String names the benchmark as the paper does.
@@ -57,6 +60,8 @@ func (b Bench) String() string {
 		return "OC"
 	case BFS:
 		return "BFS"
+	case WCZipf:
+		return "WC (Zipf)"
 	}
 	return fmt.Sprintf("Bench(%d)", int(b))
 }
@@ -93,6 +98,13 @@ type Spec struct {
 	Points    int64
 	Scale     int
 	Seed      uint64
+
+	// WCZipf knobs: the zipf exponent, the contention mass diverted to the
+	// hottest key, and the partitioner name ("", "hash", or "sample") —
+	// the skew-matrix axes (Mimir only; MR-MPI has no pluggable partitioner).
+	Skew        float64
+	Contention  float64
+	Partitioner string
 
 	// PerRank optionally collects per-rank distribution samples (phase
 	// times, shuffle and spill traffic, total rank time) for the ranks this
@@ -173,10 +185,15 @@ func RunWorld(world *mpi.World, spec Spec) Result {
 	spillFS := plat.SpillFSFor(spec.Nodes)
 	costs := plat.Costs()
 
+	part, err := partition.ByName(spec.Partitioner)
+	if err != nil {
+		return Result{Err: err}
+	}
+
 	opts := workloads.StageOpts{}
 	if spec.Hint {
 		switch spec.Bench {
-		case WCUniform, WCWikipedia:
+		case WCUniform, WCWikipedia, WCZipf:
 			opts.Hint = workloads.WCHint()
 		case OC:
 			opts.Hint = workloads.OCHint()
@@ -200,7 +217,7 @@ func RunWorld(world *mpi.World, spec Spec) Result {
 
 	var mu sync.Mutex
 	var res Result
-	err := world.Run(func(c *mpi.Comm) error {
+	err = world.Run(func(c *mpi.Comm) error {
 		arena := arenas[c.Rank()/rpn]
 		var eng workloads.Engine
 		switch spec.Engine {
@@ -215,6 +232,7 @@ func RunWorld(world *mpi.World, spec Spec) Result {
 			if me.Workers <= 0 {
 				me.Workers = 1 // machine-independent figures: never GOMAXPROCS
 			}
+			me.Partitioner = part
 			me.Costs = costs
 			eng = me
 		case MRMPI:
@@ -266,6 +284,12 @@ func runBench(eng workloads.Engine, fs *pfs.FS, spec Spec, opts workloads.StageO
 		}
 		r, err := workloads.RunWordCount(eng, fs, workloads.WCConfig{
 			Dist: dist, TotalBytes: spec.SizeBytes, Seed: spec.Seed,
+		}, opts)
+		return r.Stats, err
+	case WCZipf:
+		r, err := workloads.RunWordCount(eng, fs, workloads.WCConfig{
+			TotalBytes: spec.SizeBytes, Seed: spec.Seed,
+			Zipf: &workloads.ZipfConfig{Skew: spec.Skew, Contention: spec.Contention},
 		}, opts)
 		return r.Stats, err
 	case OC:

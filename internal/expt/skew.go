@@ -1,0 +1,159 @@
+package expt
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"mimir/internal/core"
+	"mimir/internal/platform"
+)
+
+// SkewSpec describes a skew-matrix sweep: the cross product of zipf
+// exponents, worker-pool sizes, rank counts, out-of-core policies, and
+// partitioner names, each cell one Run on the Comet platform with one rank
+// per node (so PeakPerProc is an exact per-rank arena peak, not a node
+// average).
+type SkewSpec struct {
+	Skews        []float64
+	Workers      []int
+	Ranks        []int
+	Policies     []core.OutOfCore
+	Partitioners []string
+	// SizeBytes is the scaled dataset size per cell (default 1 MiB — the
+	// paper-scale "1G" row).
+	SizeBytes  int64
+	Contention float64
+	Seed       uint64
+	// PR enables partial reduction (and with it hot-key splitting under the
+	// sample partitioner).
+	PR bool
+}
+
+func (s SkewSpec) withDefaults() SkewSpec {
+	if len(s.Skews) == 0 {
+		s.Skews = []float64{0, 0.8, 1.1}
+	}
+	if len(s.Workers) == 0 {
+		s.Workers = []int{1}
+	}
+	if len(s.Ranks) == 0 {
+		s.Ranks = []int{4}
+	}
+	if len(s.Policies) == 0 {
+		s.Policies = []core.OutOfCore{core.Error}
+	}
+	if len(s.Partitioners) == 0 {
+		s.Partitioners = []string{"hash", "sample"}
+	}
+	if s.SizeBytes == 0 {
+		s.SizeBytes = PaperSize("1G")
+	}
+	if s.Seed == 0 {
+		s.Seed = Seed
+	}
+	return s
+}
+
+// SkewCell is one measured cell of the matrix, shaped for per-cell JSON
+// artifacts (CI uploads one file per cell; see WriteSkewCells).
+type SkewCell struct {
+	Skew             float64 `json:"skew"`
+	Workers          int     `json:"workers"`
+	Ranks            int     `json:"ranks"`
+	OutOfCore        string  `json:"out_of_core"`
+	Partitioner      string  `json:"partitioner"`
+	TimeSec          float64 `json:"time_sec"`
+	PeakPerRankBytes int64   `json:"peak_per_rank_bytes"`
+	SpilledBytes     int64   `json:"spilled_bytes"`
+	Err              string  `json:"err,omitempty"`
+}
+
+// Name is the cell's stable identifier (and its artifact file stem).
+func (c SkewCell) Name() string {
+	return fmt.Sprintf("skew%.1f_w%d_r%d_%s_%s",
+		c.Skew, c.Workers, c.Ranks, c.OutOfCore, c.Partitioner)
+}
+
+// SkewMatrix runs the full cross product and returns one cell per run, in
+// deterministic sweep order (skew outermost, partitioner innermost).
+func SkewMatrix(s SkewSpec) []SkewCell {
+	s = s.withDefaults()
+	var cells []SkewCell
+	for _, skew := range s.Skews {
+		for _, workers := range s.Workers {
+			for _, ranks := range s.Ranks {
+				for _, ooc := range s.Policies {
+					for _, part := range s.Partitioners {
+						r := Run(Spec{
+							Plat: platform.Comet(), Nodes: ranks, RanksPerNode: 1,
+							Engine: Mimir, Hint: true, PR: s.PR, Workers: workers,
+							OutOfCore: ooc, Bench: WCZipf, SizeBytes: s.SizeBytes,
+							Seed: s.Seed, Skew: skew, Contention: s.Contention,
+							Partitioner: part,
+						})
+						cell := SkewCell{
+							Skew: skew, Workers: workers, Ranks: ranks,
+							OutOfCore: ooc.String(), Partitioner: part,
+							TimeSec:          r.Time,
+							PeakPerRankBytes: r.PeakPerProc,
+							SpilledBytes:     r.SpilledBytes,
+						}
+						if r.Err != nil {
+							cell.Err = r.Err.Error()
+							cell.TimeSec = 0 // NaN is not valid JSON
+						}
+						cells = append(cells, cell)
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// WriteSkewCells writes each cell as its own indented JSON file
+// (<cell name>.json) under dir, creating it if needed.
+func WriteSkewCells(dir string, cells []SkewCell) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		b, err := json.MarshalIndent(c, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(filepath.Join(dir, c.Name()+".json"), b, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FigSkew sweeps the zipf exponent at 4 ranks and plots hash vs sample
+// partitioning: under skew the sampled weighted ranges balance record
+// traffic across ranks, so both time and the busiest rank's arena peak drop
+// relative to FNV-1a hashing. PR stays off here — with partial reduction,
+// container memory tracks distinct keys rather than record traffic, which
+// is the regime hot-key splitting (exercised by the property battery)
+// addresses instead.
+func FigSkew() []*Figure {
+	f := &Figure{ID: "figskew", Title: "WordCount (Zipf) on Comet, 4 ranks: partitioner vs skew",
+		XLabel: "zipf s"}
+	cells := SkewMatrix(SkewSpec{
+		Skews: []float64{0, 0.8, 1.1}, Ranks: []int{4},
+		Partitioners: []string{"hash", "sample"}, Contention: 0.1,
+	})
+	for _, c := range cells {
+		r := Result{Time: c.TimeSec, PeakPerProc: c.PeakPerRankBytes, SpilledBytes: c.SpilledBytes}
+		if c.Err != "" {
+			r.Err = fmt.Errorf("%s", c.Err)
+			r.Time = math.NaN()
+		}
+		f.Add(c.Partitioner, fmt.Sprintf("%.1f", c.Skew), r)
+	}
+	return []*Figure{f}
+}

@@ -1,0 +1,106 @@
+package expt
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mimir/internal/core"
+)
+
+// TestSkewMatrixSmoke runs a small 2x2 corner of the matrix (skew {0, 1.1}
+// x partitioner {hash, sample}) and, when MIMIR_SKEW_OUT is set, writes the
+// per-cell JSON artifacts CI uploads.
+func TestSkewMatrixSmoke(t *testing.T) {
+	cells := SkewMatrix(SkewSpec{
+		Skews: []float64{0, 1.1}, Workers: []int{1}, Ranks: []int{4},
+		Policies: []core.OutOfCore{core.Error}, Partitioners: []string{"hash", "sample"},
+		SizeBytes: 64 << 10, Contention: 0.1, PR: true,
+	})
+	if len(cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(cells))
+	}
+	for _, c := range cells {
+		if c.Err != "" {
+			t.Errorf("cell %s failed: %s", c.Name(), c.Err)
+			continue
+		}
+		if c.TimeSec <= 0 || c.PeakPerRankBytes <= 0 {
+			t.Errorf("cell %s: time %v peak %v, want both positive", c.Name(), c.TimeSec, c.PeakPerRankBytes)
+		}
+		if c.SpilledBytes != 0 {
+			t.Errorf("cell %s spilled %d bytes under OutOfCore: Error", c.Name(), c.SpilledBytes)
+		}
+	}
+	if dir := os.Getenv("MIMIR_SKEW_OUT"); dir != "" {
+		if err := WriteSkewCells(dir, cells); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d cell artifacts to %s", len(cells), dir)
+	}
+}
+
+func TestSkewMatrixDeterministic(t *testing.T) {
+	spec := SkewSpec{Skews: []float64{1.1}, Ranks: []int{4},
+		Partitioners: []string{"sample"}, SizeBytes: 64 << 10, Contention: 0.1, PR: true}
+	a, b := SkewMatrix(spec), SkewMatrix(spec)
+	if len(a) != 1 || len(b) != 1 || a[0] != b[0] {
+		t.Fatalf("matrix not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestWriteSkewCellsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cells := []SkewCell{{Skew: 1.1, Workers: 1, Ranks: 4, OutOfCore: "error",
+		Partitioner: "sample", TimeSec: 2.5, PeakPerRankBytes: 1 << 20}}
+	if err := WriteSkewCells(dir, cells); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, cells[0].Name()+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got SkewCell
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != cells[0] {
+		t.Fatalf("round trip: got %+v want %+v", got, cells[0])
+	}
+}
+
+// TestFigSkewShape is the golden-shape acceptance test: at zipf 1.1 on 4
+// ranks the sample partitioner must beat hash on both simulated time and
+// per-rank peak memory, while at zero skew the two stay comparable.
+func TestFigSkewShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep")
+	}
+	figs := FigSkew()
+	if len(figs) != 1 {
+		t.Fatalf("got %d figures, want 1", len(figs))
+	}
+	f := figs[0]
+	get := func(series, x string) Point {
+		p, ok := f.Get(series, x)
+		if !ok {
+			t.Fatalf("missing point (%s, %s)", series, x)
+		}
+		if !p.OK() {
+			t.Fatalf("point (%s, %s) not in-memory: note %q", series, x, p.Note)
+		}
+		return p
+	}
+	hash, sample := get("hash", "1.1"), get("sample", "1.1")
+	if sample.Time >= hash.Time {
+		t.Errorf("zipf 1.1: sample time %.3fs not below hash %.3fs", sample.Time, hash.Time)
+	}
+	if sample.PeakGB >= hash.PeakGB {
+		t.Errorf("zipf 1.1: sample peak %.3fGB not below hash %.3fGB", sample.PeakGB, hash.PeakGB)
+	}
+	h0, s0 := get("hash", "0.0"), get("sample", "0.0")
+	if s0.Time > 1.25*h0.Time {
+		t.Errorf("zipf 0: sample time %.3fs more than 25%% over hash %.3fs", s0.Time, h0.Time)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"mimir/internal/membership"
 	"mimir/internal/metrics"
 	"mimir/internal/mpi"
+	"mimir/internal/partition"
 	"mimir/internal/pfs"
 	"mimir/internal/simtime"
 	"mimir/internal/transport"
@@ -78,6 +79,15 @@ type Spec struct {
 	// the new world size. Only fully in-process meshes can run checkpointed
 	// jobs — worker processes have no access to the server's simulated FS.
 	Checkpoint string `json:"checkpoint,omitempty"`
+	// Zipf, when set, swaps the corpus for the parameterized zipf generator
+	// at this skew exponent (s >= 0; Dist is then ignored). Contention
+	// diverts that fraction of word draws onto the single hottest key.
+	Zipf       *float64 `json:"zipf,omitempty"`
+	Contention float64  `json:"contention,omitempty"`
+	// Partitioner selects the key→rank strategy: "" or "hash" (FNV-1a,
+	// the default) or "sample" (map-side sampling + weighted ranges; the
+	// sample all-gather rides the job's own mux channel).
+	Partitioner string `json:"partitioner,omitempty"`
 }
 
 // normalize fills the defaults a zero field means.
@@ -104,6 +114,15 @@ func (s Spec) validate(size int, memCap int64) error {
 	}
 	if s.Crash != 0 && (s.Crash < 1 || s.Crash >= size) {
 		return fmt.Errorf("jobsvc: crash rank %d out of range [1, %d)", s.Crash, size)
+	}
+	if s.Zipf != nil && *s.Zipf < 0 {
+		return fmt.Errorf("jobsvc: negative zipf skew %v", *s.Zipf)
+	}
+	if s.Contention < 0 || s.Contention > 1 {
+		return fmt.Errorf("jobsvc: contention %v out of [0, 1]", s.Contention)
+	}
+	if _, err := partition.ByName(s.Partitioner); err != nil {
+		return err
 	}
 	return nil
 }
@@ -133,16 +152,23 @@ func (s Spec) config(size int) (driver.WordCountConfig, error) {
 	if err != nil {
 		return driver.WordCountConfig{}, err
 	}
-	return driver.WordCountConfig{
-		Dist:       dist,
-		TotalBytes: s.Bytes,
-		Seed:       s.Seed,
-		Hint:       s.Hint,
-		PR:         s.PR,
-		CPS:        s.CPS,
-		Workers:    s.Workers,
-		MemBytes:   s.MemBytes / int64(size),
-	}, nil
+	cfg := driver.WordCountConfig{
+		Dist:        dist,
+		TotalBytes:  s.Bytes,
+		Seed:        s.Seed,
+		Hint:        s.Hint,
+		PR:          s.PR,
+		CPS:         s.CPS,
+		Workers:     s.Workers,
+		MemBytes:    s.MemBytes / int64(size),
+		Partitioner: s.Partitioner,
+	}
+	if s.Zipf != nil {
+		cfg.UseZipf = true
+		cfg.ZipfSkew = *s.Zipf
+		cfg.Contention = s.Contention
+	}
+	return cfg, nil
 }
 
 // Job states as reported in events and status listings.

@@ -411,10 +411,14 @@ func TestServerTCPMeshConcurrentJobs(t *testing.T) {
 // TestSpecValidation pins the submit-time rejections.
 func TestSpecValidation(t *testing.T) {
 	s := newTestServer(t, LocalMesh(testRanks), 0)
+	negSkew := -0.5
 	bad := []Spec{
 		{Dist: "zipf"},
 		{MemBytes: -1},
 		{Crash: testRanks}, // out of range
+		{Zipf: &negSkew},
+		{Contention: 1.5},
+		{Partitioner: "range"},
 	}
 	for _, spec := range bad {
 		if _, _, err := s.Submit(spec); err == nil {
@@ -422,4 +426,33 @@ func TestSpecValidation(t *testing.T) {
 		}
 	}
 	var _ = workloads.Uniform // keep the import honest if specs change
+}
+
+// TestServerZipfSamplePartitionerJob runs a zipf-skewed, sample-partitioned
+// job through the full service path (queue, mux channel, collectives on the
+// job channel) and checks its output matches both the solo run and a
+// hash-partitioned job over the same corpus.
+func TestServerZipfSamplePartitionerJob(t *testing.T) {
+	skew := 1.1
+	spec := Spec{Bytes: 1 << 16, Seed: 21, Hint: true, PR: true,
+		Zipf: &skew, Contention: 0.1, Partitioner: "sample"}
+	want := reference(t, spec)
+	hashSpec := spec
+	hashSpec.Partitioner = "hash"
+	hashWant := reference(t, hashSpec)
+	if !bytes.Equal(want, hashWant) {
+		t.Fatal("sample and hash solo runs disagree on canonical output")
+	}
+	s := newTestServer(t, LocalMesh(testRanks), 0)
+	_, events, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := drain(t, events)
+	if final.Event != EvDone {
+		t.Fatalf("job settled as %s: %s", final.Event, final.Error)
+	}
+	if !bytes.Equal([]byte(final.Output), want) {
+		t.Fatalf("daemon output differs from solo run: %d vs %d bytes", len(final.Output), len(want))
+	}
 }

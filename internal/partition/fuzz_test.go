@@ -1,0 +1,133 @@
+package partition
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sort"
+	"testing"
+)
+
+// FuzzRangeBoundaries feeds arbitrary sampled key multisets (with
+// duplicates, empty keys, single-key and all-equal corpora) through
+// computePlan and checks the boundary invariants the engine relies on:
+// every key maps to exactly one in-range rank, boundaries are monotone,
+// range ownership is order-consistent, and no rank comes up empty unless
+// the sample has fewer distinct keys than ranks.
+func FuzzRangeBoundaries(f *testing.F) {
+	pack := func(keys ...string) []byte {
+		var out []byte
+		for _, k := range keys {
+			out = binary.LittleEndian.AppendUint32(out, uint32(len(k)))
+			out = append(out, k...)
+		}
+		return out
+	}
+	f.Add(uint8(4), pack("a", "b", "c", "d", "e", "f"), true)
+	f.Add(uint8(4), pack(), false)
+	f.Add(uint8(8), pack("solo"), true)
+	f.Add(uint8(3), pack("x", "x", "x", "x", "x"), true)
+	f.Add(uint8(2), pack("", "", "a"), false)
+	f.Add(uint8(16), pack("hot", "hot", "hot", "hot", "hot", "hot", "cold"), true)
+	f.Fuzz(func(t *testing.T, nranks uint8, raw []byte, split bool) {
+		size := int(nranks%32) + 1
+		keys, err := decodeSample(raw)
+		if err != nil {
+			t.Skip() // malformed sample encodings are not the target
+		}
+		// computePlan sorts its input in place; route against a copy.
+		in := make([][]byte, len(keys))
+		for i, k := range keys {
+			in[i] = append([]byte(nil), k...)
+		}
+		a := computePlan(in, size, split)
+
+		if a.size != size {
+			t.Fatalf("assignment size %d, want %d", a.size, size)
+		}
+		if len(keys) == 0 {
+			if !a.hash {
+				t.Fatal("empty sample did not fall back to hash")
+			}
+		} else if size > 1 && a.hash {
+			t.Fatal("non-empty sample fell back to hash")
+		}
+
+		// Monotone boundaries.
+		for i := 1; i < len(a.uppers); i++ {
+			if bytes.Compare(a.uppers[i-1], a.uppers[i]) > 0 {
+				t.Fatalf("uppers[%d] > uppers[%d]", i-1, i)
+			}
+		}
+
+		// Every key — sampled or not — maps to exactly one in-range rank,
+		// for every split sequence number.
+		probe := append([][]byte{[]byte(""), []byte("zz-unsampled")}, keys...)
+		for _, k := range probe {
+			d0 := a.Dest(k, 0)
+			if d0 < 0 || d0 >= size {
+				t.Fatalf("Dest(%q, 0) = %d out of [0,%d)", k, d0, size)
+			}
+			w := a.SplitWidth(k)
+			if w < 1 || w > size {
+				t.Fatalf("SplitWidth(%q) = %d", k, w)
+			}
+			if w == 1 && a.Dest(k, 7) != d0 {
+				t.Fatalf("unsplit key %q moved with seq", k)
+			}
+			for seq := uint64(0); seq < uint64(w)+2; seq++ {
+				if d := a.Dest(k, seq); d < 0 || d >= size {
+					t.Fatalf("Dest(%q, %d) = %d out of range", k, seq, d)
+				}
+			}
+			// Deterministic: same key+seq, same answer.
+			if a.Dest(k, 3) != a.Dest(k, 3) {
+				t.Fatalf("Dest(%q, 3) nondeterministic", k)
+			}
+		}
+
+		// Range ownership respects key order (ignoring splits and the
+		// hash fallback): sorted keys get nondecreasing range ranks.
+		if !a.hash {
+			sorted := make([][]byte, len(keys))
+			copy(sorted, keys)
+			sort.Slice(sorted, func(i, j int) bool { return bytes.Compare(sorted[i], sorted[j]) < 0 })
+			prev := 0
+			for _, k := range sorted {
+				r := a.rangeRank(k)
+				if r < prev {
+					t.Fatalf("range rank decreased: %q at %d after %d", k, r, prev)
+				}
+				prev = r
+			}
+		}
+
+		// No empty rank unless distinct keys < ranks.
+		distinct := map[string]bool{}
+		for _, k := range keys {
+			distinct[string(k)] = true
+		}
+		if len(distinct) >= size && !a.hash {
+			got := map[int]bool{}
+			for _, k := range keys {
+				got[a.rangeRank(k)] = true
+			}
+			if len(got) != size {
+				t.Fatalf("%d distinct keys over %d ranks left %d rank(s) empty",
+					len(distinct), size, size-len(got))
+			}
+		}
+
+		// The broadcast wire format round-trips losslessly.
+		dec, err := decodeAssignment(a.encode())
+		if err != nil {
+			t.Fatalf("decode(encode): %v", err)
+		}
+		for _, k := range probe {
+			for seq := uint64(0); seq < 4; seq++ {
+				if dec.Dest(k, seq) != a.Dest(k, seq) {
+					t.Fatalf("decoded assignment routes %q differently", k)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,123 @@
+// Package partition decides which rank owns each intermediate key. The
+// engine's historical behavior — FNV-1a hash of the key modulo the world
+// size — becomes HashPartitioner here; SamplePartitioner (sample.go) replaces
+// it with sampled, weighted range boundaries so zipf-hot keys stop
+// serializing one rank. The package depends only on kvbuf and a tiny Comm
+// surface, so core, the workloads engines, and the job service all share one
+// implementation.
+package partition
+
+import (
+	"fmt"
+
+	"mimir/internal/kvbuf"
+)
+
+// Comm is the collective surface a planning partitioner may use: the subset
+// of *mpi.Comm the sample all-gather and assignment broadcast need. It is
+// transport-agnostic — Local, TCP, and the job service's multiplexed job
+// channels all satisfy it through the same mpi runtime.
+type Comm interface {
+	Rank() int
+	Size() int
+	Allgatherv(b []byte) ([][]byte, error)
+	Bcast(b []byte, root int) ([]byte, error)
+}
+
+// Assignment is one job's planned key → rank routing. Implementations must
+// be identical on every rank (they are either stateless or decoded from one
+// broadcast buffer) and safe for concurrent readers.
+type Assignment interface {
+	// Dest returns the destination rank for key. seq is a per-key emission
+	// ordinal the caller maintains for keys whose SplitWidth exceeds 1: the
+	// n-th emission of a split key round-robins over the key's split set.
+	// For unsplit keys seq is ignored (callers pass 0).
+	Dest(key []byte, seq uint64) int
+	// SplitWidth returns how many ranks key fans out to (1 = unsplit). The
+	// first rank of the split set — Dest(key, 0) — is the key's home, where
+	// partial results re-merge after the reduce.
+	SplitWidth(key []byte) int
+	// Splits reports whether any key is split at all, so callers can skip
+	// the re-merge machinery (and its collective) entirely when not.
+	Splits() bool
+}
+
+// Partitioner is the pluggable key → rank strategy of a job. A planning
+// partitioner (NeedsPlan true) is handed a sample of map-side keys and may
+// issue collectives on the Comm — the engine guarantees Plan runs at the
+// same point in every rank's collective sequence, before the first exchange.
+// A non-planning partitioner must not touch the Comm beyond Rank/Size.
+type Partitioner interface {
+	// Name identifies the strategy in specs, flags, and experiment output.
+	Name() string
+	// NeedsPlan reports whether Plan requires a key sample and collectives.
+	// When false the engine plans immediately, before reading any input.
+	NeedsPlan() bool
+	// Plan computes the job's assignment. sample holds this rank's sampled
+	// keys (nil for non-planning partitioners); split permits hot-key
+	// splitting (the engine enables it only for commutative partial
+	// reduction without checkpointing, where re-merge is possible).
+	Plan(c Comm, sample [][]byte, split bool) (Assignment, error)
+}
+
+// HashPartitioner is the engine's default strategy made explicit: FNV-1a
+// hash of the key bytes modulo the world size, no planning, no collectives.
+type HashPartitioner struct{}
+
+// Name returns "hash".
+func (HashPartitioner) Name() string { return "hash" }
+
+// NeedsPlan returns false; hashing needs no sample.
+func (HashPartitioner) NeedsPlan() bool { return false }
+
+// Plan returns the stateless hash assignment for the world size.
+func (HashPartitioner) Plan(c Comm, _ [][]byte, _ bool) (Assignment, error) {
+	return hashAssignment{size: c.Size()}, nil
+}
+
+type hashAssignment struct{ size int }
+
+func (a hashAssignment) Dest(key []byte, _ uint64) int {
+	return int(kvbuf.HashKey(key) % uint64(a.size))
+}
+
+func (hashAssignment) SplitWidth([]byte) int { return 1 }
+func (hashAssignment) Splits() bool          { return false }
+
+// Func adapts a plain partition function ("users can provide alternative
+// hash functions that suit their needs") to the Partitioner interface. The
+// function must be deterministic and identical on every rank; the engine
+// validates its return is in [0, nranks).
+type Func func(key []byte, nranks int) int
+
+// Name returns "func".
+func (Func) Name() string { return "func" }
+
+// NeedsPlan returns false.
+func (Func) NeedsPlan() bool { return false }
+
+// Plan wraps the function for the world size.
+func (f Func) Plan(c Comm, _ [][]byte, _ bool) (Assignment, error) {
+	return funcAssignment{f: f, size: c.Size()}, nil
+}
+
+type funcAssignment struct {
+	f    Func
+	size int
+}
+
+func (a funcAssignment) Dest(key []byte, _ uint64) int { return a.f(key, a.size) }
+func (funcAssignment) SplitWidth([]byte) int           { return 1 }
+func (funcAssignment) Splits() bool                    { return false }
+
+// ByName resolves the partitioner names used by job specs and CLI flags:
+// "" or "hash" → HashPartitioner, "sample" → SamplePartitioner.
+func ByName(name string) (Partitioner, error) {
+	switch name {
+	case "", "hash":
+		return HashPartitioner{}, nil
+	case "sample":
+		return &SamplePartitioner{}, nil
+	}
+	return nil, fmt.Errorf("partition: unknown partitioner %q (want hash or sample)", name)
+}

@@ -1,0 +1,275 @@
+package partition
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"mimir/internal/kvbuf"
+)
+
+// fakeComm drives Plan without a transport: Allgatherv hands back the
+// pre-baked per-rank sample buffers, Bcast returns rank 0's buffer.
+type fakeComm struct {
+	rank, size int
+	gathered   [][]byte // indexed by rank; nil means "use the caller's b"
+	root       []byte   // captured by rank 0's Bcast
+}
+
+func (c *fakeComm) Rank() int { return c.rank }
+func (c *fakeComm) Size() int { return c.size }
+
+func (c *fakeComm) Allgatherv(b []byte) ([][]byte, error) {
+	out := make([][]byte, c.size)
+	copy(out, c.gathered)
+	out[c.rank] = b
+	return out, nil
+}
+
+func (c *fakeComm) Bcast(b []byte, root int) ([]byte, error) {
+	if c.rank == root {
+		c.root = b
+		return b, nil
+	}
+	return c.root, nil
+}
+
+func keysOf(ss ...string) [][]byte {
+	out := make([][]byte, len(ss))
+	for i, s := range ss {
+		out[i] = []byte(s)
+	}
+	return out
+}
+
+func TestHashPartitionerMatchesLegacyRouting(t *testing.T) {
+	asn, err := HashPartitioner{}.Plan(&fakeComm{size: 4}, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"", "a", "hello", "zipf-hot-key"} {
+		want := int(kvbuf.HashKey([]byte(k)) % 4)
+		if got := asn.Dest([]byte(k), 0); got != want {
+			t.Fatalf("Dest(%q) = %d, want %d", k, got, want)
+		}
+		if asn.SplitWidth([]byte(k)) != 1 {
+			t.Fatalf("hash SplitWidth(%q) != 1", k)
+		}
+	}
+	if asn.Splits() {
+		t.Fatal("hash assignment reports splits")
+	}
+}
+
+func TestFuncPartitioner(t *testing.T) {
+	f := Func(func(key []byte, nranks int) int { return len(key) % nranks })
+	asn, err := f.Plan(&fakeComm{size: 3}, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := asn.Dest([]byte("abcd"), 0); got != 1 {
+		t.Fatalf("Dest = %d, want 1", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for name, want := range map[string]string{"": "hash", "hash": "hash", "sample": "sample"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if p.Name() != want {
+			t.Fatalf("ByName(%q).Name() = %q, want %q", name, p.Name(), want)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("ByName(bogus) succeeded")
+	}
+}
+
+func TestComputePlanBalancesUniformSample(t *testing.T) {
+	var keys [][]byte
+	for i := 0; i < 100; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("key-%03d", i)))
+	}
+	a := computePlan(keys, 4, false)
+	counts := make([]int, 4)
+	for i := 0; i < 100; i++ {
+		counts[a.Dest([]byte(fmt.Sprintf("key-%03d", i)), 0)]++
+	}
+	for r, n := range counts {
+		if n != 25 {
+			t.Fatalf("rank %d got %d of 100 uniform keys (counts %v)", r, n, counts)
+		}
+	}
+}
+
+func TestComputePlanSkewedSampleIsolatesHotKey(t *testing.T) {
+	// One key carries half the sample; without splitting it must still own
+	// a range alone-ish, i.e. no other rank is starved.
+	var keys [][]byte
+	for i := 0; i < 50; i++ {
+		keys = append(keys, []byte("hot"))
+	}
+	for i := 0; i < 50; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("w%02d", i)))
+	}
+	a := computePlan(keys, 4, false)
+	seen := make(map[int]bool)
+	for i := 0; i < 50; i++ {
+		seen[a.Dest([]byte(fmt.Sprintf("w%02d", i)), 0)] = true
+	}
+	seen[a.Dest([]byte("hot"), 0)] = true
+	if len(seen) < 4 {
+		t.Fatalf("only %d of 4 ranks receive keys", len(seen))
+	}
+}
+
+func TestComputePlanHotKeySplit(t *testing.T) {
+	var keys [][]byte
+	for i := 0; i < 60; i++ {
+		keys = append(keys, []byte("hot"))
+	}
+	for i := 0; i < 40; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("w%02d", i)))
+	}
+	a := computePlan(keys, 4, true)
+	if !a.Splits() {
+		t.Fatal("60% key not split")
+	}
+	w := a.SplitWidth([]byte("hot"))
+	if w < 2 || w > 4 {
+		t.Fatalf("SplitWidth = %d, want 2..4", w)
+	}
+	// Round-robin over exactly w distinct ranks, with seq 0 at the home.
+	home := a.Dest([]byte("hot"), 0)
+	dests := make(map[int]bool)
+	for seq := uint64(0); seq < 16; seq++ {
+		d := a.Dest([]byte("hot"), seq)
+		if d < 0 || d >= 4 {
+			t.Fatalf("split dest %d out of range", d)
+		}
+		dests[d] = true
+	}
+	if len(dests) != w {
+		t.Fatalf("split fans to %d ranks, want %d", len(dests), w)
+	}
+	if !dests[home] {
+		t.Fatal("home rank not in split set")
+	}
+	// Unsplit keys are untouched.
+	if a.SplitWidth([]byte("w00")) != 1 {
+		t.Fatal("cold key reports split")
+	}
+}
+
+func TestComputePlanSplitNeverOnUniform(t *testing.T) {
+	var keys [][]byte
+	for i := 0; i < 100; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("key-%03d", i)))
+	}
+	if a := computePlan(keys, 4, true); a.Splits() {
+		t.Fatal("uniform sample produced splits")
+	}
+}
+
+func TestComputePlanFewerKeysThanRanks(t *testing.T) {
+	a := computePlan(keysOf("a", "b"), 4, false)
+	// Both keys route in range; the two extra ranks are empty by necessity.
+	da, db := a.Dest([]byte("a"), 0), a.Dest([]byte("b"), 0)
+	if da == db {
+		t.Fatalf("2 distinct keys on 4 ranks share rank %d", da)
+	}
+	// Unsampled keys still map somewhere valid.
+	if d := a.Dest([]byte("zzz"), 0); d < 0 || d >= 4 {
+		t.Fatalf("tail key routes to %d", d)
+	}
+}
+
+func TestComputePlanAllEqual(t *testing.T) {
+	a := computePlan(keysOf("x", "x", "x", "x"), 4, false)
+	if d := a.Dest([]byte("x"), 0); d < 0 || d >= 4 {
+		t.Fatalf("Dest = %d", d)
+	}
+}
+
+func TestSamplePlanRoundTrip(t *testing.T) {
+	// Simulate 3 ranks planning: bake ranks 1-2's encoded samples, run rank
+	// 0's Plan to produce the broadcast buffer, then decode on a follower
+	// and check both route identically.
+	s1 := encodeSample(keysOf("d", "e", "f"))
+	s2 := encodeSample(keysOf("g", "h", "i", "g", "g", "g", "g", "g"))
+	c0 := &fakeComm{rank: 0, size: 3, gathered: [][]byte{nil, s1, s2}}
+	p := &SamplePartitioner{}
+	a0, err := p.Plan(c0, keysOf("a", "b", "c"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := &fakeComm{rank: 1, size: 3, root: c0.root}
+	af, err := p.Plan(cf, keysOf("d", "e", "f"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "unseen"} {
+		for seq := uint64(0); seq < 4; seq++ {
+			if a0.Dest([]byte(k), seq) != af.Dest([]byte(k), seq) {
+				t.Fatalf("rank 0 and follower disagree on %q seq %d", k, seq)
+			}
+		}
+		if a0.SplitWidth([]byte(k)) != af.SplitWidth([]byte(k)) {
+			t.Fatalf("SplitWidth disagrees on %q", k)
+		}
+	}
+	if a0.Splits() != af.Splits() {
+		t.Fatal("Splits() disagrees across ranks")
+	}
+}
+
+func TestSamplePlanEmptySampleFallsBackToHash(t *testing.T) {
+	c := &fakeComm{rank: 0, size: 4, gathered: make([][]byte, 4)}
+	a, err := (&SamplePartitioner{}).Plan(c, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"a", "b", "zip"} {
+		want := int(kvbuf.HashKey([]byte(k)) % 4)
+		if got := a.Dest([]byte(k), 0); got != want {
+			t.Fatalf("fallback Dest(%q) = %d, want hash %d", k, got, want)
+		}
+	}
+}
+
+func TestAssignmentEncodeDecodeRoundTrip(t *testing.T) {
+	orig := computePlan(keysOf("a", "a", "a", "a", "b", "c", "d", "e"), 4, true)
+	dec, err := decodeAssignment(orig.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.size != orig.size || dec.hash != orig.hash {
+		t.Fatalf("header mismatch: %+v vs %+v", dec, orig)
+	}
+	if len(dec.uppers) != len(orig.uppers) {
+		t.Fatalf("uppers %d vs %d", len(dec.uppers), len(orig.uppers))
+	}
+	for i := range orig.uppers {
+		if !bytes.Equal(dec.uppers[i], orig.uppers[i]) {
+			t.Fatalf("upper %d mismatch", i)
+		}
+	}
+	if len(dec.splits) != len(orig.splits) {
+		t.Fatalf("splits %d vs %d", len(dec.splits), len(orig.splits))
+	}
+	for k, s := range orig.splits {
+		if dec.splits[k] != s {
+			t.Fatalf("split %q mismatch", k)
+		}
+	}
+}
+
+func TestDecodeAssignmentRejectsGarbage(t *testing.T) {
+	for _, buf := range [][]byte{nil, {9, 9}, {asnVersion}, {asnVersion, 0, 1, 0}} {
+		if _, err := decodeAssignment(buf); err == nil {
+			t.Fatalf("decoded garbage %v", buf)
+		}
+	}
+}

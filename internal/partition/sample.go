@@ -1,0 +1,348 @@
+// Sample-based weighted range partitioning: each rank samples its staged
+// map output, the samples are all-gathered, rank 0 computes weighted range
+// boundaries (hot keys optionally split over several ranks), and the
+// assignment is broadcast before the first exchange — the sample-sort round
+// structure of Goodrich et al.'s MRC simulations, applied to the shuffle.
+package partition
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"mimir/internal/kvbuf"
+)
+
+// SampleKeysPerRank caps how many keys each rank contributes to the plan.
+// 256 keys per rank resolve per-rank load to well under a percent of the
+// total at the world sizes the experiments run.
+const SampleKeysPerRank = 256
+
+// SamplePartitioner draws a map-side key sample on every rank, all-gathers
+// it, and routes by weighted range boundaries computed from the sampled key
+// frequencies. Keys hotter than a full rank's share are split over several
+// consecutive ranks when the job's reduce is commutative (the engine
+// re-merges the partials via its partial-reduction callback).
+type SamplePartitioner struct {
+	// MaxSample overrides SampleKeysPerRank (0 = default). Tests use small
+	// values to exercise coarse plans.
+	MaxSample int
+}
+
+// Name returns "sample".
+func (*SamplePartitioner) Name() string { return "sample" }
+
+// SampleCap returns the per-rank sample key limit the engine should draw.
+func (p *SamplePartitioner) SampleCap() int {
+	if p.MaxSample > 0 {
+		return p.MaxSample
+	}
+	return SampleKeysPerRank
+}
+
+// NeedsPlan returns true: the strategy is defined by its sample.
+func (*SamplePartitioner) NeedsPlan() bool { return true }
+
+// Plan all-gathers the per-rank samples, computes the weighted range
+// assignment on rank 0, and broadcasts it. Every rank must call Plan at the
+// same point of its collective sequence. An empty global sample (a job that
+// emitted nothing before planning) falls back to hash routing.
+func (p *SamplePartitioner) Plan(c Comm, sample [][]byte, split bool) (Assignment, error) {
+	gathered, err := c.Allgatherv(encodeSample(sample))
+	if err != nil {
+		return nil, fmt.Errorf("partition: sample all-gather: %w", err)
+	}
+	var planBuf []byte
+	if c.Rank() == 0 {
+		var keys [][]byte
+		for _, buf := range gathered {
+			ks, err := decodeSample(buf)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, ks...)
+		}
+		planBuf = computePlan(keys, c.Size(), split).encode()
+	}
+	buf, err := c.Bcast(planBuf, 0)
+	if err != nil {
+		return nil, fmt.Errorf("partition: assignment broadcast: %w", err)
+	}
+	return decodeAssignment(buf)
+}
+
+// encodeSample length-prefixes each sampled key.
+func encodeSample(keys [][]byte) []byte {
+	n := 0
+	for _, k := range keys {
+		n += 4 + len(k)
+	}
+	out := make([]byte, 0, n)
+	for _, k := range keys {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(k)))
+		out = append(out, k...)
+	}
+	return out
+}
+
+func decodeSample(buf []byte) ([][]byte, error) {
+	var keys [][]byte
+	for pos := 0; pos < len(buf); {
+		if pos+4 > len(buf) {
+			return nil, fmt.Errorf("partition: truncated sample buffer")
+		}
+		n := int(binary.LittleEndian.Uint32(buf[pos:]))
+		pos += 4
+		if pos+n > len(buf) {
+			return nil, fmt.Errorf("partition: sample key overruns buffer")
+		}
+		keys = append(keys, buf[pos:pos+n])
+		pos += n
+	}
+	return keys, nil
+}
+
+// splitInfo is one hot key's fan-out: the range rank it would have landed on
+// and the number of consecutive ranks (mod size) it spreads over.
+type splitInfo struct{ home, width int }
+
+// rangeAssignment routes by sorted upper-bound keys: rank r owns keys
+// k <= uppers[r] (and above uppers[r-1]); the last rank owns the open tail.
+// hash marks the empty-sample fallback.
+type rangeAssignment struct {
+	size   int
+	uppers [][]byte
+	splits map[string]splitInfo
+	hash   bool
+}
+
+func (a *rangeAssignment) rangeRank(key []byte) int {
+	lo, hi := 0, len(a.uppers)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(key, a.uppers[mid]) <= 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo // == len(uppers) means the open tail: rank size-1
+}
+
+// Dest implements Assignment.
+func (a *rangeAssignment) Dest(key []byte, seq uint64) int {
+	if a.hash {
+		return int(kvbuf.HashKey(key) % uint64(a.size))
+	}
+	if len(a.splits) > 0 {
+		if s, ok := a.splits[string(key)]; ok {
+			return (s.home + int(seq%uint64(s.width))) % a.size
+		}
+	}
+	return a.rangeRank(key)
+}
+
+// SplitWidth implements Assignment.
+func (a *rangeAssignment) SplitWidth(key []byte) int {
+	if s, ok := a.splits[string(key)]; ok {
+		return s.width
+	}
+	return 1
+}
+
+// Splits implements Assignment.
+func (a *rangeAssignment) Splits() bool { return len(a.splits) > 0 }
+
+// computePlan turns the gathered sample into weighted range boundaries.
+// Invariants (fuzzed by FuzzRangeBoundaries): boundaries are monotonically
+// non-decreasing, every key maps to exactly one rank, and when the sample
+// holds at least size distinct keys every rank is assigned a non-empty key
+// range. With split set, keys whose sampled mass exceeds a full rank's
+// average share fan out over proportionally many consecutive ranks.
+func computePlan(keys [][]byte, size int, split bool) *rangeAssignment {
+	a := &rangeAssignment{size: size}
+	if len(keys) == 0 || size <= 1 {
+		a.hash = len(keys) == 0
+		return a
+	}
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+	type group struct {
+		key   []byte
+		count int
+	}
+	var groups []group
+	for _, k := range keys {
+		if n := len(groups); n > 0 && bytes.Equal(groups[n-1].key, k) {
+			groups[n-1].count++
+			continue
+		}
+		groups = append(groups, group{key: k, count: 1})
+	}
+	S, G := len(keys), len(groups)
+
+	// Greedy weighted cuts: each boundary closes a rank once it holds its
+	// share of the remaining mass, always taking at least one group and
+	// always leaving one group per remaining rank (so ranks only come up
+	// empty when there are fewer distinct keys than ranks).
+	a.uppers = make([][]byte, size-1)
+	gi, acc := 0, 0
+	for r := 0; r < size-1; r++ {
+		remRanks := size - r
+		remGroups := G - gi
+		if remGroups <= 0 {
+			a.uppers[r] = a.uppers[r-1] // exhausted: empty range
+			continue
+		}
+		var end int
+		if remGroups <= remRanks {
+			end = gi + 1 // one group per remaining rank
+		} else {
+			target := acc + int(math.Ceil(float64(S-acc)/float64(remRanks)))
+			end = gi + 1
+			accR := groups[gi].count
+			for end < G-(remRanks-1) && acc+accR < target {
+				accR += groups[end].count
+				end++
+			}
+		}
+		for i := gi; i < end; i++ {
+			acc += groups[i].count
+		}
+		key := make([]byte, len(groups[end-1].key))
+		copy(key, groups[end-1].key)
+		a.uppers[r] = key
+		gi = end
+	}
+
+	if split {
+		avg := float64(S) / float64(size)
+		for _, g := range groups {
+			width := int(float64(g.count)/avg + 0.5)
+			if width < 2 {
+				continue
+			}
+			if width > size {
+				width = size
+			}
+			if a.splits == nil {
+				a.splits = make(map[string]splitInfo)
+			}
+			a.splits[string(g.key)] = splitInfo{home: a.rangeRank(g.key), width: width}
+		}
+	}
+	return a
+}
+
+// Assignment wire format (version 1):
+//
+//	u8 version | u8 flags (1 = hash fallback) | u32 size
+//	u32 nUppers | nUppers x (u32 len, bytes)
+//	u32 nSplits | nSplits x (u32 klen, key, u32 home, u32 width)
+const asnVersion = 1
+
+func (a *rangeAssignment) encode() []byte {
+	out := []byte{asnVersion, 0}
+	if a.hash {
+		out[1] = 1
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(a.size))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(a.uppers)))
+	for _, u := range a.uppers {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(u)))
+		out = append(out, u...)
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(a.splits)))
+	// Deterministic order so every rank decodes an identical table even if
+	// re-encoded (maps do not iterate deterministically).
+	splitKeys := make([]string, 0, len(a.splits))
+	for k := range a.splits {
+		splitKeys = append(splitKeys, k)
+	}
+	sort.Strings(splitKeys)
+	for _, k := range splitKeys {
+		s := a.splits[k]
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(k)))
+		out = append(out, k...)
+		out = binary.LittleEndian.AppendUint32(out, uint32(s.home))
+		out = binary.LittleEndian.AppendUint32(out, uint32(s.width))
+	}
+	return out
+}
+
+func decodeAssignment(buf []byte) (*rangeAssignment, error) {
+	pos := 0
+	u32 := func() (uint32, error) {
+		if pos+4 > len(buf) {
+			return 0, fmt.Errorf("partition: truncated assignment")
+		}
+		v := binary.LittleEndian.Uint32(buf[pos:])
+		pos += 4
+		return v, nil
+	}
+	take := func(n int) ([]byte, error) {
+		if pos+n > len(buf) {
+			return nil, fmt.Errorf("partition: assignment field overruns buffer")
+		}
+		b := make([]byte, n)
+		copy(b, buf[pos:pos+n])
+		pos += n
+		return b, nil
+	}
+	if len(buf) < 2 || buf[0] != asnVersion {
+		return nil, fmt.Errorf("partition: bad assignment header")
+	}
+	a := &rangeAssignment{hash: buf[1]&1 != 0}
+	pos = 2
+	size, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	a.size = int(size)
+	if a.size <= 0 {
+		return nil, fmt.Errorf("partition: assignment for %d ranks", a.size)
+	}
+	nUp, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(nUp); i++ {
+		n, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		u, err := take(int(n))
+		if err != nil {
+			return nil, err
+		}
+		a.uppers = append(a.uppers, u)
+	}
+	nSp, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(nSp); i++ {
+		n, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		k, err := take(int(n))
+		if err != nil {
+			return nil, err
+		}
+		home, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		width, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		if a.splits == nil {
+			a.splits = make(map[string]splitInfo)
+		}
+		a.splits[string(k)] = splitInfo{home: int(home), width: int(width)}
+	}
+	return a, nil
+}

@@ -128,6 +128,7 @@ func Scenarios() []Scenario {
 		{Name: "p2p-gather-any", Run: scP2PGatherAny},
 		{Name: "mux-jobs-interleaved", Run: scMuxInterleaved},
 		{Name: "mux-abort-isolated", Run: scMuxAbortIsolated},
+		{Name: "skewed-exchange", Run: scSkewedExchange},
 		{Name: "abort-propagates", ExpectAbort: true, Run: scAbort},
 	}
 }
@@ -451,6 +452,98 @@ func scP2PGatherAny(w *World) ([]byte, error) {
 			return nil, err
 		} else if ok {
 			return nil, errors.New("mailbox not empty after gather")
+		}
+	}
+	if _, _, err := w.Ep.Exchange(nil, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// scSkewedExchange is the sampling partitioner's traffic shape as a wire
+// contract: an all-gather-shaped round (every rank's key sample to every
+// rank), a broadcast-shaped round (rank 0's plan to everyone, all other
+// cells empty), then skewed data rounds where one rank receives an order of
+// magnitude more than its peers — the load imbalance a skewed keyspace
+// produces before the planned ranges rebalance it. On the default faulted
+// TCP build these are the mesh's first frames, so the injected delay, reset,
+// partial write, and corruption land mid-sample-gather and mid-plan; the
+// digest must still match the local transport byte for byte.
+func scSkewedExchange(w *World) ([]byte, error) {
+	var out []byte
+	// Round 1: the sample all-gather (equal small cells, tag 7001).
+	send, err := w.pfor(w.Size, func(dst int) ([]byte, error) {
+		return pattern(7001, w.Rank, dst, 48), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	recv, _, err := w.Ep.Exchange(send, 0)
+	if err != nil {
+		return nil, err
+	}
+	for src := range recv {
+		if err := checkPattern(recv[src], 7001, src, w.Rank, 48); err != nil {
+			return nil, fmt.Errorf("sample gather: %w", err)
+		}
+		out = append(out, recv[src]...)
+	}
+	// Round 2: the plan broadcast — only rank 0 contributes (tag 7002).
+	send, err = w.pfor(w.Size, func(dst int) ([]byte, error) {
+		if w.Rank != 0 {
+			return nil, nil
+		}
+		return pattern(7002, 0, dst, 160), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	recv, _, err = w.Ep.Exchange(send, 0)
+	if err != nil {
+		return nil, err
+	}
+	for src := range recv {
+		n := 0
+		if src == 0 {
+			n = 160
+		}
+		if err := checkPattern(recv[src], 7002, src, w.Rank, n); err != nil {
+			return nil, fmt.Errorf("plan broadcast: %w", err)
+		}
+		out = append(out, recv[src]...)
+	}
+	// Rounds 3..5: skewed exchanges — rank 0 is the hot destination.
+	for round := 0; round < 3; round++ {
+		round := round
+		send, err = w.pfor(w.Size, func(dst int) ([]byte, error) {
+			n := 64
+			if dst == 0 {
+				n = 1024 + 256*round
+			}
+			return pattern(7100+round, w.Rank, dst, n), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		recv, _, err = w.Ep.Exchange(send, 0)
+		if err != nil {
+			return nil, err
+		}
+		checked, err := w.pfor(len(recv), func(src int) ([]byte, error) {
+			n := 64
+			if w.Rank == 0 {
+				n = 1024 + 256*round
+			}
+			if err := checkPattern(recv[src], 7100+round, src, w.Rank, n); err != nil {
+				return nil, err
+			}
+			return recv[src], nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("skewed round %d: %w", round, err)
+		}
+		for _, c := range checked {
+			out = append(out, c...)
 		}
 	}
 	if _, _, err := w.Ep.Exchange(nil, 0); err != nil {

@@ -7,6 +7,7 @@ import (
 	"mimir/internal/metrics"
 	"mimir/internal/mpi"
 	"mimir/internal/mrmpi"
+	"mimir/internal/partition"
 	"mimir/internal/pfs"
 	"mimir/internal/spill"
 )
@@ -150,7 +151,10 @@ type MimirEngine struct {
 	// Workers is the rank's intra-process worker-pool size (see
 	// core.Config.Workers; 0 defaults to GOMAXPROCS, 1 is serial).
 	Workers int
-	Costs   core.Costs
+	// Partitioner is the key→rank strategy (see core.Config.Partitioner;
+	// nil is the default FNV-1a hash).
+	Partitioner partition.Partitioner
+	Costs       core.Costs
 }
 
 // NewMimirEngine creates a Mimir-backed engine for this rank.
@@ -182,6 +186,7 @@ func (e *MimirEngine) RunStage(opts StageOpts, input core.Input, mapFn core.MapF
 		SpillPrefetch:   e.SpillPrefetch,
 		SpillGroup:      e.SpillGroup,
 		Workers:         e.Workers,
+		Partitioner:     e.Partitioner,
 		Costs:           e.Costs,
 	})
 	out, err := job.Run(input, mapFn, reduceFn)

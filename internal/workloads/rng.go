@@ -16,6 +16,28 @@ type rng struct{ state uint64 }
 
 func newRNG(seed uint64) *rng { return &rng{state: seed ^ 0x9E3779B97F4A7C15} }
 
+// mix64 is the splitmix64 finalizer as a pure function: a bijective avalanche
+// mix used to derive independent stream seeds from structured coordinates
+// (seed, rank, record). Without it, nearby coordinates yield correlated
+// states (the weakness the graphgen shared-seed bug exposed).
+func mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// streamFor derives an independent RNG stream for one (rank, record)
+// coordinate of a dataset. Because the stream depends only on the logical
+// record index — not on which worker or how many workers generate it — any
+// sharding of the record space reproduces identical content, making
+// Workers>1 runs byte-identical to serial ones.
+func streamFor(seed uint64, rank int, record int64) *rng {
+	h := mix64(seed + 0x9E3779B97F4A7C15)
+	h = mix64(h ^ mix64(uint64(rank)+0xD1B54A32D192ED03))
+	h = mix64(h ^ mix64(uint64(record)+0x8CB92BA72F3D8DD7))
+	return &rng{state: h}
+}
+
 func (r *rng) next() uint64 {
 	r.state += 0x9E3779B97F4A7C15
 	z := r.state

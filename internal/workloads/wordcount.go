@@ -53,6 +53,10 @@ type WCConfig struct {
 	Dist       Distribution
 	TotalBytes int64
 	Seed       uint64
+	// Zipf, if set, replaces the Dist generator with the parameterized
+	// zipf key generator (ZipfTextInput): tunable skew and contention
+	// instead of the two fixed dataset shapes.
+	Zipf *ZipfConfig
 }
 
 // WCResult summarizes one rank's view of a WordCount run.
@@ -66,7 +70,12 @@ type WCResult struct {
 // charges input reading.
 func RunWordCount(e Engine, fs *pfs.FS, cfg WCConfig, opts StageOpts) (WCResult, error) {
 	comm := e.Comm()
-	input := TextInput(fs, comm.Clock(), cfg.Dist, cfg.Seed, cfg.TotalBytes, comm.Rank(), comm.Size())
+	var input core.Input
+	if cfg.Zipf != nil {
+		input = ZipfTextInput(fs, comm.Clock(), *cfg.Zipf, cfg.Seed, cfg.TotalBytes, comm.Rank(), comm.Size())
+	} else {
+		input = TextInput(fs, comm.Clock(), cfg.Dist, cfg.Seed, cfg.TotalBytes, comm.Rank(), comm.Size())
+	}
 	var res WCResult
 	stats, err := e.RunStage(opts, input, WordCountMap, WordCountReduce,
 		func(k, v []byte) error {

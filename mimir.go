@@ -30,6 +30,7 @@ import (
 	"mimir/internal/kvbuf"
 	"mimir/internal/mem"
 	"mimir/internal/mpi"
+	"mimir/internal/partition"
 	"mimir/internal/pfs"
 	"mimir/internal/platform"
 	"mimir/internal/simtime"
@@ -76,6 +77,26 @@ type (
 	// SpillStats counts a job's out-of-core activity (Output.Stats.Spill).
 	SpillStats = spill.Stats
 )
+
+// Key partitioning (see internal/partition). Config.Partitioner selects the
+// key→rank strategy; nil keeps the default FNV-1a hash.
+type (
+	// Partitioner maps keys to destination ranks; planning partitioners
+	// (SamplePartitioner) run collectives before the job's first exchange.
+	Partitioner = partition.Partitioner
+	// HashPartitioner is the default FNV-1a modulo-size partitioner, made
+	// explicit.
+	HashPartitioner = partition.HashPartitioner
+	// SamplePartitioner partitions by sampled weighted key ranges, splitting
+	// hot keys across ranks when the job has a commutative PartialReduce.
+	SamplePartitioner = partition.SamplePartitioner
+	// PartitionFunc adapts a plain key→rank function to a Partitioner.
+	PartitionFunc = partition.Func
+)
+
+// PartitionerByName resolves "", "hash", or "sample" (the CLI/job-spec
+// spelling) to a Partitioner.
+var PartitionerByName = partition.ByName
 
 // Out-of-core policies (Config.OutOfCore).
 const (

@@ -1,4 +1,5 @@
-// Command mimir-worker runs a distributed WordCount over the deterministic
+// Command mimir-worker runs one distributed job — WordCount by default, or
+// any -job kind (terasort, pagerank, kmeans, bfs) — over its deterministic
 // synthetic corpus, with each MPI rank in its own OS process connected by
 // the TCP transport — the multi-process counterpart of the in-process
 // worlds every other command uses.
@@ -11,10 +12,10 @@
 //	mimir-worker -inproc 4             # in-process reference run (no TCP)
 //
 // Processes re-executed by -spawn find their world through the MIMIR_TCP_*
-// environment automatically. The counted output (one "word count" line per
-// distinct word, sorted) goes to rank 0's stdout and is byte-identical
-// across launch modes for the same -size/-bytes/-dist (or -zipf)/-seed and
-// -partitioner, which is what the CI smoke test asserts.
+// environment automatically. The canonical output (one sorted line per
+// record; see driver.RunJob for the per-kind formats) goes to rank 0's
+// stdout and is byte-identical across launch modes for the same job
+// parameters, which is what the CI smoke tests assert.
 //
 // -metrics FILE writes the per-rank distribution summary (phase times,
 // shuffle bytes, total time) as JSON; "-" means stdout. Worker processes
@@ -80,6 +81,15 @@ func main() {
 		window    = flag.Duration("reconnect-window", 0, "with -fault-policy retry: give up on an unreachable peer after this long (0 = default 10s)")
 		compress  = flag.Bool("compress", false, "compress TCP wire frames (flate, per frame); trades CPU for bytes on the wire")
 
+		job        = flag.String("job", "", "job kind: wordcount (default), terasort, pagerank, kmeans, or bfs")
+		rows       = flag.Int64("rows", 0, "terasort: total rows across all ranks (0 = default)")
+		scale      = flag.Int("scale", 0, "pagerank/bfs: log2 of the vertex count (0 = default)")
+		edgeFactor = flag.Int("edgefactor", 0, "pagerank/bfs: edges per vertex (0 = default)")
+		points     = flag.Int64("points", 0, "kmeans: total points across all ranks (0 = default)")
+		kArg       = flag.Int("k", 0, "kmeans: cluster count (0 = default)")
+		dims       = flag.Int("dims", 0, "kmeans: point dimensionality (0 = default)")
+		rounds     = flag.Int("rounds", 0, "iterative jobs: max rounds (0 = workload default)")
+
 		bytes      = flag.Int64("bytes", 1<<20, "total corpus bytes across all ranks")
 		distArg    = flag.String("dist", "uniform", "corpus distribution: uniform or wikipedia")
 		zipf       = flag.Float64("zipf", -1, "use the zipf corpus with this exponent instead of -dist (>= 0 enables; 0 = uniform draw, 1.1 = heavy skew)")
@@ -89,15 +99,16 @@ func main() {
 		hint       = flag.Bool("hint", true, "use the KV-hint")
 		pr         = flag.Bool("pr", true, "use partial reduction")
 		cps        = flag.Bool("cps", false, "use KV compression")
-		workers = flag.Int("workers", envOpts.Workers, "per-rank worker pool size (0 = all cores, 1 = serial; default from MIMIR_WORKERS)")
-		mpath   = flag.String("metrics", "", "write per-rank distribution JSON to this file (- = stdout)")
+		workers    = flag.Int("workers", envOpts.Workers, "per-rank worker pool size (0 = all cores, 1 = serial; default from MIMIR_WORKERS)")
+		mpath      = flag.String("metrics", "", "write per-rank distribution JSON to this file (- = stdout)")
 	)
 	flag.Parse()
 	if envErr != nil {
 		log.Fatal(envErr)
 	}
 
-	cfg := driver.WordCountConfig{
+	cfg := driver.JobConfig{
+		Kind:        *job,
 		TotalBytes:  *bytes,
 		Seed:        *seed,
 		Hint:        *hint,
@@ -105,6 +116,13 @@ func main() {
 		CPS:         *cps,
 		Workers:     *workers,
 		Partitioner: *partArg,
+		Rows:        *rows,
+		Scale:       *scale,
+		EdgeFactor:  *edgeFactor,
+		Points:      *points,
+		K:           *kArg,
+		Dims:        *dims,
+		MaxRounds:   *rounds,
 	}
 	if *zipf >= 0 {
 		cfg.UseZipf = true
@@ -118,6 +136,15 @@ func main() {
 		cfg.Dist = workloads.Wikipedia
 	default:
 		log.Fatalf("unknown -dist %q (want uniform or wikipedia)", *distArg)
+	}
+	if *job != "" {
+		known := false
+		for _, k := range driver.JobKinds() {
+			known = known || k == *job
+		}
+		if !known {
+			log.Fatalf("unknown -job %q (want one of %v)", *job, driver.JobKinds())
+		}
 	}
 	if _, err := mimir.PartitionerByName(*partArg); err != nil {
 		log.Fatal(err)
@@ -206,11 +233,11 @@ func main() {
 	}
 }
 
-// runJob executes the WordCount on world, prints the gathered result on the
-// process hosting rank 0, and closes the world.
-func runJob(world *mimir.World, cfg driver.WordCountConfig, mpath string) {
+// runJob executes the configured job on world, prints the gathered
+// canonical result on the process hosting rank 0, and closes the world.
+func runJob(world *mimir.World, cfg driver.JobConfig, mpath string) {
 	sum := metrics.NewSummary()
-	out, err := driver.WordCount(world, cfg, sum)
+	out, err := driver.RunJob(world, cfg, sum)
 	if err != nil {
 		world.Close()
 		log.Fatal(err)

@@ -3,6 +3,8 @@
 // their lifecycle, and fetches daemon status.
 //
 //	mimirctl -addr 127.0.0.1:7077 submit -bytes 1048576 -dist uniform -seed 42
+//	mimirctl -addr 127.0.0.1:7077 submit -job pagerank -scale 10 -seed 7
+//	mimirctl -addr 127.0.0.1:7077 submit -job terasort -rows 100000
 //	mimirctl -addr 127.0.0.1:7077 status
 //	mimirctl -addr 127.0.0.1:7077 shutdown
 //
@@ -146,7 +148,8 @@ func printView(view *membership.View) {
 func submit(cl *jobsvc.Client, args []string) {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	var spec jobsvc.Spec
-	fs.Int64Var(&spec.Bytes, "bytes", 1<<20, "total corpus bytes across all ranks")
+	fs.StringVar(&spec.Job, "job", "", "job kind: wordcount (default), terasort, pagerank, kmeans, or bfs")
+	fs.Int64Var(&spec.Bytes, "bytes", 1<<20, "total corpus bytes across all ranks (wordcount)")
 	fs.StringVar(&spec.Dist, "dist", "uniform", "corpus distribution: uniform or wikipedia")
 	fs.Uint64Var(&spec.Seed, "seed", 42, "corpus seed")
 	fs.BoolVar(&spec.Hint, "hint", true, "use the KV-hint")
@@ -155,6 +158,14 @@ func submit(cl *jobsvc.Client, args []string) {
 	fs.IntVar(&spec.Workers, "workers", 0, "per-rank worker pool size (0 = all cores)")
 	fs.Int64Var(&spec.MemBytes, "mem", 0, "job memory floor in bytes: admitted only once the daemon can reserve this much (0 = no reservation)")
 	fs.IntVar(&spec.Crash, "crash", 0, "fault-injection: this worker rank dies when the job starts (tests only)")
+	fs.IntVar(&spec.CrashRound, "crash-round", 0, "fault-injection: with -crash, the rank dies at the top of this round of an iterative job instead of at job start")
+	fs.Int64Var(&spec.Rows, "rows", 0, "terasort: total rows across all ranks (0 = default)")
+	fs.IntVar(&spec.Scale, "scale", 0, "pagerank/bfs: log2 of the vertex count (0 = default)")
+	fs.IntVar(&spec.EdgeFactor, "edgefactor", 0, "pagerank/bfs: edges per vertex (0 = default)")
+	fs.Int64Var(&spec.Points, "points", 0, "kmeans: total points across all ranks (0 = default)")
+	fs.IntVar(&spec.K, "k", 0, "kmeans: cluster count (0 = default)")
+	fs.IntVar(&spec.Dims, "dims", 0, "kmeans: point dimensionality (0 = default)")
+	fs.IntVar(&spec.Rounds, "rounds", 0, "iterative jobs: max rounds (0 = workload default)")
 	opath := fs.String("o", "", "write the counted output to this file instead of stdout")
 	mpath := fs.String("metrics", "", "write the job's merged per-rank metrics JSON to this file (- = stdout)")
 	fs.Parse(args)

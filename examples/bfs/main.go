@@ -1,8 +1,9 @@
 // Breadth-first search on a Graph500-style R-MAT graph (the paper's BFS
 // benchmark): one map-only MapReduce stage partitions the edge list, then
-// one map-only stage per BFS level expands the frontier, with KV-hints
-// (fixed 8-byte vertices) and KV compression (candidate-parent
-// deduplication).
+// the shared multi-round driver (workloads.RunRounds) runs one map-only
+// stage per BFS level — the frontier size is the round's convergence vote —
+// with KV-hints (fixed 8-byte vertices) and KV compression
+// (candidate-parent deduplication).
 //
 //	go run ./examples/bfs
 package main
@@ -39,7 +40,7 @@ func main() {
 		eng.PageSize = plat.PageSize
 		eng.CommBuf = plat.PageSize
 		eng.Costs = plat.Costs()
-		res, err := workloads.RunBFS(eng, inputFS, cfg, opts)
+		res, err := workloads.RunBFS(eng, inputFS, cfg, opts, workloads.MultiRound{})
 		results[c.Rank()] = res
 		return err
 	})

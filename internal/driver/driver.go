@@ -8,7 +8,6 @@ package driver
 import (
 	"bytes"
 	"fmt"
-	"sort"
 
 	"mimir/internal/core"
 	"mimir/internal/mem"
@@ -110,37 +109,14 @@ func WordCount(world *mpi.World, cfg WordCountConfig, sum *metrics.Summary) ([]b
 		}
 		// Ranks hold disjoint partitioned key sets in engine order;
 		// one global sort by word makes the output canonical.
-		var lines []string
-		for _, buf := range gathered {
-			for _, l := range bytes.Split(buf, []byte{'\n'}) {
-				if len(l) > 0 {
-					lines = append(lines, string(l))
-				}
-			}
-		}
-		sort.Strings(lines)
-		var all bytes.Buffer
-		for _, l := range lines {
-			all.WriteString(l)
-			all.WriteByte('\n')
-		}
-		out = all.Bytes()
+		out = canonicalize(gathered)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	// Transports that recover from faults report how hard they had to work;
-	// a run that needed reconnects still produced byte-identical output, and
-	// these counters are the proof it wasn't free.
 	if sum != nil {
-		if fs, ok := world.FaultStats(); ok {
-			sum.Add("net-link-failures", float64(fs.LinkFailures))
-			sum.Add("net-reconnects", float64(fs.Reconnects))
-			sum.Add("net-dial-retries", float64(fs.DialRetries))
-			sum.Add("net-replayed-frames", float64(fs.ReplayedFrames))
-			sum.Add("net-replayed-bytes", float64(fs.ReplayedBytes))
-		}
+		recordFaultStats(world, sum)
 	}
 	if out == nil && len(world.LocalRanks()) > 0 && world.LocalRanks()[0] == 0 {
 		out = []byte{}

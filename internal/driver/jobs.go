@@ -1,0 +1,298 @@
+package driver
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"mimir/internal/core"
+	"mimir/internal/mem"
+	"mimir/internal/metrics"
+	"mimir/internal/mpi"
+	"mimir/internal/partition"
+	"mimir/internal/pfs"
+	"mimir/internal/workloads"
+)
+
+// Job kinds RunJob dispatches on.
+const (
+	JobWordCount = "wordcount"
+	JobTeraSort  = "terasort"
+	JobPageRank  = "pagerank"
+	JobKMeans    = "kmeans"
+	JobBFS       = "bfs"
+)
+
+// JobKinds lists every kind RunJob accepts, in presentation order.
+func JobKinds() []string {
+	return []string{JobWordCount, JobTeraSort, JobPageRank, JobKMeans, JobBFS}
+}
+
+// JobConfig describes one distributed job of any kind. Like
+// WordCountConfig, every input is regenerated per rank from the seed, so
+// any two worlds of the same size and config process the same data and the
+// gathered output is byte-identical whatever transport, process layout,
+// worker count, or spill policy ran it.
+type JobConfig struct {
+	// Kind selects the job (see JobKinds; "" means wordcount).
+	Kind string
+	Seed uint64
+	// Engine knobs, as in WordCountConfig.
+	Hint, PR bool
+	Workers  int
+	MemBytes int64
+	// PageSize / CommBuf override the engine's container page and exchange
+	// buffer sizes (0 = engine defaults). Tests shrink them to create spill
+	// pressure with small corpora; output bytes are identical either way.
+	PageSize, CommBuf int
+	// Partitioner names the key→rank strategy. TeraSort always sorts on the
+	// sampling partitioner and the graph jobs always keep vertex state on
+	// the hash, whatever is named here; k-means honors it fully.
+	Partitioner string
+	// OutOfCore selects the engines' memory-pressure policy. The spill
+	// policies get a per-process simulated PFS as the spill target, so
+	// multi-round jobs exercise evict/restore across round boundaries.
+	OutOfCore core.OutOfCore
+	// Checkpoint is the job's base checkpoint; multi-round jobs write one
+	// checkpoint per round under "<Name>.r<N>" (see workloads.MultiRound).
+	Checkpoint *core.Checkpoint
+	// CheckpointEvery thins the round-checkpoint cadence (multi-round jobs).
+	CheckpointEvery int
+	// OnRound, when non-nil, runs on every rank at each round boundary of a
+	// multi-round job — the job service's mid-iteration crash hook.
+	OnRound func(rank, round int) error
+
+	// WordCount corpus (see WordCountConfig).
+	Dist       workloads.Distribution
+	TotalBytes int64
+	CPS        bool
+	UseZipf    bool
+	ZipfSkew   float64
+	Contention float64
+
+	// TeraSort: total rows (default 1<<13).
+	Rows int64
+	// Graph jobs: 2^Scale vertices (default 8), EdgeFactor edges per vertex.
+	Scale      int
+	EdgeFactor int
+	// k-means: total points (default 1<<12) and geometry.
+	Points  int64
+	K, Dims int
+	// MaxRounds caps iterative jobs (0 = workload default).
+	MaxRounds int
+}
+
+func (c *JobConfig) normalize() {
+	if c.Kind == "" {
+		c.Kind = JobWordCount
+	}
+	if c.Rows <= 0 {
+		c.Rows = 1 << 13
+	}
+	if c.Scale <= 0 {
+		c.Scale = 8
+	}
+	if c.Points <= 0 {
+		c.Points = 1 << 12
+	}
+}
+
+// RunJob runs cfg on every rank of world and gathers the canonical result
+// at rank 0, exactly like WordCount: the returned buffer is non-nil only on
+// the process hosting rank 0 and is byte-identical for a given (cfg, world
+// size). Canonical formats, one line per record, lexically sorted:
+//
+//	terasort: "<key hex> <payload hex>"  — one line per row; the lexical
+//	          sort of fixed-width hex equals key order, so the output is
+//	          the globally sorted row sequence
+//	pagerank: "<vertex %016x> <score>"   — score in fixed-point units
+//	kmeans:   "<cluster %04d> <coords> n=<count>" (rank 0 only: the
+//	          all-gathered table is global)
+//	bfs:      "<vertex %016x> <parent %016x>" over visited vertices
+//	wordcount: as WordCount
+func RunJob(world *mpi.World, cfg JobConfig, sum *metrics.Summary) ([]byte, error) {
+	cfg.normalize()
+	if cfg.Kind == JobWordCount {
+		return WordCount(world, WordCountConfig{
+			Dist: cfg.Dist, TotalBytes: cfg.TotalBytes, Seed: cfg.Seed,
+			Hint: cfg.Hint, PR: cfg.PR, CPS: cfg.CPS, Workers: cfg.Workers,
+			MemBytes: cfg.MemBytes, Checkpoint: cfg.Checkpoint,
+			UseZipf: cfg.UseZipf, ZipfSkew: cfg.ZipfSkew, Contention: cfg.Contention,
+			Partitioner: cfg.Partitioner,
+		}, sum)
+	}
+	part, err := partition.ByName(cfg.Partitioner)
+	if err != nil {
+		return nil, err
+	}
+	// The spill policies need a spill target; each process simulates its
+	// own PFS (what pages it writes never affects what the job computes).
+	var spillFS *pfs.FS
+	if cfg.OutOfCore != core.Error {
+		spillFS = pfs.New(pfs.Config{Bandwidth: 1 << 30, Latency: 1e-4})
+	}
+	var out []byte
+	err = world.Run(func(c *mpi.Comm) error {
+		eng := workloads.NewMimirEngine(c, mem.NewArena(cfg.MemBytes))
+		eng.PageSize = cfg.PageSize
+		eng.CommBuf = cfg.CommBuf
+		eng.Workers = cfg.Workers
+		eng.Partitioner = part
+		eng.OutOfCore = cfg.OutOfCore
+		eng.SpillFS = spillFS
+		mr := workloads.MultiRound{
+			Checkpoint:      cfg.Checkpoint,
+			CheckpointEvery: cfg.CheckpointEvery,
+		}
+		if cfg.OnRound != nil {
+			rank := c.Rank()
+			mr.OnRound = func(round int) error { return cfg.OnRound(rank, round) }
+		}
+		var mine bytes.Buffer
+		var stats workloads.StageStats
+		switch cfg.Kind {
+		case JobTeraSort:
+			tcfg := workloads.TeraSortConfig{Rows: cfg.Rows, Seed: cfg.Seed}
+			opts := workloads.StageOpts{}
+			if cfg.Hint {
+				opts.Hint = workloads.TeraSortHint(tcfg)
+			}
+			res, err := workloads.RunTeraSort(eng, nil, tcfg, opts, func(k, v []byte) error {
+				fmt.Fprintf(&mine, "%x %x\n", k, v)
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			stats = res.Stats
+		case JobPageRank:
+			pcfg := workloads.PageRankConfig{
+				Scale: cfg.Scale, EdgeFactor: cfg.EdgeFactor,
+				Seed: cfg.Seed, MaxRounds: cfg.MaxRounds,
+			}
+			opts := workloads.StageOpts{}
+			if cfg.Hint {
+				opts.Hint = workloads.PageRankHint()
+			}
+			if cfg.PR {
+				opts.PartialReduce = workloads.Int64VecAdd
+			}
+			res, err := workloads.RunPageRank(eng, nil, pcfg, opts, mr, func(v uint64, s int64) error {
+				fmt.Fprintf(&mine, "%016x %d\n", v, s)
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			stats = res.Stats
+		case JobKMeans:
+			kcfg := workloads.KMeansConfig{
+				Points: cfg.Points, K: cfg.K, Dims: cfg.Dims,
+				Seed: cfg.Seed, MaxRounds: cfg.MaxRounds,
+			}
+			opts := workloads.StageOpts{}
+			if cfg.Hint {
+				opts.Hint = workloads.KMeansHint(kcfg)
+			}
+			if cfg.PR {
+				opts.PartialReduce = workloads.Int64VecAdd
+			}
+			res, err := workloads.RunKMeans(eng, nil, kcfg, opts, mr)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				for ci, cent := range res.Centroids {
+					fmt.Fprintf(&mine, "%04d", ci)
+					for _, x := range cent {
+						fmt.Fprintf(&mine, " %d", x)
+					}
+					fmt.Fprintf(&mine, " n=%d\n", res.Counts[ci])
+				}
+			}
+			stats = res.Stats
+		case JobBFS:
+			bcfg := workloads.BFSConfig{
+				Scale: cfg.Scale, EdgeFactor: cfg.EdgeFactor,
+				Seed: cfg.Seed, Validate: true,
+			}
+			opts := workloads.StageOpts{}
+			if cfg.Hint {
+				opts.Hint = workloads.BFSHint()
+			}
+			bmr := mr
+			bmr.MaxRounds = cfg.MaxRounds
+			res, err := workloads.RunBFS(eng, nil, bcfg, opts, bmr)
+			if err != nil {
+				return err
+			}
+			verts := make([]uint64, 0, len(res.Parents))
+			for v := range res.Parents {
+				verts = append(verts, v)
+			}
+			sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+			for _, v := range verts {
+				fmt.Fprintf(&mine, "%016x %016x\n", v, res.Parents[v])
+			}
+			stats = res.Stats
+		default:
+			return fmt.Errorf("driver: unknown job kind %q", cfg.Kind)
+		}
+		if sum != nil {
+			stats.Record(sum)
+			sum.Add("rank-sec", c.Clock().Now())
+		}
+		gathered, err := c.Gatherv(mine.Bytes(), 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 0 {
+			return nil
+		}
+		out = canonicalize(gathered)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if sum != nil {
+		recordFaultStats(world, sum)
+	}
+	if out == nil && len(world.LocalRanks()) > 0 && world.LocalRanks()[0] == 0 {
+		out = []byte{}
+	}
+	return out, nil
+}
+
+// canonicalize splits gathered per-rank buffers into lines and sorts them
+// into the one canonical global order.
+func canonicalize(gathered [][]byte) []byte {
+	var lines []string
+	for _, buf := range gathered {
+		for _, l := range bytes.Split(buf, []byte{'\n'}) {
+			if len(l) > 0 {
+				lines = append(lines, string(l))
+			}
+		}
+	}
+	sort.Strings(lines)
+	var all bytes.Buffer
+	for _, l := range lines {
+		all.WriteString(l)
+		all.WriteByte('\n')
+	}
+	return all.Bytes()
+}
+
+// recordFaultStats appends the world's fault-recovery counters to sum:
+// a run that needed reconnects still produced byte-identical output, and
+// these counters are the proof it wasn't free.
+func recordFaultStats(world *mpi.World, sum *metrics.Summary) {
+	if fs, ok := world.FaultStats(); ok {
+		sum.Add("net-link-failures", float64(fs.LinkFailures))
+		sum.Add("net-reconnects", float64(fs.Reconnects))
+		sum.Add("net-dial-retries", float64(fs.DialRetries))
+		sum.Add("net-replayed-frames", float64(fs.ReplayedFrames))
+		sum.Add("net-replayed-bytes", float64(fs.ReplayedBytes))
+	}
+}

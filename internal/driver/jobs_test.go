@@ -1,0 +1,148 @@
+package driver
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"mimir/internal/core"
+	"mimir/internal/mpi"
+	"mimir/internal/pfs"
+	"mimir/internal/simtime"
+	"mimir/internal/workloads"
+)
+
+func testWorld(size int) *mpi.World {
+	return mpi.NewWorld(mpi.Config{Size: size, Net: simtime.NetworkModel{Alpha: 1e-7, Beta: 1e9}})
+}
+
+// TestRunJobSmoke: every kind produces non-empty, reproducible canonical
+// output with the expected line count.
+func TestRunJobSmoke(t *testing.T) {
+	cases := []struct {
+		cfg   JobConfig
+		lines int
+	}{
+		{JobConfig{Kind: JobTeraSort, Rows: 500, Seed: 1, Hint: true}, 500},
+		{JobConfig{Kind: JobPageRank, Scale: 7, Seed: 2, Hint: true, PR: true}, 128},
+		{JobConfig{Kind: JobKMeans, Points: 600, K: 5, Dims: 2, Seed: 3, Hint: true, PR: true}, 5},
+		{JobConfig{Kind: JobBFS, Scale: 7, Seed: 4, Hint: true}, -1},
+		{JobConfig{Kind: JobWordCount, TotalBytes: 8 << 10, Seed: 5, Hint: true}, -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.cfg.Kind, func(t *testing.T) {
+			out, err := RunJob(testWorld(4), tc.cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) == 0 {
+				t.Fatal("empty output")
+			}
+			n := strings.Count(string(out), "\n")
+			if tc.lines >= 0 && n != tc.lines {
+				t.Fatalf("%d output lines, want %d", n, tc.lines)
+			}
+			again, err := RunJob(testWorld(4), tc.cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out, again) {
+				t.Fatal("output not reproducible")
+			}
+		})
+	}
+}
+
+// TestRunJobUnknownKind rejects bad kinds cleanly.
+func TestRunJobUnknownKind(t *testing.T) {
+	_, err := RunJob(testWorld(2), JobConfig{Kind: "sort-of"}, nil)
+	if err == nil || !strings.Contains(err.Error(), "unknown job kind") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestPageRankRoundCheckpointRepartition is the mid-iteration elasticity
+// check: a checkpointed PageRank writes one checkpoint per round (cadence
+// 2: odd rounds recompute); core.RepartitionCheckpoint then rewrites every
+// round's checkpoint for a smaller world, and a run at the new size
+// restores the even rounds, recomputes the odd ones at the new ownership,
+// and still produces byte-identical canonical output — per-vertex scores
+// are independent of which rank hosts them.
+func TestPageRankRoundCheckpointRepartition(t *testing.T) {
+	fs := pfs.New(pfs.Config{Bandwidth: 1 << 30, Latency: 1e-4})
+	base := JobConfig{
+		Kind: JobPageRank, Scale: 7, Seed: 9, Hint: true, PR: true,
+		Checkpoint:      &core.Checkpoint{FS: fs, Name: "prjob"},
+		CheckpointEvery: 2,
+	}
+	const oldSize, newSize = 4, 3
+	want, err := RunJob(testWorld(oldSize), base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("empty output")
+	}
+
+	// Repartition every checkpoint the run left behind: the adjacency stage
+	// plus each checkpointed round.
+	repartitioned := 0
+	names := []string{"prjob.adj"}
+	for r := 0; r < 64; r++ {
+		names = append(names, fmt.Sprintf("prjob.r%d", r))
+	}
+	for _, name := range names {
+		ck := core.Checkpoint{FS: fs, Name: name}
+		if !ck.Exists(oldSize) {
+			continue
+		}
+		if _, err := core.RepartitionCheckpoint(fs, nil, ck, workloads.PageRankHint(),
+			oldSize, newSize, nil); err != nil {
+			t.Fatalf("repartition %s: %v", name, err)
+		}
+		repartitioned++
+	}
+	if repartitioned < 3 {
+		t.Fatalf("only %d checkpoints found; the cadence should have written several", repartitioned)
+	}
+
+	got, err := RunJob(testWorld(newSize), base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("restored %d-rank run diverges from the original %d-rank run (%d vs %d bytes)",
+			newSize, oldSize, len(got), len(want))
+	}
+}
+
+// TestRunJobOnRound: the round hook fires on every rank each round and its
+// error fails the job.
+func TestRunJobOnRound(t *testing.T) {
+	fired := map[string]bool{}
+	cfg := JobConfig{
+		Kind: JobKMeans, Points: 400, K: 3, Dims: 2, Seed: 1,
+		OnRound: func(rank, round int) error {
+			fired[fmt.Sprintf("%d.%d", rank, round)] = true
+			return nil
+		},
+	}
+	if _, err := RunJob(testWorld(2), cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !fired["0.0"] || !fired["1.0"] || !fired["0.1"] {
+		t.Fatalf("round hook coverage: %v", fired)
+	}
+	boom := cfg
+	boom.OnRound = func(rank, round int) error {
+		if rank == 1 && round == 1 {
+			return fmt.Errorf("scripted round failure")
+		}
+		return nil
+	}
+	if _, err := RunJob(testWorld(2), boom, nil); err == nil ||
+		!strings.Contains(err.Error(), "scripted round failure") {
+		t.Fatalf("got %v", err)
+	}
+}

@@ -33,6 +33,7 @@ var All = []struct {
 	{"fig14", Fig14, "Weak scalability of the ladder on Mira"},
 	{"figspill", FigSpill, "Out-of-core: Mimir spill vs MR-MPI modes"},
 	{"figskew", FigSkew, "Skew matrix: hash vs sample partitioning"},
+	{"figmrc", FigMRC, "MRC ablation: TeraSort / PageRank / k-means"},
 }
 
 // Fig1 reproduces Figure 1: single-node execution time of WordCount with

@@ -1,0 +1,75 @@
+package expt
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMRCMatrixSmoke runs a small corner of the MRC matrix (pagerank and
+// kmeans, full ladder, 4 ranks) and, when MIMIR_MRC_OUT is set, writes the
+// per-cell JSON artifacts CI uploads.
+func TestMRCMatrixSmoke(t *testing.T) {
+	cells := MRCMatrix(MRCSpec{
+		Jobs:  []Bench{PageRank, KMeans},
+		Scale: 8, Points: 1 << 11, K: 5, Dims: 2,
+	})
+	if len(cells) != 6 {
+		t.Fatalf("got %d cells, want 6 (two jobs x three ladder rungs)", len(cells))
+	}
+	for _, c := range cells {
+		if c.Err != "" {
+			t.Errorf("cell %s failed: %s", c.Name(), c.Err)
+			continue
+		}
+		if c.TimeSec <= 0 || c.PeakPerRankBytes <= 0 {
+			t.Errorf("cell %s: time %v peak %v, want both positive", c.Name(), c.TimeSec, c.PeakPerRankBytes)
+		}
+		if c.Rounds < 2 {
+			t.Errorf("cell %s ran %d rounds; MRC cells must iterate", c.Name(), c.Rounds)
+		}
+		if len(c.RoundPeakBytes) != c.Rounds {
+			t.Errorf("cell %s: %d round peaks for %d rounds", c.Name(), len(c.RoundPeakBytes), c.Rounds)
+		}
+	}
+	if dir := os.Getenv("MIMIR_MRC_OUT"); dir != "" {
+		if err := WriteMRCCells(dir, cells); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d cell artifacts to %s", len(cells), dir)
+	}
+}
+
+func TestMRCMatrixDeterministic(t *testing.T) {
+	spec := MRCSpec{Jobs: []Bench{PageRank}, Scale: 8}
+	a, b := MRCMatrix(spec), MRCMatrix(spec)
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatalf("matrix not deterministic:\n%s\n%s", aj, bj)
+	}
+}
+
+func TestWriteMRCCellsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cells := []MRCCell{{Job: "pagerank", Variant: "hint;pr", Ranks: 4, Rounds: 2,
+		TimeSec: 1.5, PeakPerRankBytes: 1 << 20, ShuffledBytes: 1 << 18,
+		RoundPeakBytes: []int64{1 << 19, 1 << 20}}}
+	if err := WriteMRCCells(dir, cells); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "mrc_pagerank_hint-pr_r4.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got MRCCell
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(cells[0])
+	gotJSON, _ := json.Marshal(got)
+	if string(wantJSON) != string(gotJSON) {
+		t.Fatalf("round trip mismatch:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+}

@@ -39,14 +39,18 @@ const (
 // Bench selects one of the paper's benchmarks.
 type Bench int
 
-// The paper's three benchmarks (WordCount appears with two datasets), plus
-// the parameterized zipf WordCount the skew matrix sweeps.
+// The paper's three benchmarks (WordCount appears with two datasets), the
+// parameterized zipf WordCount the skew matrix sweeps, and the MRC
+// multi-round suite (TeraSort / PageRank / k-means).
 const (
 	WCUniform Bench = iota
 	WCWikipedia
 	OC
 	BFS
 	WCZipf
+	TeraSort
+	PageRank
+	KMeans
 )
 
 // String names the benchmark as the paper does.
@@ -62,6 +66,12 @@ func (b Bench) String() string {
 		return "BFS"
 	case WCZipf:
 		return "WC (Zipf)"
+	case TeraSort:
+		return "TeraSort"
+	case PageRank:
+		return "PageRank"
+	case KMeans:
+		return "k-means"
 	}
 	return fmt.Sprintf("Bench(%d)", int(b))
 }
@@ -93,11 +103,17 @@ type Spec struct {
 	Workers int
 
 	Bench Bench
-	// WC: total dataset bytes (scaled). OC: total points. BFS: graph scale.
+	// WC: total dataset bytes (scaled). OC/k-means: total points.
+	// BFS/PageRank: graph scale. TeraSort: total rows.
 	SizeBytes int64
 	Points    int64
 	Scale     int
+	Rows      int64
 	Seed      uint64
+	// Multi-round knobs: the iteration cap (0 = workload default) and
+	// k-means geometry (0 = workload defaults).
+	MaxRounds int
+	K, Dims   int
 
 	// WCZipf knobs: the zipf exponent, the contention mass diverted to the
 	// hottest key, and the partitioner name ("", "hash", or "sample") —
@@ -125,6 +141,11 @@ type Result struct {
 	// Mimir container evictions under a Spec.OutOfCore spill policy (0 for
 	// Mimir's default Error policy).
 	SpilledBytes int64
+	// ShuffledBytes sums exchange traffic over all ranks and stages.
+	ShuffledBytes int64
+	// Rounds is the multi-round benches' executed round count (stages for
+	// the iterative jobs; 1-stage benches report their stage count).
+	Rounds int
 	// SpillIOSec sums, over all ranks, the simulated seconds spent on
 	// Mimir's spill I/O (0 for MR-MPI, whose spill time is inside Time).
 	SpillIOSec float64
@@ -199,18 +220,35 @@ func RunWorld(world *mpi.World, spec Spec) Result {
 			opts.Hint = workloads.OCHint()
 		case BFS:
 			opts.Hint = workloads.BFSHint()
+		case TeraSort:
+			opts.Hint = workloads.TeraSortHint(workloads.TeraSortConfig{})
+		case PageRank:
+			opts.Hint = workloads.PageRankHint()
+		case KMeans:
+			opts.Hint = workloads.KMeansHint(workloads.KMeansConfig{K: spec.K, Dims: spec.Dims})
 		}
 	}
 	if spec.PR {
-		// BFS is map-only: partial reduction does not apply (paper IV-D).
-		if spec.Bench != BFS {
+		// BFS and TeraSort are map-only: partial reduction does not apply
+		// (paper IV-D; sort rows must survive as rows). PageRank and
+		// k-means substitute their own combiner when the flag is on.
+		switch spec.Bench {
+		case BFS, TeraSort:
+		case PageRank, KMeans:
+			opts.PartialReduce = workloads.Int64VecAdd
+		default:
 			opts.PartialReduce = workloads.WordCountCombine
 		}
 	}
 	if spec.CPS {
-		if spec.Bench == BFS {
+		switch spec.Bench {
+		case BFS:
 			opts.Combiner = workloads.BFSCombine
-		} else {
+		case TeraSort:
+			// rows are distinct; compression would merge duplicate keys
+		case PageRank, KMeans:
+			opts.Combiner = workloads.Int64VecAdd
+		default:
 			opts.Combiner = workloads.WordCountCombine
 		}
 	}
@@ -245,7 +283,7 @@ func RunWorld(world *mpi.World, spec Spec) Result {
 			mre.Costs = costs
 			eng = mre
 		}
-		stats, err := runBench(eng, inputFS, spec, opts)
+		stats, rounds, err := runBench(eng, inputFS, spec, opts)
 		if err != nil {
 			return err
 		}
@@ -255,8 +293,12 @@ func RunWorld(world *mpi.World, spec Spec) Result {
 		}
 		mu.Lock()
 		res.SpilledBytes += stats.SpilledBytes
+		res.ShuffledBytes += stats.ShuffledBytes
 		res.SpillIOSec += stats.SpillIOSec
 		res.OverlapSavedSec += stats.OverlapSavedSec
+		if rounds > res.Rounds {
+			res.Rounds = rounds // identical on every rank for multi-round jobs
+		}
 		mu.Unlock()
 		return nil
 	})
@@ -275,7 +317,7 @@ func RunWorld(world *mpi.World, spec Spec) Result {
 	return res
 }
 
-func runBench(eng workloads.Engine, fs *pfs.FS, spec Spec, opts workloads.StageOpts) (workloads.StageStats, error) {
+func runBench(eng workloads.Engine, fs *pfs.FS, spec Spec, opts workloads.StageOpts) (workloads.StageStats, int, error) {
 	switch spec.Bench {
 	case WCUniform, WCWikipedia:
 		dist := workloads.Uniform
@@ -285,23 +327,39 @@ func runBench(eng workloads.Engine, fs *pfs.FS, spec Spec, opts workloads.StageO
 		r, err := workloads.RunWordCount(eng, fs, workloads.WCConfig{
 			Dist: dist, TotalBytes: spec.SizeBytes, Seed: spec.Seed,
 		}, opts)
-		return r.Stats, err
+		return r.Stats, 1, err
 	case WCZipf:
 		r, err := workloads.RunWordCount(eng, fs, workloads.WCConfig{
 			TotalBytes: spec.SizeBytes, Seed: spec.Seed,
 			Zipf: &workloads.ZipfConfig{Skew: spec.Skew, Contention: spec.Contention},
 		}, opts)
-		return r.Stats, err
+		return r.Stats, 1, err
 	case OC:
 		r, err := workloads.RunOctree(eng, fs, workloads.OCConfig{
 			TotalPoints: spec.Points, Seed: spec.Seed,
 		}, opts)
-		return r.Stats, err
+		return r.Stats, 1, err
 	case BFS:
 		r, err := workloads.RunBFS(eng, fs, workloads.BFSConfig{
 			Scale: spec.Scale, Seed: spec.Seed,
-		}, opts)
-		return r.Stats, err
+		}, opts, workloads.MultiRound{MaxRounds: spec.MaxRounds})
+		return r.Stats, r.Depth, err
+	case TeraSort:
+		r, err := workloads.RunTeraSort(eng, fs, workloads.TeraSortConfig{
+			Rows: spec.Rows, Seed: spec.Seed,
+		}, opts, nil)
+		return r.Stats, r.Rounds, err
+	case PageRank:
+		r, err := workloads.RunPageRank(eng, fs, workloads.PageRankConfig{
+			Scale: spec.Scale, Seed: spec.Seed, MaxRounds: spec.MaxRounds,
+		}, opts, workloads.MultiRound{}, nil)
+		return r.Stats, r.Rounds, err
+	case KMeans:
+		r, err := workloads.RunKMeans(eng, fs, workloads.KMeansConfig{
+			Points: spec.Points, K: spec.K, Dims: spec.Dims,
+			Seed: spec.Seed, MaxRounds: spec.MaxRounds,
+		}, opts, workloads.MultiRound{})
+		return r.Stats, r.Rounds, err
 	}
-	return workloads.StageStats{}, errors.New("expt: unknown benchmark")
+	return workloads.StageStats{}, 0, errors.New("expt: unknown benchmark")
 }

@@ -45,11 +45,15 @@ import (
 	"mimir/internal/workloads"
 )
 
-// Spec describes one submitted job: a distributed WordCount over the
-// deterministic synthetic corpus (the same job driver.WordCount runs), plus
-// the job's memory floor for admission.
+// Spec describes one submitted job — any driver.RunJob kind over its
+// deterministic synthetic corpus — plus the job's memory floor for
+// admission.
 type Spec struct {
-	// Bytes is the total corpus size across all ranks (default 1 MiB).
+	// Job selects the kind: "" or "wordcount" (default), "terasort",
+	// "pagerank", "kmeans", "bfs" (see driver.JobKinds).
+	Job string `json:"job,omitempty"`
+	// Bytes is the total corpus size across all ranks (default 1 MiB;
+	// wordcount only).
 	Bytes int64 `json:"bytes,omitempty"`
 	// Dist is the corpus distribution: "uniform" (default) or "wikipedia".
 	Dist string `json:"dist,omitempty"`
@@ -72,6 +76,10 @@ type Spec struct {
 	// process exits without ceremony, an in-process rank aborts the mesh,
 	// which is what its process death would have done. 0 means no crash.
 	Crash int `json:"crash,omitempty"`
+	// CrashRound moves the scripted crash to the top of the named round of
+	// a multi-round job (pagerank, kmeans, bfs): rank Crash dies between
+	// rounds CrashRound-1 and CrashRound, mid-iteration. Requires Crash.
+	CrashRound int `json:"crash_round,omitempty"`
 	// Checkpoint, when non-empty, names a post-shuffle checkpoint in the
 	// server's file system: the first job with the name writes it, later
 	// jobs with the same name restore from it (skipping input, map, and
@@ -88,6 +96,30 @@ type Spec struct {
 	// the default) or "sample" (map-side sampling + weighted ranges; the
 	// sample all-gather rides the job's own mux channel).
 	Partitioner string `json:"partitioner,omitempty"`
+	// MRC job parameters (see driver.JobConfig): terasort rows, graph
+	// scale/edge factor, k-means geometry, and the iteration cap.
+	Rows       int64 `json:"rows,omitempty"`
+	Scale      int   `json:"scale,omitempty"`
+	EdgeFactor int   `json:"edge_factor,omitempty"`
+	Points     int64 `json:"points,omitempty"`
+	K          int   `json:"k,omitempty"`
+	Dims       int   `json:"dims,omitempty"`
+	Rounds     int   `json:"rounds,omitempty"`
+}
+
+// multiRound reports whether the spec's job kind iterates (and so supports
+// CrashRound and per-round checkpoints).
+func (s Spec) multiRound() bool {
+	switch s.Job {
+	case driver.JobPageRank, driver.JobKMeans, driver.JobBFS:
+		return true
+	}
+	return false
+}
+
+// wordcount reports whether the spec runs the original wordcount path.
+func (s Spec) wordcount() bool {
+	return s.Job == "" || s.Job == driver.JobWordCount
 }
 
 // normalize fills the defaults a zero field means.
@@ -103,6 +135,15 @@ func (s *Spec) normalize() {
 // validate rejects specs that could never run on a size-rank mesh whose node
 // arena holds memCap bytes.
 func (s Spec) validate(size int, memCap int64) error {
+	if s.Job != "" {
+		known := false
+		for _, k := range driver.JobKinds() {
+			known = known || k == s.Job
+		}
+		if !known {
+			return fmt.Errorf("jobsvc: unknown job kind %q (want one of %v)", s.Job, driver.JobKinds())
+		}
+	}
 	if _, err := s.dist(); err != nil {
 		return err
 	}
@@ -114,6 +155,24 @@ func (s Spec) validate(size int, memCap int64) error {
 	}
 	if s.Crash != 0 && (s.Crash < 1 || s.Crash >= size) {
 		return fmt.Errorf("jobsvc: crash rank %d out of range [1, %d)", s.Crash, size)
+	}
+	if s.CrashRound != 0 {
+		if s.Crash == 0 {
+			return fmt.Errorf("jobsvc: crash_round %d without a crash rank", s.CrashRound)
+		}
+		if s.CrashRound < 0 {
+			return fmt.Errorf("jobsvc: negative crash_round %d", s.CrashRound)
+		}
+		if !s.multiRound() {
+			return fmt.Errorf("jobsvc: crash_round needs an iterative job, not %q", s.Job)
+		}
+	}
+	if s.Checkpoint != "" && !s.wordcount() {
+		// The service's elastic resize repartitions the single checkpoint
+		// name it tracked at job end; multi-round jobs write one checkpoint
+		// per round, which that path cannot follow. Round checkpoints are
+		// exercised at the driver level instead.
+		return fmt.Errorf("jobsvc: checkpoint is wordcount-only; %q jobs manage per-round checkpoints outside the service", s.Job)
 	}
 	if s.Zipf != nil && *s.Zipf < 0 {
 		return fmt.Errorf("jobsvc: negative zipf skew %v", *s.Zipf)
@@ -169,6 +228,26 @@ func (s Spec) config(size int) (driver.WordCountConfig, error) {
 		cfg.Contention = s.Contention
 	}
 	return cfg, nil
+}
+
+// jobConfig maps a non-wordcount spec onto the generic job driver.
+func (s Spec) jobConfig(size int) driver.JobConfig {
+	return driver.JobConfig{
+		Kind:        s.Job,
+		Seed:        s.Seed,
+		Hint:        s.Hint,
+		PR:          s.PR,
+		Workers:     s.Workers,
+		MemBytes:    s.MemBytes / int64(size),
+		Partitioner: s.Partitioner,
+		Rows:        s.Rows,
+		Scale:       s.Scale,
+		EdgeFactor:  s.EdgeFactor,
+		Points:      s.Points,
+		K:           s.K,
+		Dims:        s.Dims,
+		MaxRounds:   s.Rounds,
+	}
 }
 
 // Job states as reported in events and status listings.
@@ -302,7 +381,7 @@ type Remesh struct {
 // fs is the server's checkpoint file system (nil on worker processes;
 // Spec.Checkpoint is only admitted on fully in-process meshes).
 func execJob(tr transport.Transport, id uint32, spec Spec, exit func(code int), fs *pfs.FS) ([]byte, *metrics.Summary, error) {
-	if spec.Crash > 0 {
+	if spec.Crash > 0 && spec.CrashRound == 0 {
 		for _, r := range tr.LocalRanks() {
 			if r == spec.Crash {
 				if exit != nil {
@@ -329,17 +408,45 @@ func execJob(tr transport.Transport, id uint32, spec Spec, exit func(code int), 
 		Transport: ch,
 		Net:       simtime.NetworkModel{Alpha: 1e-7, Beta: 1e9},
 	})
-	cfg, err := spec.config(world.Size())
-	if err != nil {
-		return nil, nil, err
-	}
-	if spec.Checkpoint != "" && fs != nil {
-		cfg.Checkpoint = &core.Checkpoint{FS: fs, Name: spec.Checkpoint}
-	}
 	sum := metrics.NewSummary()
-	out, err := driver.WordCount(world, cfg, sum)
-	if err != nil {
-		return nil, nil, err
+	var out []byte
+	if spec.wordcount() {
+		cfg, err := spec.config(world.Size())
+		if err != nil {
+			return nil, nil, err
+		}
+		if spec.Checkpoint != "" && fs != nil {
+			cfg.Checkpoint = &core.Checkpoint{FS: fs, Name: spec.Checkpoint}
+		}
+		out, err = driver.WordCount(world, cfg, sum)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		cfg := spec.jobConfig(world.Size())
+		if spec.CrashRound > 0 {
+			// The mid-iteration crash: rank Crash reaches the top of round
+			// CrashRound and dies there — after the earlier rounds' exchanges,
+			// before this one's. Everything the hook does is what the process
+			// death would have done to the mesh.
+			cfg.OnRound = func(rank, round int) error {
+				if rank != spec.Crash || round != spec.CrashRound {
+					return nil
+				}
+				if exit != nil {
+					exit(3)
+				}
+				err := fmt.Errorf("%w: jobsvc: rank %d crashed at round %d (scripted)",
+					transport.ErrAborted, spec.Crash, spec.CrashRound)
+				tr.Abort(err)
+				return err
+			}
+		}
+		var err error
+		out, err = driver.RunJob(world, cfg, sum)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	merged, err := gatherMetrics(world, sum)
 	if err != nil {

@@ -419,6 +419,12 @@ func TestSpecValidation(t *testing.T) {
 		{Zipf: &negSkew},
 		{Contention: 1.5},
 		{Partitioner: "range"},
+		{Job: "sorting"},                            // unknown kind
+		{Job: "pagerank", CrashRound: 2},            // crash_round without a crash rank
+		{Crash: 2, CrashRound: 2},                   // wordcount has no rounds
+		{Job: "terasort", Crash: 2, CrashRound: 2},  // single-stage job has no rounds
+		{Job: "pagerank", Crash: 2, CrashRound: -1}, // negative round
+		{Job: "pagerank", Checkpoint: "pr"},         // checkpoint is wordcount-only
 	}
 	for _, spec := range bad {
 		if _, _, err := s.Submit(spec); err == nil {
@@ -426,6 +432,122 @@ func TestSpecValidation(t *testing.T) {
 		}
 	}
 	var _ = workloads.Uniform // keep the import honest if specs change
+}
+
+// jobReference computes the solo ground truth for a non-wordcount spec: the
+// same driver job on a fresh in-process world of the mesh's size.
+func jobReference(t *testing.T, spec Spec) []byte {
+	t.Helper()
+	world := mpi.NewWorld(mpi.Config{Size: testRanks, Net: simtime.NetworkModel{Alpha: 1e-7, Beta: 1e9}})
+	out, err := driver.RunJob(world, spec.jobConfig(testRanks), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("reference run produced no output")
+	}
+	return out
+}
+
+// mrcSpecs is one small spec per multi-round job kind, every optimization
+// the kind supports switched on.
+func mrcSpecs() []Spec {
+	return []Spec{
+		{Job: driver.JobTeraSort, Rows: 1 << 11, Seed: 4, Hint: true},
+		{Job: driver.JobPageRank, Scale: 7, Seed: 4, Hint: true, PR: true},
+		{Job: driver.JobKMeans, Points: 1 << 10, K: 4, Dims: 2, Seed: 4, Hint: true, PR: true},
+		{Job: driver.JobBFS, Scale: 7, Seed: 4, Hint: true},
+	}
+}
+
+// TestServerRunsMRCJobs submits every multi-round job kind through the full
+// service path — queue, start broadcast, per-job mux channel, metrics gather
+// — and holds each output against its solo run.
+func TestServerRunsMRCJobs(t *testing.T) {
+	s := newTestServer(t, tcpMesh(testRanks), 0)
+	for _, spec := range mrcSpecs() {
+		spec := spec
+		t.Run(spec.Job, func(t *testing.T) {
+			want := jobReference(t, spec)
+			_, events, err := s.Submit(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			final := drain(t, events)
+			if final.Event != EvDone {
+				t.Fatalf("job settled as %s: %s", final.Event, final.Error)
+			}
+			if !bytes.Equal([]byte(final.Output), want) {
+				t.Fatalf("daemon output differs from solo run: %d vs %d bytes", len(final.Output), len(want))
+			}
+			sum := metrics.NewSummary()
+			if err := sum.MergeJSON(bytes.NewReader(final.Metrics)); err != nil {
+				t.Fatal(err)
+			} else if rs := sum.Get("rank-sec"); rs == nil || rs.Count != testRanks {
+				t.Fatalf("metrics cover %+v ranks, want %d", rs, testRanks)
+			}
+		})
+	}
+	if s.Respawns() != 0 {
+		t.Fatalf("healthy MRC jobs respawned the mesh %d times", s.Respawns())
+	}
+}
+
+// TestServerMidIterationCrash kills a rank between PageRank rounds — after
+// round CrashRound-1's exchange has been shuffled and reduced, not at job
+// start — and checks the service's fault story holds mid-iteration: only the
+// faulted job fails, the mesh respawns exactly once, and the clean resubmit
+// on the new incarnation is byte-identical to the solo run.
+func TestServerMidIterationCrash(t *testing.T) {
+	for _, mesh := range []struct {
+		name    string
+		factory MeshFactory
+	}{
+		{"local", LocalMesh(testRanks)},
+		{"tcp", tcpMesh(testRanks)},
+	} {
+		t.Run(mesh.name, func(t *testing.T) {
+			spec := mrcSpecs()[1] // pagerank: iterates well past round 3
+			want := jobReference(t, spec)
+			s := newTestServer(t, mesh.factory, 0)
+
+			crash := spec
+			crash.Crash = 2
+			crash.CrashRound = 3
+			_, events, err := s.Submit(crash)
+			if err != nil {
+				t.Fatal(err)
+			}
+			final := drain(t, events)
+			if final.Event != EvError {
+				t.Fatalf("mid-iteration crash settled as %s", final.Event)
+			}
+			if !strings.Contains(final.Error, "aborted") && !strings.Contains(final.Error, "crash") {
+				t.Fatalf("crash error is not clean: %q", final.Error)
+			}
+			t.Logf("crashed as intended: %s", final.Error)
+
+			deadline := time.Now().Add(30 * time.Second)
+			for s.Respawns() != 1 {
+				if time.Now().After(deadline) {
+					t.Fatalf("mesh not respawned (respawns = %d)", s.Respawns())
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+
+			_, events, err = s.Submit(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			final = drain(t, events)
+			if final.Event != EvDone {
+				t.Fatalf("job on respawned mesh settled as %s: %s", final.Event, final.Error)
+			}
+			if !bytes.Equal([]byte(final.Output), want) {
+				t.Fatal("output on the respawned mesh differs from the solo run")
+			}
+		})
+	}
 }
 
 // TestServerZipfSamplePartitionerJob runs a zipf-skewed, sample-partitioned

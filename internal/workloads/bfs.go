@@ -44,7 +44,11 @@ type BFSConfig struct {
 // BFSResult summarizes a run.
 type BFSResult struct {
 	Visited int64 // vertices reached (global)
-	Depth   int   // BFS levels executed
+	Depth   int   // BFS levels executed (the multi-round driver's round count)
+	// Parents is this rank's partition of the parents tree: every visited
+	// vertex it owns, mapped to the vertex that discovered it (the root maps
+	// to itself). The determinism battery serializes it for byte comparison.
+	Parents map[uint64]uint64
 	Stats   StageStats
 }
 
@@ -72,8 +76,14 @@ type adjacency struct {
 const adjEntryBytes = 48 // per-vertex map overhead estimate
 const adjEdgeBytes = 8
 
-// RunBFS executes both phases on the given engine.
-func RunBFS(e Engine, fs *pfs.FS, cfg BFSConfig, opts StageOpts) (BFSResult, error) {
+// RunBFS executes both phases on the given engine. mr supplies the shared
+// multi-round machinery for the traversal (crash hooks, per-level
+// checkpoints, an optional MaxRounds depth cap); its Threshold must stay 0
+// — a level ends the traversal exactly when no rank discovered a vertex.
+func RunBFS(e Engine, fs *pfs.FS, cfg BFSConfig, opts StageOpts, mr MultiRound) (BFSResult, error) {
+	if mr.Threshold != 0 {
+		return BFSResult{}, fmt.Errorf("workloads: BFS terminates on an empty frontier; Threshold must be 0")
+	}
 	comm := e.Comm()
 	if cfg.EdgeFactor <= 0 {
 		cfg.EdgeFactor = DefaultEdgeFactor
@@ -159,19 +169,12 @@ func RunBFS(e Engine, fs *pfs.FS, cfg BFSConfig, opts StageOpts) (BFSResult, err
 			return res, err
 		}
 	}
+	// Each level is one round of the shared multi-round driver: expand the
+	// frontier through a map-only stage, then vote with the new frontier's
+	// size — the traversal ends the first round nobody discovered anything.
 	p2opts := opts
 	p2opts.PartialReduce = nil // map-only: no reduce to replace
-	for depth := 0; ; depth++ {
-		// Globally: is anyone still expanding?
-		local := int64(len(frontier))
-		total, err := comm.AllreduceInt64([]int64{local}, mpi.OpSum)
-		if err != nil {
-			return res, err
-		}
-		if total[0] == 0 {
-			res.Depth = depth
-			break
-		}
+	rr, err := RunRounds(e, p2opts, mr, func(round int, ropts StageOpts) (int64, StageStats, error) {
 		cur := frontier
 		frontier = nil
 		frontierInput := func(emit func(rec core.Record) error) error {
@@ -195,7 +198,7 @@ func RunBFS(e Engine, fs *pfs.FS, cfg BFSConfig, opts StageOpts) (BFSResult, err
 			}
 			return nil
 		}
-		stats, err := e.RunStage(p2opts, frontierInput, expandMap, nil, func(k, v []byte) error {
+		stats, err := e.RunStage(ropts, frontierInput, expandMap, nil, func(k, v []byte) error {
 			w := binary.LittleEndian.Uint64(k)
 			if _, seen := parent[w]; seen {
 				return nil
@@ -205,16 +208,22 @@ func RunBFS(e Engine, fs *pfs.FS, cfg BFSConfig, opts StageOpts) (BFSResult, err
 			return charge(16)
 		})
 		if err != nil {
-			return res, err
+			return 0, stats, err
 		}
-		res.Stats.accumulate(stats)
+		return int64(len(frontier)), stats, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Stats.accumulate(rr.Stats)
+	res.Depth = rr.Rounds
 
 	visited, err := comm.AllreduceInt64([]int64{int64(len(parent))}, mpi.OpSum)
 	if err != nil {
 		return res, err
 	}
 	res.Visited = visited[0]
+	res.Parents = parent
 
 	if cfg.Validate {
 		if err := validateBFSTree(comm, adj, parent, root); err != nil {

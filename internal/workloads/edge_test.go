@@ -102,7 +102,7 @@ func TestBFSIsolatedRoot(t *testing.T) {
 	arena := mem.NewArena(0)
 	res := make([]BFSResult, 2)
 	err := w.Run(func(c *mpi.Comm) error {
-		r, err := RunBFS(NewMimirEngine(c, arena), nil, cfg, StageOpts{})
+		r, err := RunBFS(NewMimirEngine(c, arena), nil, cfg, StageOpts{}, MultiRound{})
 		res[c.Rank()] = r
 		return err
 	})
@@ -121,7 +121,7 @@ func TestBFSDepthMatchesReference(t *testing.T) {
 	arena := mem.NewArena(0)
 	res := make([]BFSResult, 2)
 	err := w.Run(func(c *mpi.Comm) error {
-		r, err := RunBFS(NewMimirEngine(c, arena), nil, cfg, StageOpts{})
+		r, err := RunBFS(NewMimirEngine(c, arena), nil, cfg, StageOpts{}, MultiRound{})
 		res[c.Rank()] = r
 		return err
 	})
@@ -145,7 +145,7 @@ func TestBFSOOMOnTinyNode(t *testing.T) {
 	arena := mem.NewArena(64 << 10)
 	err := w.Run(func(c *mpi.Comm) error {
 		_, err := RunBFS(NewMimirEngine(c, arena), nil,
-			BFSConfig{Scale: 10, EdgeFactor: 16, Seed: 5}, StageOpts{})
+			BFSConfig{Scale: 10, EdgeFactor: 16, Seed: 5}, StageOpts{}, MultiRound{})
 		return err
 	})
 	if err == nil {

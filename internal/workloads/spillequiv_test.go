@@ -105,7 +105,7 @@ func TestSpillEquivalence(t *testing.T) {
 				return func(e *MimirEngine) (string, StageStats, error) {
 					res, err := RunBFS(e, nil, BFSConfig{
 						Scale: 10, EdgeFactor: 16, Seed: seed, Root: seed % 1024, Validate: true,
-					}, StageOpts{Hint: BFSHint()})
+					}, StageOpts{Hint: BFSHint()}, MultiRound{})
 					return fmt.Sprintf("v=%d depth=%d", res.Visited, res.Depth), res.Stats, err
 				}
 			},

@@ -388,7 +388,7 @@ func TestBFSBothEnginesMatchReference(t *testing.T) {
 			spill := pfs.New(pfs.Config{Bandwidth: 1e9})
 			res := make([]BFSResult, p)
 			err := w.Run(func(c *mpi.Comm) error {
-				r, err := RunBFS(eng.build(c, arena, spill), nil, cfg, StageOpts{})
+				r, err := RunBFS(eng.build(c, arena, spill), nil, cfg, StageOpts{}, MultiRound{})
 				res[c.Rank()] = r
 				return err
 			})
@@ -420,7 +420,7 @@ func TestBFSWithOptimizations(t *testing.T) {
 		arena := mem.NewArena(0)
 		res := make([]BFSResult, p)
 		err := w.Run(func(c *mpi.Comm) error {
-			r, err := RunBFS(NewMimirEngine(c, arena), nil, cfg, opts)
+			r, err := RunBFS(NewMimirEngine(c, arena), nil, cfg, opts, MultiRound{})
 			res[c.Rank()] = r
 			return err
 		})
@@ -441,7 +441,7 @@ func TestBFSCompressionReducesShuffle(t *testing.T) {
 		arena := mem.NewArena(0)
 		res := make([]BFSResult, p)
 		err := w.Run(func(c *mpi.Comm) error {
-			r, err := RunBFS(NewMimirEngine(c, arena), nil, cfg, opts)
+			r, err := RunBFS(NewMimirEngine(c, arena), nil, cfg, opts, MultiRound{})
 			res[c.Rank()] = r
 			return err
 		})

@@ -208,3 +208,97 @@ func TestDaemonMultiProcess(t *testing.T) {
 		t.Fatal("Serve did not return after shutdown")
 	}
 }
+
+// TestDaemonMidIterationFault kills a worker OS process between PageRank
+// rounds — after two rounds of rank exchanges have been shuffled and reduced
+// on the standing mesh, not at job start. The crashed job fails with a clean
+// error, the daemon rebuilds the process mesh exactly once, and resubmitting
+// the same spec on the fresh incarnation reproduces the solo in-process run
+// byte for byte: nothing the dead iteration half-did leaks into the answer.
+func TestDaemonMidIterationFault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process daemon test skipped in -short mode")
+	}
+	t.Setenv(testModeEnv, "jobsvc-worker")
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	s, err := jobsvc.NewServer(jobsvc.Config{
+		Mesh: jobsvc.SpawnMesh(daemonRanks, addr, transport.SpawnOptions{}),
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ln) }()
+
+	// The solo ground truth, and a clean daemon run to anchor it before any
+	// fault: PageRank at scale 8 iterates to convergence (well past round 3).
+	spec := jobsvc.Spec{Job: driver.JobPageRank, Scale: 8, Seed: 17, Hint: true, PR: true}
+	world := mpi.NewWorld(mpi.Config{
+		Size: daemonRanks,
+		Net:  simtime.NetworkModel{Alpha: 1e-7, Beta: 1e9},
+	})
+	want, err := driver.RunJob(world, driver.JobConfig{
+		Kind: driver.JobPageRank, Scale: 8, Seed: 17, Hint: true, PR: true,
+	}, nil)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	res, err := jobsvc.Dial(addr).Submit(spec, nil)
+	if err != nil {
+		t.Fatalf("clean pagerank job: %v", err)
+	}
+	if !bytes.Equal(res.Output, want) {
+		t.Fatalf("daemon pagerank output not byte-identical to solo reference (%d vs %d bytes)",
+			len(res.Output), len(want))
+	}
+
+	// Kill worker rank 2 between rounds 2 and 3: the process exits at the
+	// round barrier, mid-iteration, with earlier rounds' state live on the
+	// mesh.
+	crash := spec
+	crash.Crash = 2
+	crash.CrashRound = 3
+	if _, err := jobsvc.Dial(addr).Submit(crash, nil); err == nil {
+		t.Fatal("mid-iteration crash job reported success; want a clean failure")
+	} else {
+		t.Logf("mid-iteration crash failed as intended: %v", err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for s.Respawns() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("mesh not respawned after mid-iteration worker death (respawns = %d)", s.Respawns())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The fresh incarnation re-runs the same spec from scratch.
+	res, err = jobsvc.Dial(addr).Submit(spec, nil)
+	if err != nil {
+		t.Fatalf("post-respawn pagerank job: %v", err)
+	}
+	if !bytes.Equal(res.Output, want) {
+		t.Fatal("post-respawn pagerank output not byte-identical to solo reference")
+	}
+	if n := s.Respawns(); n != 1 {
+		t.Fatalf("respawns = %d after recovery, want exactly 1", n)
+	}
+
+	if err := jobsvc.Dial(addr).Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve returned %v after shutdown, want nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Serve did not return after shutdown")
+	}
+}

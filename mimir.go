@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"mimir/internal/core"
+	"mimir/internal/driver"
 	"mimir/internal/faultinject"
 	"mimir/internal/kvbuf"
 	"mimir/internal/mem"
@@ -36,6 +37,7 @@ import (
 	"mimir/internal/simtime"
 	"mimir/internal/spill"
 	"mimir/internal/transport"
+	"mimir/internal/workloads"
 )
 
 // Core MapReduce API (see internal/core).
@@ -362,4 +364,42 @@ var (
 	Mira = platform.Mira
 	// Laptop is an unconstrained platform for examples and tests.
 	Laptop = platform.Laptop
+)
+
+// Distributed job workloads (internal/workloads) and the generic job driver
+// (internal/driver): the multi-round jobs every entry point — examples,
+// mimir-worker, the mimird service — runs over deterministic synthetic
+// corpora.
+type (
+	// JobConfig describes one distributed job of any kind for RunJob.
+	JobConfig = driver.JobConfig
+	// TeraSortConfig parameterizes the distributed sample sort.
+	TeraSortConfig = workloads.TeraSortConfig
+	// PageRankConfig parameterizes fixed-point PageRank over the synthetic
+	// power-law graph.
+	PageRankConfig = workloads.PageRankConfig
+	// KMeansConfig parameterizes integer k-means over the seeded point cloud.
+	KMeansConfig = workloads.KMeansConfig
+	// MultiRound controls an iterative job's rounds: caps, convergence
+	// threshold, per-round checkpoints, and the round hook.
+	MultiRound = workloads.MultiRound
+)
+
+// Job kinds RunJob dispatches on.
+const (
+	JobWordCount = driver.JobWordCount
+	JobTeraSort  = driver.JobTeraSort
+	JobPageRank  = driver.JobPageRank
+	JobKMeans    = driver.JobKMeans
+	JobBFS       = driver.JobBFS
+)
+
+var (
+	// RunJob runs a JobConfig on every rank of a world and gathers the
+	// canonical byte-identical result at rank 0.
+	RunJob = driver.RunJob
+	// JobKinds lists every kind RunJob accepts.
+	JobKinds = driver.JobKinds
+	// VerifyTeraSort is the linear-time oracle for sorted terasort output.
+	VerifyTeraSort = workloads.VerifyTeraSort
 )
